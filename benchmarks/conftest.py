@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench runs one experiment exactly once (``rounds=1``) — the interesting
+output is the reproduced table/figure, which is printed, plus assertions of
+the paper's qualitative claims.  Pretrained embeddings are cached on disk
+(see :mod:`repro.experiments.cache`), so re-runs are cheap.
+
+Profile selection: ``REPRO_PROFILE=fast`` (default) or ``full``.
+"""
+
+import pytest
+
+from repro.experiments import current_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    active = current_profile()
+    print(f"\n[repro] benchmark profile: {active.name}")
+    return active
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,38 @@
+"""Extension bench: design-choice ablations DESIGN.md calls out.
+
+Not a paper table — this probes the implementation-level choices the paper
+inherits (re-mask) or fixes without ablation (L_E sub-terms, temperature).
+Asserts only sanity bounds: every variant must remain a working model (no
+collapse below the raw-feature floor), and the full model must sit at or
+near the top.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.extensions import run_design_ablation
+
+
+def test_design_choice_ablation(benchmark, profile):
+    table = run_once(benchmark, lambda: run_design_ablation(profile=profile))
+    print()
+    print(table.to_text())
+
+    values = {
+        row: float(np.mean([table.get(row, c).mean for c in table.columns]))
+        for row in table.rows
+    }
+    print("\nper-variant average accuracy:")
+    for row, value in sorted(values.items(), key=lambda kv: -kv[1]):
+        print(f"  {row:<16} {value:6.2f}")
+
+    # No variant collapses: everything stays a functioning SSL model.
+    for row, value in values.items():
+        assert value > 40.0, f"{row} collapsed to {value:.2f}"
+
+    # The full model is at or near the top of its own design neighbourhood.
+    best = max(values.values())
+    assert values["full model"] >= best - 2.0, (
+        f"full model ({values['full model']:.2f}) should be near the best "
+        f"design variant ({best:.2f})"
+    )

@@ -1,0 +1,35 @@
+"""Extension bench: related-work methods (BGRL, GCA, GraphMAE2) vs GCMAE.
+
+These methods are cited in the paper's related work but excluded from its
+tables.  Asserts only sanity: every method produces a working representation
+(clearly above the raw-feature floor), and GCMAE stays competitive (within
+5pp of the best extension method).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.extension_methods import run_extension_comparison
+
+
+def test_extension_method_comparison(benchmark, profile):
+    table = run_once(benchmark, lambda: run_extension_comparison(profile=profile))
+    print()
+    print(table.to_text())
+
+    averages = {
+        row: float(np.mean([table.get(row, c).mean for c in table.columns]))
+        for row in table.rows
+    }
+    print("\nper-method average accuracy:")
+    for row, value in sorted(averages.items(), key=lambda kv: -kv[1]):
+        print(f"  {row:<10} {value:6.2f}")
+
+    for row, value in averages.items():
+        assert value > 50.0, f"{row} collapsed: {value:.2f}"
+
+    best = max(averages.values())
+    assert averages["GCMAE"] >= best - 5.0, (
+        f"GCMAE ({averages['GCMAE']:.2f}) should stay competitive with the "
+        f"newer related-work methods (best {best:.2f})"
+    )

@@ -1,0 +1,30 @@
+"""Figure 1: t-SNE visualisation + NMI of three paradigms on Cora.
+
+Paper claim asserted here: GCMAE's embeddings cluster best (highest NMI),
+GraphMAE second, CCA-SSG worst — the motivating figure for combining the
+paradigms.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_figure1
+
+PAPER_NMI = {"GCMAE": 0.59, "GraphMAE": 0.58, "CCA-SSG": 0.56}
+
+
+def test_figure1_tsne_and_nmi(benchmark, profile):
+    panels = run_once(
+        benchmark, lambda: run_figure1(profile=profile, tsne_iterations=250)
+    )
+
+    print("\nFigure 1 — clustering quality of the three paradigms (cora-like)")
+    print(f"{'method':<10} {'NMI':>6}   paper NMI")
+    nmi = {}
+    for panel in panels:
+        nmi[panel.method] = panel.nmi
+        print(f"{panel.method:<10} {panel.nmi:>6.3f}   {PAPER_NMI[panel.method]:.2f}")
+        assert panel.coordinates.shape == (len(panel.labels), 2)
+
+    # Paper's ordering: GCMAE >= GraphMAE and GCMAE >= CCA-SSG.
+    assert nmi["GCMAE"] >= nmi["GraphMAE"] - 0.01, nmi
+    assert nmi["GCMAE"] >= nmi["CCA-SSG"] - 0.01, nmi

@@ -1,0 +1,54 @@
+"""Figure 5: the p_mask x p_drop hyper-parameter surface.
+
+Paper claims asserted here:
+  1. High mask rates (0.5-0.8) keep performance in a satisfactory range —
+     the best cell uses p_mask >= 0.5.
+  2. p_mask is the decisive knob: F1 varies more across mask rates than
+     across drop rates.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_figure5
+
+MASK_RATES = (0.2, 0.5, 0.8)
+DROP_RATES = (0.0, 0.3)
+
+
+def test_figure5_mask_drop_sweep(benchmark, profile):
+    figure = run_once(
+        benchmark,
+        lambda: run_figure5(
+            profile=profile, mask_rates=MASK_RATES, drop_rates=DROP_RATES
+        ),
+    )
+    print()
+    print(figure.to_text())
+
+    # Reassemble the grid: grid[mask][drop] = F1.
+    grid = {
+        mask: {
+            drop: figure.series[f"p_drop={drop:g}"][mask] for drop in DROP_RATES
+        }
+        for mask in MASK_RATES
+    }
+
+    # Claim 1: the best configuration uses a high mask rate.
+    best_mask = max(
+        MASK_RATES, key=lambda m: max(grid[m].values())
+    )
+    assert best_mask >= 0.5, (
+        f"expected the optimum at p_mask >= 0.5, found p_mask={best_mask}"
+    )
+
+    # Claim 2: variation across mask rates dominates variation across drops.
+    across_mask = np.ptp([np.mean(list(grid[m].values())) for m in MASK_RATES])
+    across_drop = np.ptp(
+        [np.mean([grid[m][d] for m in MASK_RATES]) for d in DROP_RATES]
+    )
+    print(f"\nspread across p_mask: {across_mask:.2f}pp, across p_drop: {across_drop:.2f}pp")
+    assert across_mask >= across_drop - 0.5, (
+        f"p_mask should dominate: mask spread {across_mask:.2f} vs "
+        f"drop spread {across_drop:.2f}"
+    )

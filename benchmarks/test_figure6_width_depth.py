@@ -1,0 +1,41 @@
+"""Figure 6: accuracy vs hidden width and encoder depth.
+
+Paper claims asserted here:
+  1. Wider is better up to the sweet spot: the widest tested setting beats
+     the narrowest by a clear margin.
+  2. Two layers is the optimal depth; accuracy degrades as depth grows to 8.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_figure6
+
+WIDTHS = (32, 128, 256)
+DEPTHS = (1, 2, 8)
+
+
+def test_figure6_width_and_depth(benchmark, profile):
+    figure = run_once(
+        benchmark,
+        lambda: run_figure6(profile=profile, widths=WIDTHS, depths=DEPTHS),
+    )
+    print()
+    print(figure.to_text())
+
+    width_curve = figure.series["width"]
+    depth_curve = figure.series["depth"]
+
+    # Claim 1: width 256 beats width 32 clearly.
+    assert width_curve[256] > width_curve[32] + 1.0, (
+        f"width should help: 256 -> {width_curve[256]:.2f}, "
+        f"32 -> {width_curve[32]:.2f}"
+    )
+
+    # Claim 2: depth 2 is optimal (0.5pp tolerance) and depth 8 degrades.
+    best_depth = max(DEPTHS, key=lambda d: depth_curve[d])
+    assert depth_curve[2] >= depth_curve[best_depth] - 0.5, (
+        f"2 layers should be (near-)optimal; curve={depth_curve}"
+    )
+    assert depth_curve[8] < depth_curve[2], (
+        f"8 layers should degrade vs 2: {depth_curve[8]:.2f} vs {depth_curve[2]:.2f}"
+    )

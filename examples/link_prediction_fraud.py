@@ -1,0 +1,75 @@
+"""Link prediction for fraud-ring detection on a social-network-like graph.
+
+The paper's introduction motivates GSSL with fraud detection: labelled fraud
+is scarce, but plentiful structure can be exploited self-supervised.  This
+example pretrains GCMAE on a reddit-like social graph with held-out edges
+and uses the learned embeddings to (a) rank candidate hidden relationships
+and (b) flag the least-expected existing edges, the way an analyst would
+triage a transaction graph.
+
+    python examples/link_prediction_fraud.py
+"""
+
+import numpy as np
+
+from repro.core import GCMAEConfig, GCMAEMethod
+from repro.eval import dot_product_scores, evaluate_link_prediction
+from repro.graph import load_node_dataset, split_edges
+
+
+def main() -> None:
+    # A scaled-down dense social graph (the paper's Reddit stand-in).
+    graph = load_node_dataset("reddit-like", seed=0)
+    print(f"dataset: {graph.summary()}")
+
+    split = split_edges(graph, val_fraction=0.05, test_fraction=0.10, seed=0)
+    print(
+        f"edges: train={len(split.train_pos)}, val={len(split.val_pos)}, "
+        f"test={len(split.test_pos)} (+ same number of sampled non-edges)"
+    )
+
+    # Subgraph-sampled training kicks in automatically above
+    # config.subgraph_threshold nodes — the paper's Section 4.4 mitigation.
+    config = GCMAEConfig(
+        hidden_dim=128, embed_dim=128, epochs=60,
+        subgraph_threshold=1200, subgraph_size=512, steps_per_epoch=2,
+    )
+    method = GCMAEMethod(config)
+    result = method.fit(split.train_graph, seed=0)
+    print(f"pretrained in {result.train_seconds:.1f}s (subgraph mini-batches)")
+
+    scores = evaluate_link_prediction(result.embeddings, split, seed=0)
+    print(f"held-out edge detection: AUC={scores.auc:.3f} AP={scores.ap:.3f}")
+
+    # Analyst view 1: the strongest *predicted but unobserved* relationships.
+    rng = np.random.default_rng(0)
+    candidates = rng.integers(0, graph.num_nodes, size=(2000, 2))
+    candidates = candidates[candidates[:, 0] != candidates[:, 1]]
+    observed = set(map(tuple, np.sort(graph.edges(), axis=1)))
+    candidates = np.array(
+        [tuple(sorted(pair)) for pair in candidates if tuple(sorted(pair)) not in observed]
+    )
+    candidate_scores = dot_product_scores(result.embeddings, candidates)
+    top = candidates[np.argsort(-candidate_scores)[:5]]
+    print("\ntop predicted hidden relationships (node pairs):")
+    for u, v in top:
+        same = (
+            "same community" if graph.labels[u] == graph.labels[v] else "cross community"
+        )
+        print(f"  {u:>5} -- {v:<5} ({same})")
+
+    # Analyst view 2: observed edges the model finds most surprising —
+    # candidate anomalous links.
+    edges = split.train_pos
+    edge_scores = dot_product_scores(result.embeddings, edges)
+    suspicious = edges[np.argsort(edge_scores)[:5]]
+    print("\nmost surprising observed edges (anomaly candidates):")
+    for u, v in suspicious:
+        same = (
+            "same community" if graph.labels[u] == graph.labels[v] else "cross community"
+        )
+        print(f"  {u:>5} -- {v:<5} ({same})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""GCMAE: Generative and Contrastive Paradigms Are Complementary for Graph SSL.
+
+A from-scratch reproduction of the ICDE 2024 paper on a pure-numpy substrate:
+
+* :mod:`repro.nn`          -- autograd engine, modules, optimizers,
+* :mod:`repro.graph`       -- graph containers, dataset generators, augmentations,
+* :mod:`repro.gnn`         -- GCN / SAGE / GAT / GIN layers and encoders,
+* :mod:`repro.core`        -- the GCMAE model, losses, and trainer,
+* :mod:`repro.baselines`   -- the 14 compared methods plus supervised GNNs,
+* :mod:`repro.eval`        -- probes, k-means, link prediction, metrics, t-SNE,
+* :mod:`repro.experiments` -- runners for every table and figure of the paper.
+
+Quickstart::
+
+    from repro.graph import load_node_dataset
+    from repro.core import GCMAEMethod, GCMAEConfig
+    from repro.eval import evaluate_probe
+
+    graph = load_node_dataset("cora-like")
+    result = GCMAEMethod(GCMAEConfig(epochs=100)).fit(graph, seed=0)
+    probe = evaluate_probe(
+        result.embeddings, graph.labels, graph.train_mask, graph.test_mask
+    )
+    print(f"node classification accuracy: {probe.accuracy:.3f}")
+"""
+
+from . import baselines, core, eval, experiments, gnn, graph, nn
+from .core import GCMAE, GCMAEConfig, GCMAEMethod, train_gcmae
+from .graph import Graph, GraphDataset, load_graph_dataset, load_node_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GCMAE",
+    "GCMAEConfig",
+    "GCMAEMethod",
+    "Graph",
+    "GraphDataset",
+    "__version__",
+    "baselines",
+    "core",
+    "eval",
+    "experiments",
+    "gnn",
+    "graph",
+    "load_graph_dataset",
+    "load_node_dataset",
+    "nn",
+    "train_gcmae",
+]

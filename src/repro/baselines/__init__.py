@@ -1,0 +1,51 @@
+"""Baseline methods: the 14 compared methods plus supervised classifiers.
+
+Categories follow the paper's Section 5.1:
+
+* supervised — GCN, GAT (node classification only),
+* contrastive (node) — DGI, MVGRL, GRACE, CCA-SSG,
+* contrastive (graph) — InfoGraph, GraphCL, JOAO, InfoGCL,
+* masked autoencoders — GraphMAE, SeeGera, S2GAE, MaskGAE,
+* deep clustering — GC-VGE, SCGC, GCC,
+* related-work extensions (not in the paper's tables) — BGRL, GCA, GraphMAE2.
+"""
+
+from .clustering import GCC, GCVGE, SCGC
+from .contrastive import CCASSG, DGI, GRACE, MVGRL
+from .contrastive_extra import BGRL, GCA
+from .graphmae2 import GraphMAE2
+from .graph_level import (
+    AUGMENTATIONS,
+    GraphCL,
+    GraphLevelWrapper,
+    InfoGCL,
+    InfoGraph,
+    JOAO,
+)
+from .mae import GraphMAE, MaskGAE, S2GAE, SeeGera
+from .supervised import SupervisedGNN, SupervisedResult
+
+__all__ = [
+    "AUGMENTATIONS",
+    "BGRL",
+    "CCASSG",
+    "DGI",
+    "GCC",
+    "GCA",
+    "GCVGE",
+    "GRACE",
+    "GraphCL",
+    "GraphLevelWrapper",
+    "GraphMAE",
+    "GraphMAE2",
+    "InfoGCL",
+    "InfoGraph",
+    "JOAO",
+    "MVGRL",
+    "MaskGAE",
+    "S2GAE",
+    "SCGC",
+    "SeeGera",
+    "SupervisedGNN",
+    "SupervisedResult",
+]

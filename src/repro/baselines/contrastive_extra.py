@@ -1,0 +1,214 @@
+"""Additional contrastive baselines from the paper's related work: BGRL, GCA.
+
+The paper's Section 6.1 discusses both; they are not in its comparison
+tables, but they round out the contrastive family for extension studies:
+
+* BGRL (Thakoor et al., 2021) — bootstrapped representation learning:
+  an online encoder + predictor chases an EMA *target* encoder across two
+  augmented views; no negative samples at all.
+* GCA (Zhu et al., 2021) — GRACE with *adaptive* augmentation: edges and
+  feature dimensions are dropped with probability inversely related to
+  centrality, so important structure survives corruption.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.base import EmbeddingResult, Stopwatch
+from ..core.losses import info_nce
+from ..gnn.encoder import GNNEncoder
+from ..graph.data import Graph
+from ..graph.sparse import to_csr
+from ..nn import Adam, MLP, Tensor, functional as F, no_grad
+from ..nn.module import Module
+
+
+class BGRL:
+    """Bootstrapped graph latents: no negatives, EMA target network."""
+
+    name = "BGRL"
+
+    def __init__(
+        self,
+        hidden_dim: int = 256,
+        num_layers: int = 2,
+        epochs: int = 150,
+        momentum: float = 0.99,
+        edge_drop: Tuple[float, float] = (0.2, 0.3),
+        feature_mask: Tuple[float, float] = (0.2, 0.3),
+        learning_rate: float = 1e-3,
+        weight_decay: float = 1e-5,
+    ) -> None:
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.epochs = epochs
+        self.momentum = momentum
+        self.edge_drop = edge_drop
+        self.feature_mask = feature_mask
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+
+    def _ema_update(self, online: Module, target: Module) -> None:
+        online_params = dict(online.named_parameters())
+        for name, target_param in target.named_parameters():
+            target_param.data *= self.momentum
+            target_param.data += (1.0 - self.momentum) * online_params[name].data
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        from ..graph.augment import drop_edges, mask_feature_dimensions
+
+        rng = np.random.default_rng(seed)
+        online = GNNEncoder(
+            graph.num_features, self.hidden_dim, self.hidden_dim,
+            num_layers=self.num_layers, conv_type="gcn", rng=rng,
+        )
+        target = GNNEncoder(
+            graph.num_features, self.hidden_dim, self.hidden_dim,
+            num_layers=self.num_layers, conv_type="gcn", rng=rng,
+        )
+        target.load_state_dict(online.state_dict())
+        predictor = MLP(self.hidden_dim, [self.hidden_dim], self.hidden_dim, rng=rng)
+        optimizer = Adam(
+            online.parameters() + predictor.parameters(),
+            lr=self.learning_rate, weight_decay=self.weight_decay,
+        )
+        losses = []
+        with Stopwatch() as timer:
+            for _ in range(self.epochs):
+                online.train()
+                optimizer.zero_grad()
+                adj1 = drop_edges(graph.adjacency, self.edge_drop[0], rng)
+                adj2 = drop_edges(graph.adjacency, self.edge_drop[1], rng)
+                x1 = mask_feature_dimensions(graph.features, self.feature_mask[0], rng)
+                x2 = mask_feature_dimensions(graph.features, self.feature_mask[1], rng)
+
+                prediction_1 = predictor(online(adj1, Tensor(x1)))
+                prediction_2 = predictor(online(adj2, Tensor(x2)))
+                with no_grad():
+                    target.eval()
+                    target_1 = target(adj1, Tensor(x1))
+                    target_2 = target(adj2, Tensor(x2))
+                # Cross-view cosine alignment: predict the *other* view's target.
+                loss = (
+                    2.0
+                    - F.cosine_similarity(prediction_1, Tensor(target_2.data)).mean()
+                    - F.cosine_similarity(prediction_2, Tensor(target_1.data)).mean()
+                )
+                loss.backward()
+                optimizer.step()
+                self._ema_update(online, target)
+                losses.append(loss.item())
+        online.eval()
+        with no_grad():
+            embeddings = online(graph.adjacency, Tensor(graph.features)).data.copy()
+        return EmbeddingResult(embeddings, timer.seconds, losses)
+
+
+def degree_centrality_weights(adjacency: sp.csr_matrix) -> np.ndarray:
+    """Per-edge importance: mean log-degree centrality of the endpoints."""
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    log_degree = np.log1p(degrees)
+    coo = sp.coo_matrix(sp.triu(adjacency, k=1))
+    return (log_degree[coo.row] + log_degree[coo.col]) / 2.0
+
+
+class GCA:
+    """Graph contrastive learning with adaptive (centrality-aware) augmentation."""
+
+    name = "GCA"
+
+    def __init__(
+        self,
+        hidden_dim: int = 256,
+        projector_dim: int = 64,
+        num_layers: int = 2,
+        epochs: int = 150,
+        temperature: float = 0.5,
+        edge_drop: Tuple[float, float] = (0.2, 0.4),
+        feature_mask: Tuple[float, float] = (0.2, 0.4),
+        learning_rate: float = 1e-3,
+        weight_decay: float = 1e-5,
+    ) -> None:
+        self.hidden_dim = hidden_dim
+        self.projector_dim = projector_dim
+        self.num_layers = num_layers
+        self.epochs = epochs
+        self.temperature = temperature
+        self.edge_drop = edge_drop
+        self.feature_mask = feature_mask
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+
+    @staticmethod
+    def _drop_probabilities(weights: np.ndarray, mean_rate: float) -> np.ndarray:
+        """Normalise importances into drop probabilities averaging ``mean_rate``.
+
+        Less important items (low centrality) are dropped *more* often, as in
+        GCA: ``p_i = min((max_w - w_i) / (max_w - mean_w) * mean_rate, 0.9)``.
+        """
+        max_w = weights.max()
+        mean_w = weights.mean()
+        spread = max(max_w - mean_w, 1e-9)
+        return np.minimum((max_w - weights) / spread * mean_rate, 0.9)
+
+    def _adaptive_edge_drop(
+        self, adjacency: sp.csr_matrix, mean_rate: float, rng: np.random.Generator
+    ) -> sp.csr_matrix:
+        coo = sp.coo_matrix(sp.triu(adjacency, k=1))
+        probabilities = self._drop_probabilities(
+            degree_centrality_weights(adjacency), mean_rate
+        )
+        keep = rng.random(coo.nnz) >= probabilities
+        upper = sp.coo_matrix(
+            (np.ones(int(keep.sum())), (coo.row[keep], coo.col[keep])),
+            shape=adjacency.shape,
+        )
+        return to_csr(upper + upper.T)
+
+    def _adaptive_feature_mask(
+        self, features: np.ndarray, mean_rate: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        # Dimension importance: how much the dimension is used by high-degree
+        # nodes (GCA's "feature centrality" reduces to usage frequency here).
+        usage = np.abs(features).sum(axis=0) + 1e-9
+        probabilities = self._drop_probabilities(np.log1p(usage), mean_rate)
+        keep = rng.random(features.shape[1]) >= probabilities
+        return features * keep[None, :]
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        rng = np.random.default_rng(seed)
+        encoder = GNNEncoder(
+            graph.num_features, self.hidden_dim, self.hidden_dim,
+            num_layers=self.num_layers, conv_type="gcn", rng=rng,
+        )
+        projector = MLP(
+            self.hidden_dim, [self.projector_dim], self.projector_dim,
+            activation="elu", rng=rng,
+        )
+        optimizer = Adam(
+            encoder.parameters() + projector.parameters(),
+            lr=self.learning_rate, weight_decay=self.weight_decay,
+        )
+        losses = []
+        with Stopwatch() as timer:
+            for _ in range(self.epochs):
+                encoder.train()
+                optimizer.zero_grad()
+                adj1 = self._adaptive_edge_drop(graph.adjacency, self.edge_drop[0], rng)
+                adj2 = self._adaptive_edge_drop(graph.adjacency, self.edge_drop[1], rng)
+                x1 = self._adaptive_feature_mask(graph.features, self.feature_mask[0], rng)
+                x2 = self._adaptive_feature_mask(graph.features, self.feature_mask[1], rng)
+                z1 = projector(encoder(adj1, Tensor(x1)))
+                z2 = projector(encoder(adj2, Tensor(x2)))
+                loss = info_nce(z1, z2, temperature=self.temperature)
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+        encoder.eval()
+        with no_grad():
+            embeddings = encoder(graph.adjacency, Tensor(graph.features)).data.copy()
+        return EmbeddingResult(embeddings, timer.seconds, losses)

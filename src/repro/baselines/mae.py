@@ -1,0 +1,344 @@
+"""Masked-autoencoder baselines: GraphMAE, MaskGAE, S2GAE, SeeGera.
+
+* GraphMAE — feature masking + GAT encoder/decoder + re-mask + SCE loss
+  (Hou et al., 2022).  GAT is why it is the slowest method in Table 9; its
+  feature-only objective is why it collapses on link prediction in Table 5.
+* MaskGAE  — *edge* masking: encode the visible graph, score masked edges
+  against sampled non-edges with an MLP decoder, plus a degree-regression
+  auxiliary head (Li et al., 2022).  The strongest baseline on link tasks.
+* S2GAE    — edge masking with a cross-correlation decoder over the
+  representations of *all* encoder layers (Tan et al., 2023).
+* SeeGera  — variational autoencoder reconstructing links *and* features
+  with structure/feature masking (Li et al., 2023).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.base import EmbeddingResult, Stopwatch
+from ..core.losses import sample_nonedges, sce_loss
+from ..gnn.conv import GATConv
+from ..gnn.encoder import GNNEncoder
+from ..graph.augment import mask_node_features
+from ..graph.data import Graph
+from ..graph.sparse import adjacency_from_edges
+from ..nn import Adam, Linear, MLP, Tensor, concatenate, functional as F, no_grad
+
+
+class GraphMAE:
+    """GraphMAE: masked feature reconstruction with a GAT backbone."""
+
+    name = "GraphMAE"
+
+    def __init__(
+        self,
+        hidden_dim: int = 256,
+        num_layers: int = 2,
+        heads: int = 4,
+        mask_rate: float = 0.5,
+        gamma: float = 2.0,
+        epochs: int = 200,
+        learning_rate: float = 1e-3,
+        weight_decay: float = 1e-4,
+        conv_type: str = "gat",
+    ) -> None:
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.heads = heads
+        self.mask_rate = mask_rate
+        self.gamma = gamma
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.conv_type = conv_type
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        rng = np.random.default_rng(seed)
+        encoder = GNNEncoder(
+            graph.num_features, self.hidden_dim, self.hidden_dim,
+            num_layers=self.num_layers, conv_type=self.conv_type,
+            heads=self.heads, activation="elu", rng=rng,
+        )
+        if self.conv_type == "gat":
+            decoder = GATConv(
+                self.hidden_dim, graph.num_features, heads=1, concat=False, rng=rng
+            )
+        else:
+            from ..gnn.encoder import _build_conv
+            decoder = _build_conv(
+                self.conv_type, self.hidden_dim, graph.num_features, rng, final=True
+            )
+        optimizer = Adam(
+            encoder.parameters() + decoder.parameters(),
+            lr=self.learning_rate, weight_decay=self.weight_decay,
+        )
+        decoder_operand = (
+            graph.adjacency if self.conv_type in ("gat", "gin")
+            else encoder.structure(graph.adjacency)
+        )
+        losses = []
+        with Stopwatch() as timer:
+            for _ in range(self.epochs):
+                encoder.train()
+                optimizer.zero_grad()
+                masked = mask_node_features(graph.features, self.mask_rate, rng)
+                h = encoder(graph.adjacency, Tensor(masked.features))
+                keep = np.ones((graph.num_nodes, 1))
+                keep[masked.masked_nodes] = 0.0  # GraphMAE's re-mask
+                z = decoder(decoder_operand, h * Tensor(keep))
+                loss = sce_loss(z, Tensor(graph.features), masked.masked_nodes, self.gamma)
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+        encoder.eval()
+        with no_grad():
+            embeddings = encoder(graph.adjacency, Tensor(graph.features)).data.copy()
+        return EmbeddingResult(embeddings, timer.seconds, losses)
+
+
+def _degree_targets(adjacency: sp.csr_matrix) -> np.ndarray:
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    return np.log1p(degrees)
+
+
+class MaskGAE:
+    """MaskGAE: masked-edge reconstruction plus degree regression."""
+
+    name = "MaskGAE"
+
+    def __init__(
+        self,
+        hidden_dim: int = 256,
+        num_layers: int = 2,
+        edge_mask_rate: float = 0.7,
+        epochs: int = 150,
+        learning_rate: float = 1e-3,
+        weight_decay: float = 1e-4,
+        degree_weight: float = 0.2,
+        conv_type: str = "gcn",
+    ) -> None:
+        self.conv_type = conv_type
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.edge_mask_rate = edge_mask_rate
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.degree_weight = degree_weight
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        rng = np.random.default_rng(seed)
+        encoder = GNNEncoder(
+            graph.num_features, self.hidden_dim, self.hidden_dim,
+            num_layers=self.num_layers, conv_type=self.conv_type, rng=rng,
+        )
+        edge_decoder = MLP(self.hidden_dim, [self.hidden_dim], 1, rng=rng)
+        degree_head = Linear(self.hidden_dim, 1, rng=rng)
+        optimizer = Adam(
+            encoder.parameters() + edge_decoder.parameters() + degree_head.parameters(),
+            lr=self.learning_rate, weight_decay=self.weight_decay,
+        )
+        edges = graph.edges(directed=False)
+        degree_target = Tensor(_degree_targets(graph.adjacency)[:, None])
+        losses = []
+        with Stopwatch() as timer:
+            for _ in range(self.epochs):
+                encoder.train()
+                optimizer.zero_grad()
+                mask = rng.random(len(edges)) < self.edge_mask_rate
+                if not mask.any():
+                    mask[rng.integers(len(edges))] = True
+                masked_edges = edges[mask]
+                visible = adjacency_from_edges(edges[~mask], graph.num_nodes) \
+                    if (~mask).any() else sp.csr_matrix((graph.num_nodes, graph.num_nodes))
+                h = encoder(visible, Tensor(graph.features))
+
+                negatives = sample_nonedges(graph.adjacency, len(masked_edges), rng)
+                pos_logits = edge_decoder(h[masked_edges[:, 0]] * h[masked_edges[:, 1]])
+                neg_logits = edge_decoder(h[negatives[:, 0]] * h[negatives[:, 1]])
+                reconstruction = F.binary_cross_entropy_with_logits(
+                    pos_logits, Tensor(np.ones((len(masked_edges), 1)))
+                ) + F.binary_cross_entropy_with_logits(
+                    neg_logits, Tensor(np.zeros((len(negatives), 1)))
+                )
+                degree_loss = F.mse_loss(degree_head(h), degree_target)
+                loss = reconstruction + degree_loss * self.degree_weight
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+        encoder.eval()
+        with no_grad():
+            embeddings = encoder(graph.adjacency, Tensor(graph.features)).data.copy()
+        return EmbeddingResult(embeddings, timer.seconds, losses)
+
+
+class S2GAE:
+    """S2GAE: masked-edge prediction from cross-correlated layer outputs."""
+
+    name = "S2GAE"
+
+    def __init__(
+        self,
+        hidden_dim: int = 256,
+        num_layers: int = 2,
+        edge_mask_rate: float = 0.5,
+        epochs: int = 150,
+        learning_rate: float = 1e-3,
+        weight_decay: float = 1e-4,
+    ) -> None:
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.edge_mask_rate = edge_mask_rate
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        rng = np.random.default_rng(seed)
+        encoder = GNNEncoder(
+            graph.num_features, self.hidden_dim, self.hidden_dim,
+            num_layers=self.num_layers, conv_type="gcn", rng=rng,
+        )
+        # Cross-correlation decoder: concatenated per-layer Hadamard products.
+        decoder = MLP(
+            self.hidden_dim * self.num_layers, [self.hidden_dim], 1, rng=rng
+        )
+        optimizer = Adam(
+            encoder.parameters() + decoder.parameters(),
+            lr=self.learning_rate, weight_decay=self.weight_decay,
+        )
+        edges = graph.edges(directed=False)
+        losses = []
+
+        def edge_scores(layer_outputs, pairs):
+            crossed = [h[pairs[:, 0]] * h[pairs[:, 1]] for h in layer_outputs]
+            return decoder(concatenate(crossed, axis=1))
+
+        with Stopwatch() as timer:
+            for _ in range(self.epochs):
+                encoder.train()
+                optimizer.zero_grad()
+                mask = rng.random(len(edges)) < self.edge_mask_rate
+                if not mask.any():
+                    mask[rng.integers(len(edges))] = True
+                masked_edges = edges[mask]
+                visible = adjacency_from_edges(edges[~mask], graph.num_nodes) \
+                    if (~mask).any() else sp.csr_matrix((graph.num_nodes, graph.num_nodes))
+                layer_outputs = encoder.layer_outputs(visible, Tensor(graph.features))
+                negatives = sample_nonedges(graph.adjacency, len(masked_edges), rng)
+                loss = F.binary_cross_entropy_with_logits(
+                    edge_scores(layer_outputs, masked_edges),
+                    Tensor(np.ones((len(masked_edges), 1))),
+                ) + F.binary_cross_entropy_with_logits(
+                    edge_scores(layer_outputs, negatives),
+                    Tensor(np.zeros((len(negatives), 1))),
+                )
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+        encoder.eval()
+        with no_grad():
+            layer_outputs = encoder.layer_outputs(graph.adjacency, Tensor(graph.features))
+            embeddings = np.concatenate([h.data for h in layer_outputs], axis=1)
+        return EmbeddingResult(embeddings, timer.seconds, losses)
+
+    def fit_graphs(self, dataset, seed: int = 0) -> EmbeddingResult:
+        """Graph-level protocol (Table 7): pretrain on the batch, mean-pool."""
+        from ..gnn.readout import graph_readout
+
+        batch = dataset.to_batch()
+        merged = Graph(adjacency=batch.adjacency, features=batch.features, name=dataset.name)
+        node_result = self.fit(merged, seed=seed)
+        with no_grad():
+            graph_embeddings = graph_readout(
+                Tensor(node_result.embeddings), batch.graph_ids, batch.num_graphs,
+                mode="meanmax",
+            ).data
+        return EmbeddingResult(
+            graph_embeddings, node_result.train_seconds, node_result.loss_history
+        )
+
+
+class SeeGera:
+    """SeeGera-style variational AE over links and features, with masking."""
+
+    name = "SeeGera"
+
+    def __init__(
+        self,
+        hidden_dim: int = 256,
+        latent_dim: int = 128,
+        epochs: int = 150,
+        feature_mask_rate: float = 0.3,
+        edge_mask_rate: float = 0.3,
+        kl_weight: float = 1e-3,
+        feature_weight: float = 1.0,
+        learning_rate: float = 1e-3,
+        weight_decay: float = 1e-4,
+    ) -> None:
+        self.hidden_dim = hidden_dim
+        self.latent_dim = latent_dim
+        self.epochs = epochs
+        self.feature_mask_rate = feature_mask_rate
+        self.edge_mask_rate = edge_mask_rate
+        self.kl_weight = kl_weight
+        self.feature_weight = feature_weight
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        from ..graph.augment import drop_edges
+
+        rng = np.random.default_rng(seed)
+        backbone = GNNEncoder(
+            graph.num_features, self.hidden_dim, self.hidden_dim,
+            num_layers=1, conv_type="gcn", rng=rng,
+        )
+        mu_head = Linear(self.hidden_dim, self.latent_dim, rng=rng)
+        logvar_head = Linear(self.hidden_dim, self.latent_dim, rng=rng)
+        feature_decoder = MLP(self.latent_dim, [self.hidden_dim], graph.num_features, rng=rng)
+        optimizer = Adam(
+            backbone.parameters() + mu_head.parameters() + logvar_head.parameters()
+            + feature_decoder.parameters(),
+            lr=self.learning_rate, weight_decay=self.weight_decay,
+        )
+        edges = graph.edges(directed=False)
+        losses = []
+        with Stopwatch() as timer:
+            for _ in range(self.epochs):
+                backbone.train()
+                optimizer.zero_grad()
+                masked = mask_node_features(graph.features, self.feature_mask_rate, rng)
+                visible_adj = drop_edges(graph.adjacency, self.edge_mask_rate, rng)
+                h = F.relu(backbone(visible_adj, Tensor(masked.features)))
+                mu = mu_head(h)
+                logvar = logvar_head(h).clip(-6.0, 6.0)
+                noise = Tensor(rng.normal(size=(graph.num_nodes, self.latent_dim)))
+                z = mu + (logvar * 0.5).exp() * noise
+
+                negatives = sample_nonedges(graph.adjacency, len(edges), rng)
+                pos_logits = (z[edges[:, 0]] * z[edges[:, 1]]).sum(axis=1)
+                neg_logits = (z[negatives[:, 0]] * z[negatives[:, 1]]).sum(axis=1)
+                link_loss = F.binary_cross_entropy_with_logits(
+                    pos_logits, Tensor(np.ones(len(edges)))
+                ) + F.binary_cross_entropy_with_logits(
+                    neg_logits, Tensor(np.zeros(len(negatives)))
+                )
+                feature_loss = sce_loss(
+                    feature_decoder(z), Tensor(graph.features),
+                    np.arange(graph.num_nodes), gamma=1.0,
+                )
+                kl = (((mu * mu) + logvar.exp() - logvar - 1.0) * 0.5).mean()
+                loss = link_loss + feature_loss * self.feature_weight + kl * self.kl_weight
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+        backbone.eval()
+        with no_grad():
+            h = F.relu(backbone(graph.adjacency, Tensor(graph.features)))
+            embeddings = mu_head(h).data.copy()
+        return EmbeddingResult(embeddings, timer.seconds, losses)

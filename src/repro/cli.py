@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``   — print the Table 2/3 dataset statistics.
+``pretrain``   — pretrain a method on a dataset, save embeddings to .npz.
+``evaluate``   — evaluate saved (or freshly trained) embeddings on a task.
+``table``      — regenerate one of the paper's tables (1, 4-10).
+``figure``     — regenerate one of the paper's figures (1, 4, 5, 6).
+``report``     — run everything and write EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GCMAE reproduction toolkit (ICDE 2024).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print dataset statistics (Tables 2-3)")
+
+    pretrain = sub.add_parser("pretrain", help="pretrain a method, save embeddings")
+    pretrain.add_argument("method", help="method name, e.g. GCMAE, GraphMAE, GRACE")
+    pretrain.add_argument("dataset", help="dataset name, e.g. cora-like")
+    pretrain.add_argument("--seed", type=int, default=0)
+    pretrain.add_argument("--output", default=None, help="output .npz path")
+
+    evaluate = sub.add_parser("evaluate", help="pretrain + evaluate on a task")
+    evaluate.add_argument("method")
+    evaluate.add_argument("dataset")
+    evaluate.add_argument(
+        "--task",
+        choices=["classification", "clustering", "linkpred"],
+        default="classification",
+    )
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=[1, 4, 5, 6, 7, 8, 9, 10])
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=[1, 4, 5, 6])
+
+    report = sub.add_parser("report", help="write EXPERIMENTS.md from all runs")
+    report.add_argument("--output", default=None)
+    return parser
+
+
+def _get_method(name: str, profile):
+    from .experiments.registry import node_ssl_methods
+
+    factories = node_ssl_methods(profile)
+    if name not in factories:
+        raise SystemExit(
+            f"unknown method {name!r}; available: {', '.join(sorted(factories))}"
+        )
+    return factories[name]()
+
+
+def _cmd_datasets() -> None:
+    from .graph.datasets import graph_dataset_statistics, node_dataset_statistics
+
+    print("node-task datasets (Table 2):")
+    for row in node_dataset_statistics():
+        print(f"  {row}")
+    print("graph-classification datasets (Table 3):")
+    for row in graph_dataset_statistics():
+        print(f"  {row}")
+
+
+def _cmd_pretrain(args) -> None:
+    from .experiments import current_profile
+    from .graph import load_node_dataset
+
+    profile = current_profile()
+    graph = load_node_dataset(args.dataset, seed=args.seed)
+    method = _get_method(args.method, profile)
+    print(f"pretraining {args.method} on {args.dataset} (profile {profile.name}) ...")
+    result = method.fit(graph, seed=args.seed)
+    output = args.output or f"{args.method}-{args.dataset}-{args.seed}.npz"
+    np.savez_compressed(output, embeddings=result.embeddings)
+    print(
+        f"saved {result.embeddings.shape} embeddings to {output} "
+        f"({result.train_seconds:.1f}s)"
+    )
+
+
+def _cmd_evaluate(args) -> None:
+    from .experiments import current_profile
+    from .graph import load_node_dataset, split_edges
+
+    profile = current_profile()
+    graph = load_node_dataset(args.dataset, seed=args.seed)
+    method = _get_method(args.method, profile)
+
+    if args.task == "linkpred":
+        from .eval import evaluate_link_prediction
+
+        split = split_edges(graph, seed=args.seed)
+        result = method.fit(split.train_graph, seed=args.seed)
+        scores = evaluate_link_prediction(result.embeddings, split, seed=args.seed)
+        print(f"{args.method} on {args.dataset}: AUC={scores.auc:.4f} AP={scores.ap:.4f}")
+        return
+
+    result = method.fit(graph, seed=args.seed)
+    if args.task == "classification":
+        from .eval import evaluate_probe
+
+        probe = evaluate_probe(
+            result.embeddings, graph.labels, graph.train_mask, graph.test_mask
+        )
+        print(
+            f"{args.method} on {args.dataset}: "
+            f"accuracy={probe.accuracy:.4f} macro-F1={probe.macro_f1:.4f}"
+        )
+    else:
+        from .eval import evaluate_clustering
+
+        scores = evaluate_clustering(result.embeddings, graph.labels, seed=args.seed)
+        print(f"{args.method} on {args.dataset}: NMI={scores.nmi:.4f} ARI={scores.ari:.4f}")
+
+
+def _cmd_table(number: int) -> None:
+    from . import experiments as ex
+
+    if number == 1:
+        table = ex.run_table1(
+            ex.run_table4(), ex.run_table5(), ex.run_table6(), ex.run_table7()
+        )
+    else:
+        table = getattr(ex, f"run_table{number}")()
+    print(table.to_text())
+
+
+def _cmd_figure(number: int) -> None:
+    from . import experiments as ex
+
+    if number == 1:
+        for panel in ex.run_figure1():
+            print(f"{panel.method}: NMI={panel.nmi:.3f}")
+        return
+    print(getattr(ex, f"run_figure{number}")().to_text())
+
+
+def _cmd_report(args) -> None:
+    from .experiments.report import main as report_main
+
+    report_main([args.output] if args.output else [])
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = _build_parser().parse_args(argv)
+    if args.command == "datasets":
+        _cmd_datasets()
+    elif args.command == "pretrain":
+        _cmd_pretrain(args)
+    elif args.command == "evaluate":
+        _cmd_evaluate(args)
+    elif args.command == "table":
+        _cmd_table(args.number)
+    elif args.command == "figure":
+        _cmd_figure(args.number)
+    elif args.command == "report":
+        _cmd_report(args)
+
+
+if __name__ == "__main__":
+    main()

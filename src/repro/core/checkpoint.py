@@ -1,0 +1,59 @@
+"""Checkpointing: save and restore trained GCMAE models.
+
+Weights are stored as a flat ``.npz`` (one array per parameter) alongside
+the JSON-encoded config, so a checkpoint is self-describing::
+
+    save_gcmae(model, "gcmae-cora.npz")
+    model = load_gcmae("gcmae-cora.npz", num_features=256)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .config import GCMAEConfig
+from .gcmae import GCMAE
+
+_CONFIG_KEY = "__config_json__"
+_FEATURES_KEY = "__num_features__"
+
+
+def save_gcmae(model: GCMAE, path: Union[str, Path]) -> Path:
+    """Serialise a GCMAE model (weights + config) to ``path``."""
+    path = Path(path)
+    state = model.state_dict()
+    config_dict = dataclasses.asdict(model.config)
+    # Tuples are not JSON-roundtrippable as tuples; normalise to lists.
+    payload = {name: array for name, array in state.items()}
+    payload[_CONFIG_KEY] = np.frombuffer(
+        json.dumps(config_dict).encode("utf-8"), dtype=np.uint8
+    )
+    payload[_FEATURES_KEY] = np.array([model.num_features], dtype=np.int64)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_gcmae(path: Union[str, Path]) -> GCMAE:
+    """Restore a GCMAE model saved by :func:`save_gcmae`."""
+    path = Path(path)
+    with np.load(path) as payload:
+        config_json = bytes(payload[_CONFIG_KEY]).decode("utf-8")
+        config_dict = json.loads(config_json)
+        num_features = int(payload[_FEATURES_KEY][0])
+        state = {
+            name: payload[name]
+            for name in payload.files
+            if name not in (_CONFIG_KEY, _FEATURES_KEY)
+        }
+    if "structure_terms" in config_dict:
+        config_dict["structure_terms"] = tuple(config_dict["structure_terms"])
+    config = GCMAEConfig(**config_dict)
+    model = GCMAE(num_features, config, rng=np.random.default_rng(0))
+    model.load_state_dict(state)
+    model.eval()
+    return model

@@ -1,0 +1,186 @@
+"""The GCMAE model: an MAE branch and a contrastive branch sharing one encoder.
+
+This is the paper's core contribution (Section 3.2, Figure 3, Algorithm 1):
+
+1. The *MAE view* masks node features (Eq. 9); the shared encoder ``f_E``
+   produces ``H1`` (Eq. 10), which a GNN decoder ``f_D`` turns into
+   reconstructions ``Z``; the SCE loss (Eq. 11) scores the masked nodes, and
+   ``Z`` additionally reconstructs the full adjacency (Eqs. 16-19).
+2. The *contrastive view* drops nodes (Eq. 12); the same encoder produces
+   ``H2``; two MLP projectors map ``H1``/``H2`` to ``U``/``V`` (Eq. 13), and
+   the symmetric InfoNCE (Eqs. 14-15) contrasts them.
+3. The discrimination loss (Eq. 20) regularises the variance of ``H1``.
+
+The total objective is ``J = L_SCE + alpha L_C + lam L_E + mu L_Var``
+(Eq. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..gnn.encoder import GNNEncoder, _build_conv
+from ..graph.augment import drop_nodes, mask_node_features
+from ..nn import no_grad
+from ..nn.layers import MLP
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .config import GCMAEConfig
+from .losses import (
+    adjacency_reconstruction_loss,
+    discrimination_loss,
+    info_nce,
+    sce_loss,
+)
+
+
+@dataclass
+class LossParts:
+    """The four components of GCMAE's objective for one step (Eq. 8)."""
+
+    total: float
+    sce: float
+    contrastive: float
+    structure: float
+    discrimination: float
+
+
+class GCMAE(Module):
+    """Graph contrastive masked autoencoder.
+
+    Parameters
+    ----------
+    num_features:
+        Input feature dimensionality ``d``.
+    config:
+        Hyper-parameters; see :class:`~repro.core.config.GCMAEConfig`.
+    rng:
+        Source of weight initialisation and augmentation randomness.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        config: Optional[GCMAEConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.config = config if config is not None else GCMAEConfig()
+        self.num_features = num_features
+        self._rng = rng if rng is not None else np.random.default_rng()
+        cfg = self.config
+
+        self.encoder = GNNEncoder(
+            in_features=num_features,
+            hidden_features=cfg.hidden_dim,
+            out_features=cfg.embed_dim,
+            num_layers=cfg.num_layers,
+            conv_type=cfg.conv_type,
+            activation=cfg.activation,
+            dropout=cfg.dropout,
+            heads=cfg.heads if cfg.conv_type == "gat" else 1,
+            rng=self._rng,
+        )
+        # Single-layer GNN decoder mapping embeddings back to feature space
+        # (GraphMAE's design, which the paper adopts as its backbone).
+        self.decoder = _build_conv(
+            cfg.conv_type, cfg.embed_dim, num_features, self._rng, final=True
+        )
+        self.projector_u = MLP(
+            cfg.embed_dim, [cfg.projector_hidden], cfg.projector_hidden,
+            activation="elu", rng=self._rng,
+        )
+        self.projector_v = MLP(
+            cfg.embed_dim, [cfg.projector_hidden], cfg.projector_hidden,
+            activation="elu", rng=self._rng,
+        )
+
+    # ------------------------------------------------------------------
+    def training_loss(
+        self,
+        adjacency: sp.csr_matrix,
+        features: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[Tensor, LossParts]:
+        """One full forward pass of Algorithm 1; returns loss and components."""
+        rng = rng if rng is not None else self._rng
+        cfg = self.config
+
+        # --- MAE view (Eq. 9-10) ---------------------------------------
+        masked = mask_node_features(features, cfg.mask_rate, rng)
+        x_masked = Tensor(masked.features)
+        h1 = self.encoder(adjacency, x_masked)
+
+        decoder_input = h1
+        if cfg.remask_before_decode:
+            # GraphMAE's re-mask: hide the masked rows again before decoding
+            # so the decoder must reconstruct from neighbourhood context.
+            keep = np.ones((features.shape[0], 1))
+            keep[masked.masked_nodes] = 0.0
+            decoder_input = h1 * Tensor(keep)
+        decoder_operand = self.encoder.structure(adjacency)
+        z = self.decoder(decoder_operand, decoder_input)
+
+        loss = sce_loss(z, Tensor(features), masked.masked_nodes, gamma=cfg.gamma)
+        parts = {"sce": loss.item(), "contrastive": 0.0, "structure": 0.0,
+                 "discrimination": 0.0}
+
+        # --- Contrastive view (Eq. 12-15) --------------------------------
+        if cfg.use_contrastive and cfg.alpha > 0:
+            corrupted_adjacency, _ = drop_nodes(adjacency, cfg.drop_rate, rng)
+            h2 = self.encoder(corrupted_adjacency, Tensor(features))
+            u = self.projector_u(h1)
+            v = self.projector_v(h2)
+            contrastive = info_nce(u, v, temperature=cfg.temperature)
+            parts["contrastive"] = contrastive.item()
+            loss = loss + contrastive * cfg.alpha
+
+        # --- Full adjacency reconstruction (Eqs. 16-19) -------------------
+        if cfg.use_structure_reconstruction and cfg.lam > 0:
+            structure = adjacency_reconstruction_loss(
+                z, adjacency, rng, terms=cfg.structure_terms
+            )
+            parts["structure"] = structure.item()
+            loss = loss + structure * cfg.lam
+
+        # --- Discrimination loss (Eq. 20) ---------------------------------
+        if cfg.use_discrimination and cfg.mu > 0:
+            disc = discrimination_loss(h1, eps=cfg.variance_eps)
+            parts["discrimination"] = disc.item()
+            loss = loss + disc * cfg.mu
+
+        return loss, LossParts(total=loss.item(), **parts)
+
+    # ------------------------------------------------------------------
+    def embed(self, adjacency: sp.csr_matrix, features: np.ndarray) -> np.ndarray:
+        """Frozen node embeddings from the shared encoder (inference mode)."""
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            embeddings = self.encoder(adjacency, Tensor(features)).data.copy()
+        if was_training:
+            self.train()
+        return embeddings
+
+    def reconstruct_adjacency(
+        self, adjacency: sp.csr_matrix, features: np.ndarray
+    ) -> np.ndarray:
+        """Dense reconstructed edge-probability matrix ``sigmoid(Z Z^T)``.
+
+        Intended for inspection/examples on small graphs only (dense N x N).
+        """
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            h = self.encoder(adjacency, Tensor(features))
+            operand = self.encoder.structure(adjacency)
+            z = self.decoder(operand, h).data
+        if was_training:
+            self.train()
+        logits = z @ z.T
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+

@@ -1,0 +1,108 @@
+"""Encoder-design variants for the paper's Table 8 study.
+
+Table 8 compares four ways of wiring the two branches:
+
+* ``MAE Encoder``    — a single encoder trained with the MAE objective only
+  (GCMAE degenerates to its GraphMAE-style backbone).
+* ``Con. Encoder``   — a single encoder trained with the contrastive
+  objective only, *but* fed the heavily-masked MAE view as one side — the
+  paper attributes this variant's collapse to that excessive corruption.
+* ``Fusion Encoder`` — two independently trained encoders (one per
+  objective) whose embeddings are averaged.
+* ``Shared Encoder`` — the full GCMAE (both objectives through one encoder).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..graph.augment import drop_nodes, mask_node_features
+from ..graph.data import Graph
+from ..gnn.encoder import GNNEncoder
+from ..nn import Adam, MLP, Tensor, no_grad
+from .base import EmbeddingResult, Stopwatch
+from .config import GCMAEConfig
+from .losses import info_nce
+from .trainer import GCMAEMethod
+
+ENCODER_VARIANTS = ("mae", "contrastive", "fusion", "shared")
+
+
+def _train_contrastive_only(
+    graph: Graph, config: GCMAEConfig, seed: int
+) -> EmbeddingResult:
+    """The "Con. Encoder" variant: InfoNCE between the masked view and the
+    node-dropped view, through a fresh encoder (no reconstruction losses)."""
+    rng = np.random.default_rng(seed)
+    encoder = GNNEncoder(
+        graph.num_features, config.hidden_dim, config.embed_dim,
+        num_layers=config.num_layers, conv_type=config.conv_type,
+        activation=config.activation, dropout=config.dropout,
+        heads=config.heads if config.conv_type == "gat" else 1, rng=rng,
+    )
+    projector_u = MLP(
+        config.embed_dim, [config.projector_hidden], config.projector_hidden,
+        activation="elu", rng=rng,
+    )
+    projector_v = MLP(
+        config.embed_dim, [config.projector_hidden], config.projector_hidden,
+        activation="elu", rng=rng,
+    )
+    optimizer = Adam(
+        encoder.parameters() + projector_u.parameters() + projector_v.parameters(),
+        lr=config.learning_rate, weight_decay=config.weight_decay,
+    )
+    losses = []
+    with Stopwatch() as timer:
+        for _ in range(config.epochs):
+            encoder.train()
+            optimizer.zero_grad()
+            masked = mask_node_features(graph.features, config.mask_rate, rng)
+            corrupted_adjacency, _ = drop_nodes(graph.adjacency, config.drop_rate, rng)
+            h1 = encoder(graph.adjacency, Tensor(masked.features))
+            h2 = encoder(corrupted_adjacency, Tensor(graph.features))
+            loss = info_nce(
+                projector_u(h1), projector_v(h2), temperature=config.temperature
+            )
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+    encoder.eval()
+    with no_grad():
+        embeddings = encoder(graph.adjacency, Tensor(graph.features)).data.copy()
+    return EmbeddingResult(embeddings, timer.seconds, losses)
+
+
+def fit_encoder_variant(
+    graph: Graph,
+    variant: str,
+    config: Optional[GCMAEConfig] = None,
+    seed: int = 0,
+) -> EmbeddingResult:
+    """Train one Table 8 encoder variant and return its embeddings."""
+    config = config if config is not None else GCMAEConfig()
+    if variant == "mae":
+        mae_config = config.with_overrides(
+            use_contrastive=False,
+            use_structure_reconstruction=False,
+            use_discrimination=False,
+        )
+        return GCMAEMethod(mae_config, name="MAE Encoder").fit(graph, seed=seed)
+    if variant == "contrastive":
+        return _train_contrastive_only(graph, config, seed)
+    if variant == "fusion":
+        mae_result = fit_encoder_variant(graph, "mae", config, seed)
+        con_result = fit_encoder_variant(graph, "contrastive", config, seed)
+        fused = (mae_result.embeddings + con_result.embeddings) / 2.0
+        return EmbeddingResult(
+            fused,
+            mae_result.train_seconds + con_result.train_seconds,
+            mae_result.loss_history + con_result.loss_history,
+        )
+    if variant == "shared":
+        return GCMAEMethod(config, name="Shared Encoder").fit(graph, seed=seed)
+    raise ValueError(
+        f"unknown encoder variant {variant!r}; use one of {ENCODER_VARIANTS}"
+    )

@@ -1,0 +1,62 @@
+"""Downstream evaluation: probes, clustering, link prediction, metrics, t-SNE."""
+
+from .classification import (
+    LinearProbe,
+    LinearSVM,
+    ProbeResult,
+    cross_validated_probe,
+    evaluate_probe,
+    k_fold_indices,
+)
+from .clustering import ClusteringScores, KMeans, KMeansResult, evaluate_clustering
+from .diagnostics import (
+    EmbeddingDiagnostics,
+    alignment_score,
+    effective_rank,
+    embedding_diagnostics,
+    uniformity_score,
+)
+from .linkpred import (
+    EdgeScorer,
+    LinkPredictionScores,
+    dot_product_scores,
+    evaluate_link_prediction,
+)
+from .metrics import (
+    accuracy,
+    adjusted_rand_index,
+    average_precision,
+    macro_f1,
+    normalized_mutual_information,
+    roc_auc,
+)
+from .tsne import TSNE
+
+__all__ = [
+    "ClusteringScores",
+    "EdgeScorer",
+    "EmbeddingDiagnostics",
+    "alignment_score",
+    "effective_rank",
+    "embedding_diagnostics",
+    "uniformity_score",
+    "KMeans",
+    "KMeansResult",
+    "LinearProbe",
+    "LinearSVM",
+    "LinkPredictionScores",
+    "ProbeResult",
+    "TSNE",
+    "accuracy",
+    "adjusted_rand_index",
+    "average_precision",
+    "cross_validated_probe",
+    "dot_product_scores",
+    "evaluate_clustering",
+    "evaluate_link_prediction",
+    "evaluate_probe",
+    "k_fold_indices",
+    "macro_f1",
+    "normalized_mutual_information",
+    "roc_auc",
+]

@@ -1,0 +1,184 @@
+"""Linear probes over frozen embeddings (Table 4 / Table 7 protocol).
+
+GraphMAE-style evaluation freezes the SSL encoder and fits a linear model on
+the embeddings.  The paper uses LIBSVM; we provide an L2-regularised
+multinomial logistic-regression probe (the default) and a one-vs-rest linear
+SVM trained by subgradient descent, plus k-fold cross-validation for the
+graph-classification protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .metrics import accuracy, macro_f1
+
+
+def _standardize(
+    train: np.ndarray, *others: np.ndarray
+) -> Tuple[np.ndarray, ...]:
+    """Z-score features using train statistics (applied to every split)."""
+    mean = train.mean(axis=0, keepdims=True)
+    std = train.std(axis=0, keepdims=True)
+    std[std < 1e-9] = 1.0
+    return tuple((arr - mean) / std for arr in (train, *others))
+
+
+@dataclass
+class ProbeResult:
+    """Scores of a linear probe on held-out data."""
+
+    accuracy: float
+    macro_f1: float
+
+
+class LinearProbe:
+    """Multinomial logistic regression trained by full-batch gradient descent."""
+
+    def __init__(
+        self,
+        l2: float = 1e-3,
+        learning_rate: float = 0.5,
+        epochs: int = 300,
+    ) -> None:
+        self.l2 = l2
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.weights: Optional[np.ndarray] = None
+        self.bias: Optional[np.ndarray] = None
+        self._num_classes = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearProbe":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels disagree on the number of rows")
+        n, d = features.shape
+        self._num_classes = int(labels.max()) + 1
+        one_hot = np.zeros((n, self._num_classes))
+        one_hot[np.arange(n), labels] = 1.0
+        self.weights = np.zeros((d, self._num_classes))
+        self.bias = np.zeros(self._num_classes)
+        for _ in range(self.epochs):
+            logits = features @ self.weights + self.bias
+            logits -= logits.max(axis=1, keepdims=True)
+            probabilities = np.exp(logits)
+            probabilities /= probabilities.sum(axis=1, keepdims=True)
+            error = (probabilities - one_hot) / n
+            grad_w = features.T @ error + self.l2 * self.weights
+            grad_b = error.sum(axis=0)
+            self.weights -= self.learning_rate * grad_w
+            self.bias -= self.learning_rate * grad_b
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("probe is not fitted; call fit() first")
+        logits = np.asarray(features, dtype=np.float64) @ self.weights + self.bias
+        return logits.argmax(axis=1)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("probe is not fitted; call fit() first")
+        logits = np.asarray(features, dtype=np.float64) @ self.weights + self.bias
+        logits -= logits.max(axis=1, keepdims=True)
+        probabilities = np.exp(logits)
+        return probabilities / probabilities.sum(axis=1, keepdims=True)
+
+
+class LinearSVM:
+    """One-vs-rest linear SVM with squared hinge loss (LIBSVM stand-in)."""
+
+    def __init__(
+        self,
+        regularization: float = 1e-3,
+        learning_rate: float = 0.1,
+        epochs: int = 300,
+    ) -> None:
+        self.regularization = regularization
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.weights: Optional[np.ndarray] = None
+        self.bias: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearSVM":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        n, d = features.shape
+        num_classes = int(labels.max()) + 1
+        targets = -np.ones((n, num_classes))
+        targets[np.arange(n), labels] = 1.0
+        self.weights = np.zeros((d, num_classes))
+        self.bias = np.zeros(num_classes)
+        for _ in range(self.epochs):
+            margins = targets * (features @ self.weights + self.bias)
+            slack = np.maximum(0.0, 1.0 - margins)
+            coefficient = -2.0 * slack * targets / n
+            grad_w = features.T @ coefficient + self.regularization * self.weights
+            grad_b = coefficient.sum(axis=0)
+            self.weights -= self.learning_rate * grad_w
+            self.bias -= self.learning_rate * grad_b
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("SVM is not fitted; call fit() first")
+        scores = np.asarray(features, dtype=np.float64) @ self.weights + self.bias
+        return scores.argmax(axis=1)
+
+
+def evaluate_probe(
+    embeddings: np.ndarray,
+    labels: np.ndarray,
+    train_mask: np.ndarray,
+    test_mask: np.ndarray,
+    probe: str = "logistic",
+) -> ProbeResult:
+    """Fit a linear probe on train nodes, score on test nodes (Table 4 row)."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels)
+    train_x, test_x = _standardize(embeddings[train_mask], embeddings[test_mask])
+    model = LinearProbe() if probe == "logistic" else LinearSVM()
+    model.fit(train_x, labels[train_mask])
+    predictions = model.predict(test_x)
+    return ProbeResult(
+        accuracy=accuracy(predictions, labels[test_mask]),
+        macro_f1=macro_f1(predictions, labels[test_mask]),
+    )
+
+
+def k_fold_indices(
+    num_items: int, num_folds: int, rng: np.random.Generator
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(train_idx, test_idx)`` pairs for shuffled k-fold CV."""
+    if num_folds < 2:
+        raise ValueError(f"need at least 2 folds, got {num_folds}")
+    order = rng.permutation(num_items)
+    folds = np.array_split(order, num_folds)
+    for i in range(num_folds):
+        test_idx = folds[i]
+        train_idx = np.concatenate([folds[j] for j in range(num_folds) if j != i])
+        yield train_idx, test_idx
+
+
+def cross_validated_probe(
+    embeddings: np.ndarray,
+    labels: np.ndarray,
+    num_folds: int = 5,
+    probe: str = "svm",
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """5-fold CV accuracy (mean, std) — the paper's graph-classification protocol."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels)
+    rng = np.random.default_rng(seed)
+    scores = []
+    for train_idx, test_idx in k_fold_indices(len(labels), num_folds, rng):
+        train_x, test_x = _standardize(embeddings[train_idx], embeddings[test_idx])
+        model = LinearSVM() if probe == "svm" else LinearProbe()
+        model.fit(train_x, labels[train_idx])
+        scores.append(accuracy(model.predict(test_x), labels[test_idx]))
+    return float(np.mean(scores)), float(np.std(scores))

@@ -1,0 +1,141 @@
+"""Evaluation metrics used across the paper's four graph tasks.
+
+ACC / macro-F1 for classification, ROC-AUC / average precision for link
+prediction, and NMI / ARI for clustering — all implemented directly (the
+originals used scikit-learn).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of exact matches (the paper's ACC score)."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy on empty arrays")
+    return float((predictions == labels).mean())
+
+
+def macro_f1(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 scores (Figure 5's metric)."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    classes = np.unique(np.concatenate([labels, predictions]))
+    scores = []
+    for cls in classes:
+        tp = float(np.sum((predictions == cls) & (labels == cls)))
+        fp = float(np.sum((predictions == cls) & (labels != cls)))
+        fn = float(np.sum((predictions != cls) & (labels == cls)))
+        denominator = 2 * tp + fp + fn
+        scores.append(2 * tp / denominator if denominator > 0 else 0.0)
+    return float(np.mean(scores))
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    num_pos = int(labels.sum())
+    num_neg = int((~labels).sum())
+    if num_pos == 0 or num_neg == 0:
+        raise ValueError("ROC-AUC needs at least one positive and one negative")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, len(scores) + 1)
+    # Average ranks over ties.
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    pos_rank_sum = ranks[labels].sum()
+    u_statistic = pos_rank_sum - num_pos * (num_pos + 1) / 2.0
+    return float(u_statistic / (num_pos * num_neg))
+
+
+def average_precision(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Average precision (area under the precision-recall curve)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    num_pos = int(labels.sum())
+    if num_pos == 0:
+        raise ValueError("average precision needs at least one positive")
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_labels = labels[order]
+    cumulative_tp = np.cumsum(sorted_labels)
+    precision = cumulative_tp / np.arange(1, len(sorted_labels) + 1)
+    return float((precision * sorted_labels).sum() / num_pos)
+
+
+def _contingency(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    classes_a, inverse_a = np.unique(a, return_inverse=True)
+    classes_b, inverse_b = np.unique(b, return_inverse=True)
+    table = np.zeros((len(classes_a), len(classes_b)), dtype=np.int64)
+    np.add.at(table, (inverse_a, inverse_b), 1)
+    return table
+
+
+def normalized_mutual_information(
+    predicted: np.ndarray, labels: np.ndarray
+) -> float:
+    """NMI with arithmetic-mean normalisation (Figure 1 / Table 6 metric)."""
+    predicted = np.asarray(predicted)
+    labels = np.asarray(labels)
+    if predicted.shape != labels.shape:
+        raise ValueError("predicted and labels must have the same shape")
+    n = predicted.size
+    table = _contingency(predicted, labels)
+    joint = table / n
+    marginal_pred = joint.sum(axis=1, keepdims=True)
+    marginal_true = joint.sum(axis=0, keepdims=True)
+    nonzero = joint > 0
+    mutual_information = float(
+        (joint[nonzero] * np.log(joint[nonzero] / (marginal_pred @ marginal_true)[nonzero])).sum()
+    )
+
+    def entropy(marginal: np.ndarray) -> float:
+        p = marginal[marginal > 0]
+        return float(-(p * np.log(p)).sum())
+
+    h_pred = entropy(marginal_pred.ravel())
+    h_true = entropy(marginal_true.ravel())
+    if h_pred == 0.0 and h_true == 0.0:
+        return 1.0
+    denominator = (h_pred + h_true) / 2.0
+    if denominator == 0.0:
+        return 0.0
+    return float(np.clip(mutual_information / denominator, 0.0, 1.0))
+
+
+def adjusted_rand_index(predicted: np.ndarray, labels: np.ndarray) -> float:
+    """ARI: chance-corrected pair-counting agreement (Table 6 metric)."""
+    predicted = np.asarray(predicted)
+    labels = np.asarray(labels)
+    if predicted.shape != labels.shape:
+        raise ValueError("predicted and labels must have the same shape")
+    table = _contingency(predicted, labels)
+    n = predicted.size
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(table.astype(np.float64)).sum()
+    sum_rows = comb2(table.sum(axis=1).astype(np.float64)).sum()
+    sum_cols = comb2(table.sum(axis=0).astype(np.float64)).sum()
+    total_pairs = comb2(np.array(float(n)))
+    expected = sum_rows * sum_cols / total_pairs
+    maximum = (sum_rows + sum_cols) / 2.0
+    if maximum == expected:
+        return 1.0 if sum_cells == maximum else 0.0
+    return float((sum_cells - expected) / (maximum - expected))

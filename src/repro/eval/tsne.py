@@ -1,0 +1,112 @@
+"""Exact t-SNE for the Figure 1 embedding visualisation.
+
+A compact implementation of van der Maaten & Hinton's t-SNE with perplexity
+calibration by bisection, early exaggeration, and momentum gradient descent.
+Quadratic in the number of points — fine for the few hundred nodes we plot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _pairwise_squared_distances(data: np.ndarray) -> np.ndarray:
+    squared_norms = (data ** 2).sum(axis=1)
+    distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * data @ data.T
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)
+
+
+def _calibrated_affinities(
+    distances: np.ndarray, perplexity: float, tolerance: float = 1e-4, max_iterations: int = 50
+) -> np.ndarray:
+    """Per-point Gaussian affinities whose entropy matches log(perplexity)."""
+    n = distances.shape[0]
+    target_entropy = np.log(perplexity)
+    affinities = np.zeros((n, n))
+    for i in range(n):
+        beta_low, beta_high = 0.0, np.inf
+        beta = 1.0
+        row = np.delete(distances[i], i)
+        for _ in range(max_iterations):
+            weights = np.exp(-row * beta)
+            total = weights.sum()
+            if total <= 0:
+                entropy, probabilities = 0.0, np.zeros_like(row)
+            else:
+                probabilities = weights / total
+                nonzero = probabilities > 0
+                entropy = float(-(probabilities[nonzero] * np.log(probabilities[nonzero])).sum())
+            difference = entropy - target_entropy
+            if abs(difference) < tolerance:
+                break
+            if difference > 0:  # entropy too high -> sharpen
+                beta_low = beta
+                beta = beta * 2.0 if beta_high == np.inf else (beta + beta_high) / 2.0
+            else:
+                beta_high = beta
+                beta = beta / 2.0 if beta_low == 0.0 else (beta + beta_low) / 2.0
+        affinities[i, np.arange(n) != i] = probabilities
+    return affinities
+
+
+class TSNE:
+    """t-SNE to 2-D with standard hyperparameters."""
+
+    def __init__(
+        self,
+        perplexity: float = 30.0,
+        learning_rate: float = 200.0,
+        num_iterations: int = 500,
+        early_exaggeration: float = 12.0,
+        exaggeration_iterations: int = 100,
+        seed: int = 0,
+    ) -> None:
+        if perplexity <= 1.0:
+            raise ValueError(f"perplexity must exceed 1, got {perplexity}")
+        self.perplexity = perplexity
+        self.learning_rate = learning_rate
+        self.num_iterations = num_iterations
+        self.early_exaggeration = early_exaggeration
+        self.exaggeration_iterations = exaggeration_iterations
+        self.seed = seed
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Embed ``data`` into 2-D coordinates."""
+        data = np.asarray(data, dtype=np.float64)
+        n = data.shape[0]
+        if n < 5:
+            raise ValueError(f"t-SNE needs at least 5 points, got {n}")
+        perplexity = min(self.perplexity, (n - 1) / 3.0)
+        rng = np.random.default_rng(self.seed)
+
+        conditional = _calibrated_affinities(_pairwise_squared_distances(data), perplexity)
+        joint = (conditional + conditional.T) / (2.0 * n)
+        joint = np.maximum(joint, 1e-12)
+
+        embedding = rng.normal(0.0, 1e-4, size=(n, 2))
+        velocity = np.zeros_like(embedding)
+        gains = np.ones_like(embedding)
+        for iteration in range(self.num_iterations):
+            exaggeration = (
+                self.early_exaggeration if iteration < self.exaggeration_iterations else 1.0
+            )
+            distances = _pairwise_squared_distances(embedding)
+            student = 1.0 / (1.0 + distances)
+            np.fill_diagonal(student, 0.0)
+            q = np.maximum(student / student.sum(), 1e-12)
+            coefficient = (exaggeration * joint - q) * student
+            gradient = 4.0 * (
+                np.diag(coefficient.sum(axis=1)) - coefficient
+            ) @ embedding
+
+            same_sign = np.sign(gradient) == np.sign(velocity)
+            gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+            gains = np.maximum(gains, 0.01)
+            momentum = 0.5 if iteration < 250 else 0.8
+            velocity = momentum * velocity - self.learning_rate * gains * gradient
+            embedding = embedding + velocity
+            embedding -= embedding.mean(axis=0, keepdims=True)
+        return embedding

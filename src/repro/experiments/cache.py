@@ -1,0 +1,78 @@
+"""Disk cache for pretrained embeddings.
+
+Tables 4 and 6 and Figure 1 all evaluate the *same* frozen embeddings, and
+re-running the bench suite should not retrain every method.  Embeddings are
+stored as ``.npz`` files keyed by (method, dataset, seed, profile) under
+``.cache/embeddings`` in the repository root (override with
+``REPRO_CACHE_DIR``; disable with ``REPRO_NO_CACHE=1``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.base import EmbeddingResult
+
+
+def cache_directory() -> Optional[Path]:
+    """The cache root, or ``None`` when caching is disabled."""
+    if os.environ.get("REPRO_NO_CACHE"):
+        return None
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return Path(root)
+    return Path(__file__).resolve().parents[3] / ".cache" / "embeddings"
+
+
+def _slug(text: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_" else "_" for c in text)
+
+
+def cached_fit(
+    key: str,
+    fit: Callable[[], EmbeddingResult],
+) -> EmbeddingResult:
+    """Return cached embeddings for ``key`` or compute-and-store them.
+
+    The cached payload keeps the embeddings, wall-clock seconds and loss
+    history, which is everything the table runners consume.
+    """
+    directory = cache_directory()
+    if directory is None:
+        return fit()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{_slug(key)}.npz"
+    if path.exists():
+        try:
+            payload = np.load(path)
+            return EmbeddingResult(
+                embeddings=payload["embeddings"],
+                train_seconds=float(payload["train_seconds"]),
+                loss_history=list(payload["loss_history"]),
+            )
+        except (OSError, KeyError, ValueError):
+            path.unlink(missing_ok=True)  # corrupt entry: recompute
+    result = fit()
+    np.savez_compressed(
+        path,
+        embeddings=result.embeddings,
+        train_seconds=np.float64(result.train_seconds),
+        loss_history=np.asarray(result.loss_history, dtype=np.float64),
+    )
+    return result
+
+
+def clear_cache() -> int:
+    """Delete every cached entry; returns the number of files removed."""
+    directory = cache_directory()
+    if directory is None or not directory.exists():
+        return 0
+    removed = 0
+    for path in directory.glob("*.npz"):
+        path.unlink()
+        removed += 1
+    return removed

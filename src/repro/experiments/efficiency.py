@@ -1,0 +1,87 @@
+"""Table 9: end-to-end training time of representative methods.
+
+The paper times CCA-SSG (fastest: no ``N x N`` similarity matrix), GraphMAE
+(slowest: full-graph GAT encoder), MaskGAE and GCMAE on all four datasets.
+The paper's GCMAE row uses its *scalability configuration* — a GraphSAGE
+encoder with subgraph mini-batching (Section 4.4) — which is what makes it
+land near MaskGAE rather than GraphMAE.  We time both GCMAE configurations:
+
+* ``GCMAE``        — the accuracy-tuned GAT configuration used in Tables 4-6
+  (full-graph attention, hence GraphMAE-tier cost at this scale),
+* ``GCMAE (sage)`` — the paper's Table 9 mechanism: SAGE + subgraph
+  sampling, which restores the CCA < MaskGAE < GCMAE < GraphMAE ordering.
+
+Absolute numbers here are CPU-substrate seconds; the bench asserts the
+orderings produced by the same mechanisms.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..core import GCMAEMethod
+from ..eval.classification import evaluate_probe
+from ..graph.datasets import load_node_dataset
+from .cache import cached_fit
+from .node_classification import fit_node_method
+from .profiles import Profile, current_profile
+from .registry import gcmae_config, node_task_datasets
+from .results import ExperimentTable
+
+TIMED_METHODS = ("CCA-SSG", "GraphMAE", "MaskGAE", "GCMAE", "GCMAE (sage)")
+
+
+def _sage_minibatch_config(profile: Profile):
+    """The paper's scalability configuration for GCMAE (Section 4.4)."""
+    return gcmae_config(
+        profile,
+        conv_type="sage",
+        activation="relu",
+        subgraph_threshold=0,   # always mini-batch, as on the paper's Reddit
+        subgraph_size=256,
+        steps_per_epoch=2,
+    )
+
+
+def run_table9(
+    profile: Optional[Profile] = None,
+    datasets: Optional[List[str]] = None,
+    methods: Optional[List[str]] = None,
+) -> ExperimentTable:
+    """Reproduce Table 9: pretraining + probe wall-clock seconds."""
+    profile = profile if profile is not None else current_profile()
+    datasets = datasets if datasets is not None else node_task_datasets(profile)
+    methods = list(methods) if methods is not None else list(TIMED_METHODS)
+
+    table = ExperimentTable(
+        name="Table 9 — end-to-end training time (seconds, CPU substrate)",
+        rows=methods,
+        columns=list(datasets),
+    )
+    seed = 0
+    for method_name in methods:
+        for dataset_name in datasets:
+            graph = load_node_dataset(dataset_name, seed=seed)
+            if method_name == "GCMAE (sage)":
+                key = f"t9-gcmae-sage-{dataset_name}-{seed}-{profile.name}"
+                config = _sage_minibatch_config(profile)
+                result = cached_fit(
+                    key, lambda: GCMAEMethod(config).fit(graph, seed=seed)
+                )
+            else:
+                result = fit_node_method(method_name, dataset_name, seed, profile)
+            probe_start = time.perf_counter()
+            evaluate_probe(
+                result.embeddings, graph.labels, graph.train_mask, graph.test_mask
+            )
+            probe_seconds = time.perf_counter() - probe_start
+            table.set(method_name, dataset_name, [result.train_seconds + probe_seconds])
+
+    table.notes.append(
+        "paper ordering: CCA-SSG fastest; GraphMAE slowest (full-graph GAT); "
+        "GCMAE in its SAGE/mini-batch configuration lands between MaskGAE "
+        "and GraphMAE. The accuracy-tuned GAT configuration of Tables 4-6 "
+        "pays GraphMAE-tier attention cost at this (full-batch) scale."
+    )
+    return table

@@ -1,0 +1,65 @@
+"""Extension comparison: related-work methods the paper cites but omits.
+
+BGRL, GCA (contrastive, Section 6.1) and GraphMAE2 (generative, Section 6.2)
+are discussed in the paper's related work without appearing in its tables.
+This runner slots them into the Table 4 protocol next to GCMAE, answering
+"would the paper's conclusion survive newer baselines?".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..baselines import BGRL, GCA, GraphMAE2
+from ..core import GCMAEMethod
+from ..eval.classification import evaluate_probe
+from ..graph.datasets import load_node_dataset
+from .cache import cached_fit
+from .profiles import Profile, current_profile
+from .registry import gcmae_config
+from .results import ExperimentTable
+
+
+def extension_methods(profile: Profile) -> Dict[str, Callable[[], object]]:
+    """Factories for the related-work extension methods plus GCMAE."""
+    h, e = profile.hidden_dim, profile.epochs
+    return {
+        "BGRL": lambda: BGRL(hidden_dim=h, epochs=e),
+        "GCA": lambda: GCA(hidden_dim=h, epochs=e),
+        "GraphMAE2": lambda: GraphMAE2(hidden_dim=h, epochs=e),
+        "GCMAE": lambda: GCMAEMethod(gcmae_config(profile)),
+    }
+
+
+def run_extension_comparison(
+    profile: Optional[Profile] = None,
+    datasets: Optional[List[str]] = None,
+) -> ExperimentTable:
+    """Node classification accuracy of the extension methods vs GCMAE."""
+    profile = profile if profile is not None else current_profile()
+    datasets = datasets if datasets is not None else ["cora-like"]
+    factories = extension_methods(profile)
+
+    table = ExperimentTable(
+        name="Extension — related-work methods vs GCMAE (accuracy, %)",
+        rows=list(factories),
+        columns=list(datasets),
+    )
+    for method_name, factory in factories.items():
+        for dataset_name in datasets:
+            scores = []
+            for seed in profile.seeds:
+                graph = load_node_dataset(dataset_name, seed=seed)
+                key = f"ext-{method_name}-{dataset_name}-{seed}-{profile.name}"
+                result = cached_fit(key, lambda: factory().fit(graph, seed=seed))
+                probe = evaluate_probe(
+                    result.embeddings, graph.labels, graph.train_mask, graph.test_mask
+                )
+                scores.append(probe.accuracy * 100.0)
+            table.set(method_name, dataset_name, scores)
+
+    for dataset_name in datasets:
+        best = table.best_row(dataset_name)
+        if best is not None:
+            table.notes.append(f"best on {dataset_name}: {best}")
+    return table

@@ -1,0 +1,124 @@
+"""Table 4: node classification accuracy across methods and datasets."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.base import EmbeddingResult
+from ..eval.classification import evaluate_probe
+from ..graph.datasets import load_node_dataset
+from .cache import cached_fit
+from .profiles import Profile, current_profile
+from .registry import (
+    CONTRASTIVE_NODE,
+    MAE_NODE,
+    node_ssl_methods,
+    node_task_datasets,
+    supervised_methods,
+)
+from .results import ExperimentTable
+
+# Paper Table 4 (accuracy %) for side-by-side comparison in the bench output.
+PAPER_TABLE4 = {
+    ("GCN", "Cora"): 81.48, ("GCN", "Citeseer"): 70.34, ("GCN", "PubMed"): 79.00,
+    ("GAT", "Cora"): 82.99, ("GAT", "Citeseer"): 72.51, ("GAT", "PubMed"): 79.02,
+    ("DGI", "Cora"): 82.36, ("MVGRL", "Cora"): 83.48, ("GRACE", "Cora"): 81.86,
+    ("CCA-SSG", "Cora"): 84.03, ("GraphMAE", "Cora"): 85.45,
+    ("SeeGera", "Cora"): 85.56, ("S2GAE", "Cora"): 86.15,
+    ("MaskGAE", "Cora"): 87.31, ("GCMAE", "Cora"): 88.82,
+}
+
+
+def fit_node_method(
+    method_name: str,
+    dataset_name: str,
+    seed: int,
+    profile: Profile,
+) -> EmbeddingResult:
+    """Pretrain one SSL method on one dataset (cached across tables)."""
+    factories = node_ssl_methods(profile)
+    key = f"{method_name}-{dataset_name}-{seed}-{profile.name}"
+    return cached_fit(
+        key, lambda: factories[method_name]().fit(load_node_dataset(dataset_name, seed=seed), seed=seed)
+    )
+
+
+def run_table4(
+    profile: Optional[Profile] = None,
+    datasets: Optional[List[str]] = None,
+    methods: Optional[List[str]] = None,
+    include_supervised: bool = True,
+) -> ExperimentTable:
+    """Reproduce Table 4: SSL pretrain -> linear probe -> test accuracy."""
+    profile = profile if profile is not None else current_profile()
+    datasets = datasets if datasets is not None else node_task_datasets(profile)
+    ssl_methods = node_ssl_methods(profile)
+    methods = methods if methods is not None else list(ssl_methods)
+
+    rows: List[str] = []
+    if include_supervised:
+        rows.extend(supervised_methods(profile))
+    rows.extend(methods)
+    table = ExperimentTable(
+        name="Table 4 — node classification accuracy (%)",
+        rows=rows,
+        columns=list(datasets),
+    )
+
+    if include_supervised:
+        for name, factory in supervised_methods(profile).items():
+            for dataset_name in datasets:
+                scores = []
+                for seed in profile.seeds:
+                    graph = load_node_dataset(dataset_name, seed=seed)
+                    result = factory().evaluate(graph, seed=seed)
+                    scores.append(result.test_accuracy * 100.0)
+                table.set(name, dataset_name, scores)
+
+    for method_name in methods:
+        for dataset_name in datasets:
+            if method_name == "MVGRL" and dataset_name == "reddit-like":
+                table.mark(method_name, dataset_name, "OOM")  # as in the paper
+                continue
+            scores = []
+            for seed in profile.seeds:
+                graph = load_node_dataset(dataset_name, seed=seed)
+                embedding = fit_node_method(method_name, dataset_name, seed, profile)
+                probe = evaluate_probe(
+                    embedding.embeddings, graph.labels, graph.train_mask, graph.test_mask
+                )
+                scores.append(probe.accuracy * 100.0)
+            table.set(method_name, dataset_name, scores)
+
+    _annotate_table4(table, datasets)
+    return table
+
+
+def _annotate_table4(table: ExperimentTable, datasets: List[str]) -> None:
+    for dataset_name in datasets:
+        best = table.best_row(dataset_name)
+        if best is not None:
+            table.notes.append(f"best on {dataset_name}: {best}")
+    contrast = [m for m in CONTRASTIVE_NODE if m in table.rows]
+    maes = [m for m in MAE_NODE if m in table.rows]
+    if "GCMAE" in table.rows and contrast and maes:
+        for dataset_name in datasets:
+            gcmae = table.get("GCMAE", dataset_name)
+            if gcmae is None:
+                continue
+            best_contrastive = max(
+                (table.get(m, dataset_name).mean for m in contrast
+                 if table.get(m, dataset_name) is not None),
+                default=float("nan"),
+            )
+            best_mae = max(
+                (table.get(m, dataset_name).mean for m in maes
+                 if table.get(m, dataset_name) is not None),
+                default=float("nan"),
+            )
+            table.notes.append(
+                f"{dataset_name}: GCMAE {gcmae.mean:.2f} vs best contrastive "
+                f"{best_contrastive:.2f}, best MAE {best_mae:.2f}"
+            )

@@ -1,0 +1,82 @@
+"""Table 6: node clustering NMI/ARI across methods and datasets."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..eval.clustering import evaluate_clustering
+from ..graph.datasets import load_node_dataset
+from .cache import cached_fit
+from .node_classification import fit_node_method
+from .profiles import Profile, current_profile
+from .registry import clustering_methods, node_ssl_methods, node_task_datasets
+from .results import ExperimentTable
+
+
+def run_table6(
+    profile: Optional[Profile] = None,
+    datasets: Optional[List[str]] = None,
+    methods: Optional[List[str]] = None,
+    include_clustering_specialists: bool = True,
+) -> ExperimentTable:
+    """Reproduce Table 6: k-means over frozen embeddings, scored by NMI/ARI.
+
+    Reuses the cached Table 4 pretrainings for the shared SSL methods, which
+    is exactly the paper's protocol (one pretraining per method/dataset, all
+    downstream tasks evaluated from it).
+    """
+    profile = profile if profile is not None else current_profile()
+    datasets = datasets if datasets is not None else node_task_datasets(profile)
+    ssl_methods = node_ssl_methods(profile)
+    methods = methods if methods is not None else [
+        m for m in ssl_methods if m != "SeeGera"  # Table 6 omits SeeGera
+    ]
+    specialist_factories = clustering_methods(profile) if include_clustering_specialists else {}
+
+    columns = []
+    for dataset_name in datasets:
+        columns.append(f"{dataset_name}:NMI")
+        columns.append(f"{dataset_name}:ARI")
+    table = ExperimentTable(
+        name="Table 6 — node clustering (NMI / ARI, %)",
+        rows=list(methods) + list(specialist_factories),
+        columns=columns,
+    )
+
+    def record(method_name: str, dataset_name: str, embeddings_by_seed) -> None:
+        nmis, aris = [], []
+        for seed, embeddings in embeddings_by_seed:
+            graph = load_node_dataset(dataset_name, seed=seed)
+            scores = evaluate_clustering(embeddings, graph.labels, seed=seed)
+            nmis.append(scores.nmi * 100.0)
+            aris.append(scores.ari * 100.0)
+        table.set(method_name, f"{dataset_name}:NMI", nmis)
+        table.set(method_name, f"{dataset_name}:ARI", aris)
+
+    for method_name in methods:
+        for dataset_name in datasets:
+            if method_name == "MVGRL" and dataset_name == "reddit-like":
+                table.mark(method_name, f"{dataset_name}:NMI", "OOM")
+                table.mark(method_name, f"{dataset_name}:ARI", "OOM")
+                continue
+            embeddings_by_seed = [
+                (seed, fit_node_method(method_name, dataset_name, seed, profile).embeddings)
+                for seed in profile.seeds
+            ]
+            record(method_name, dataset_name, embeddings_by_seed)
+
+    for method_name, factory in specialist_factories.items():
+        for dataset_name in datasets:
+            embeddings_by_seed = []
+            for seed in profile.seeds:
+                graph = load_node_dataset(dataset_name, seed=seed)
+                key = f"{method_name}-{dataset_name}-{seed}-{profile.name}"
+                result = cached_fit(key, lambda: factory().fit(graph, seed=seed))
+                embeddings_by_seed.append((seed, result.embeddings))
+            record(method_name, dataset_name, embeddings_by_seed)
+
+    for column in columns:
+        best = table.best_row(column)
+        if best is not None:
+            table.notes.append(f"best on {column}: {best}")
+    return table

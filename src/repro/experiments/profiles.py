@@ -1,0 +1,63 @@
+"""Experiment profiles: how heavy to run the benchmark suite.
+
+The paper trains hundreds of epochs at width 512 on a GPU; this repo runs on
+CPU, so the bench suite defaults to a calibrated ``fast`` profile whose
+relative orderings match the ``full`` profile (and the paper).  Select with
+the ``REPRO_PROFILE`` environment variable (``fast`` | ``full``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Resource knobs shared by every experiment runner."""
+
+    name: str
+    hidden_dim: int
+    epochs: int
+    gcmae_epochs: int
+    num_seeds: int
+    graph_epochs: int
+    include_reddit: bool
+
+    @property
+    def seeds(self) -> range:
+        return range(self.num_seeds)
+
+
+FAST = Profile(
+    name="fast",
+    hidden_dim=128,
+    epochs=60,
+    gcmae_epochs=100,
+    num_seeds=1,
+    graph_epochs=30,
+    include_reddit=False,
+)
+
+FULL = Profile(
+    name="full",
+    hidden_dim=256,
+    epochs=150,
+    gcmae_epochs=250,
+    num_seeds=5,
+    graph_epochs=60,
+    include_reddit=True,
+)
+
+PROFILES = {"fast": FAST, "full": FULL}
+
+
+def current_profile() -> Profile:
+    """The profile selected by ``REPRO_PROFILE`` (default ``fast``)."""
+    name = os.environ.get("REPRO_PROFILE", "fast").lower()
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown REPRO_PROFILE {name!r}; available: {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,17 @@
+"""GNN layers and encoders built on the autograd substrate."""
+
+from .conv import GATConv, GCNConv, GINConv, SAGEConv, structure_operand
+from .encoder import CONV_TYPES, GNNEncoder
+from .readout import READOUTS, graph_readout
+
+__all__ = [
+    "CONV_TYPES",
+    "GATConv",
+    "GCNConv",
+    "GINConv",
+    "GNNEncoder",
+    "READOUTS",
+    "SAGEConv",
+    "graph_readout",
+    "structure_operand",
+]

@@ -1,0 +1,140 @@
+"""Configurable multi-layer GNN encoder/decoder stacks.
+
+The same class serves as the shared encoder ``f_E`` and the GNN decoder
+``f_D`` of GCMAE (paper Fig. 3) and as the backbone of every baseline; the
+conv type, depth, width, activation and dropout are all configurable, which
+is what the paper's Figure 6 sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..nn.layers import Dropout, PReLU, resolve_activation
+from ..nn.module import Module, ModuleList
+from ..nn.tensor import Tensor
+from .conv import GATConv, GCNConv, GINConv, SAGEConv, structure_operand
+
+CONV_TYPES = ("gcn", "sage", "gat", "gin")
+
+
+def _build_conv(
+    conv_type: str,
+    in_features: int,
+    out_features: int,
+    rng: np.random.Generator,
+    heads: int = 1,
+    final: bool = False,
+):
+    if conv_type == "gcn":
+        return GCNConv(in_features, out_features, rng=rng)
+    if conv_type == "sage":
+        return SAGEConv(in_features, out_features, rng=rng)
+    if conv_type == "gat":
+        # Hidden GAT layers concatenate heads; the final layer averages them.
+        if final:
+            return GATConv(in_features, out_features, heads=heads, concat=False, rng=rng)
+        if out_features % heads != 0:
+            raise ValueError(
+                f"hidden size {out_features} not divisible by {heads} attention heads"
+            )
+        return GATConv(in_features, out_features // heads, heads=heads, concat=True, rng=rng)
+    if conv_type == "gin":
+        return GINConv(in_features, out_features, rng=rng)
+    raise ValueError(f"unknown conv type {conv_type!r}; use one of {CONV_TYPES}")
+
+
+class GNNEncoder(Module):
+    """A stack of graph convolutions with activation and dropout.
+
+    Parameters
+    ----------
+    in_features / hidden_features / out_features:
+        Layer widths; all hidden layers share ``hidden_features``.
+    num_layers:
+        Depth (>= 1).  ``num_layers == 1`` maps straight to ``out_features``.
+    conv_type:
+        One of ``gcn``, ``sage``, ``gat``, ``gin``.
+    heads:
+        Attention heads (GAT only).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        out_features: int,
+        num_layers: int = 2,
+        conv_type: str = "gcn",
+        activation: str = "relu",
+        dropout: float = 0.0,
+        heads: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.conv_type = conv_type
+        self.out_features = out_features
+        if activation == "prelu":
+            # PReLU carries a learnable slope, so it must be a registered
+            # module rather than a plain function.
+            self.activation_module = PReLU()
+            self._activation = self.activation_module
+        else:
+            self.activation_module = None
+            self._activation = resolve_activation(activation)
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0.0 else None
+
+        layers = []
+        if num_layers == 1:
+            layers.append(_build_conv(conv_type, in_features, out_features, rng, heads, final=True))
+        else:
+            layers.append(_build_conv(conv_type, in_features, hidden_features, rng, heads))
+            for _ in range(num_layers - 2):
+                layers.append(
+                    _build_conv(conv_type, hidden_features, hidden_features, rng, heads)
+                )
+            layers.append(
+                _build_conv(conv_type, hidden_features, out_features, rng, heads, final=True)
+            )
+        self.layers = ModuleList(layers)
+
+    # ------------------------------------------------------------------
+    def structure(self, adjacency: sp.csr_matrix) -> sp.csr_matrix:
+        """The sparse operand this encoder's conv type consumes."""
+        return structure_operand(self.conv_type, adjacency)
+
+    def forward(self, adjacency: sp.csr_matrix, x: Tensor) -> Tensor:
+        """Encode features; ``adjacency`` is the *raw* adjacency."""
+        operand = self.structure(adjacency)
+        return self.forward_with_operand(operand, x)
+
+    def forward_with_operand(self, operand: sp.csr_matrix, x: Tensor) -> Tensor:
+        """Encode with a precomputed structure operand (avoids renormalising)."""
+        last = len(self.layers) - 1
+        for index, layer in enumerate(self.layers):
+            x = layer(operand, x)
+            if index < last:
+                x = self._activation(x)
+                if self.dropout is not None:
+                    x = self.dropout(x)
+        return x
+
+    def layer_outputs(self, adjacency: sp.csr_matrix, x: Tensor) -> List[Tensor]:
+        """All intermediate representations (used by JK-style readouts)."""
+        operand = self.structure(adjacency)
+        outputs = []
+        last = len(self.layers) - 1
+        for index, layer in enumerate(self.layers):
+            x = layer(operand, x)
+            if index < last:
+                x = self._activation(x)
+                if self.dropout is not None:
+                    x = self.dropout(x)
+            outputs.append(x)
+        return outputs

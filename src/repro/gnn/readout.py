@@ -1,0 +1,38 @@
+"""Graph-level readouts: pool node embeddings into per-graph embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor, concatenate
+
+READOUTS = ("mean", "sum", "max", "meanmax")
+
+
+def graph_readout(
+    node_embeddings: Tensor,
+    graph_ids: np.ndarray,
+    num_graphs: int,
+    mode: str = "mean",
+) -> Tensor:
+    """Pool node embeddings into ``(num_graphs, d)`` graph embeddings.
+
+    ``meanmax`` concatenates mean and max pooling, a common trick for the
+    graph-classification baselines (InfoGraph, GraphCL).
+    """
+    if mode == "mean":
+        return F.segment_mean(node_embeddings, graph_ids, num_graphs)
+    if mode == "sum":
+        return F.segment_sum(node_embeddings, graph_ids, num_graphs)
+    if mode == "max":
+        return F.segment_max(node_embeddings, graph_ids, num_graphs)
+    if mode == "meanmax":
+        return concatenate(
+            [
+                F.segment_mean(node_embeddings, graph_ids, num_graphs),
+                F.segment_max(node_embeddings, graph_ids, num_graphs),
+            ],
+            axis=1,
+        )
+    raise ValueError(f"unknown readout mode {mode!r}; use one of {READOUTS}")

@@ -1,0 +1,30 @@
+"""Graph substrate: containers, sparse utilities, generators, augmentations."""
+
+from . import augment, datasets, generators, io, sampling, sparse, splits
+from .data import Graph, GraphBatch, GraphDataset
+from .datasets import (
+    GRAPH_DATASETS,
+    NODE_DATASETS,
+    load_graph_dataset,
+    load_node_dataset,
+)
+from .splits import LinkSplit, split_edges
+
+__all__ = [
+    "GRAPH_DATASETS",
+    "Graph",
+    "GraphBatch",
+    "GraphDataset",
+    "LinkSplit",
+    "NODE_DATASETS",
+    "augment",
+    "datasets",
+    "generators",
+    "io",
+    "load_graph_dataset",
+    "load_node_dataset",
+    "sampling",
+    "sparse",
+    "splits",
+    "split_edges",
+]

@@ -1,0 +1,146 @@
+"""Graph augmentations used by the MAE and contrastive branches.
+
+The paper's GCMAE uses two augmentations (Section 3.2): Bernoulli node
+*feature masking* for the MAE view (Eq. 9) and random *node dropping* for the
+contrastive view (Eq. 12).  The baselines additionally need edge dropping
+(GRACE/GraphCL), feature shuffling (DGI's corruption), subgraph sampling
+(GraphCL), and PPR diffusion (MVGRL's second view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .data import Graph
+from .sparse import ppr_diffusion, to_csr
+
+
+@dataclass
+class MaskedFeatures:
+    """Result of feature masking: the corrupted matrix plus the mask."""
+
+    features: np.ndarray
+    masked_nodes: np.ndarray  # indices of nodes whose features were zeroed
+    mask: np.ndarray  # boolean (N,) — True where masked
+
+
+def mask_node_features(
+    features: np.ndarray, mask_rate: float, rng: np.random.Generator
+) -> MaskedFeatures:
+    """Zero the feature rows of a Bernoulli-sampled node subset (Eq. 9)."""
+    if not 0.0 <= mask_rate < 1.0:
+        raise ValueError(f"mask_rate must lie in [0, 1), got {mask_rate}")
+    n = features.shape[0]
+    mask = rng.random(n) < mask_rate
+    if mask_rate > 0.0 and not mask.any():
+        mask[rng.integers(n)] = True  # guarantee a nonempty reconstruction target
+    corrupted = features.copy()
+    corrupted[mask] = 0.0
+    return MaskedFeatures(
+        features=corrupted,
+        masked_nodes=np.nonzero(mask)[0],
+        mask=mask,
+    )
+
+
+def drop_nodes(
+    adjacency: sp.csr_matrix, drop_rate: float, rng: np.random.Generator
+) -> Tuple[sp.csr_matrix, np.ndarray]:
+    """Node dropping for the contrastive view (Eq. 12).
+
+    Keeps the node set intact (so views stay aligned for InfoNCE) but removes
+    all edges incident to the dropped nodes.  Returns the corrupted adjacency
+    and the boolean dropped-mask.
+    """
+    if not 0.0 <= drop_rate < 1.0:
+        raise ValueError(f"drop_rate must lie in [0, 1), got {drop_rate}")
+    n = adjacency.shape[0]
+    dropped = rng.random(n) < drop_rate
+    if not dropped.any():
+        return to_csr(adjacency), dropped
+    keep = (~dropped).astype(float)
+    scale = sp.diags(keep)
+    return to_csr(scale @ adjacency @ scale), dropped
+
+
+def drop_edges(
+    adjacency: sp.csr_matrix, drop_rate: float, rng: np.random.Generator
+) -> sp.csr_matrix:
+    """Remove each undirected edge independently with probability ``drop_rate``."""
+    if not 0.0 <= drop_rate < 1.0:
+        raise ValueError(f"drop_rate must lie in [0, 1), got {drop_rate}")
+    coo = sp.coo_matrix(sp.triu(adjacency, k=1))
+    keep = rng.random(coo.nnz) >= drop_rate
+    rows, cols = coo.row[keep], coo.col[keep]
+    upper = sp.coo_matrix(
+        (np.ones(len(rows)), (rows, cols)), shape=adjacency.shape
+    )
+    return to_csr(upper + upper.T)
+
+
+def mask_feature_dimensions(
+    features: np.ndarray, mask_rate: float, rng: np.random.Generator
+) -> np.ndarray:
+    """GRACE-style column masking: zero a random subset of feature dimensions."""
+    if not 0.0 <= mask_rate < 1.0:
+        raise ValueError(f"mask_rate must lie in [0, 1), got {mask_rate}")
+    mask = rng.random(features.shape[1]) >= mask_rate
+    return features * mask[None, :]
+
+
+def shuffle_features(features: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """DGI's corruption: permute feature rows across nodes."""
+    permutation = rng.permutation(features.shape[0])
+    return features[permutation]
+
+
+def random_subgraph_nodes(
+    num_nodes: int, sample_size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniformly sample node indices for an induced subgraph."""
+    if sample_size <= 0:
+        raise ValueError(f"sample_size must be positive, got {sample_size}")
+    sample_size = min(sample_size, num_nodes)
+    return np.sort(rng.choice(num_nodes, size=sample_size, replace=False))
+
+
+def random_walk_subgraph_nodes(
+    adjacency: sp.csr_matrix,
+    sample_size: int,
+    rng: np.random.Generator,
+    restart_probability: float = 0.15,
+) -> np.ndarray:
+    """Random-walk-with-restart node sampling (locality-preserving subgraphs)."""
+    n = adjacency.shape[0]
+    sample_size = min(sample_size, n)
+    start = int(rng.integers(n))
+    visited = {start}
+    current = start
+    indices, indptr = adjacency.indices, adjacency.indptr
+    steps = 0
+    max_steps = sample_size * 20
+    while len(visited) < sample_size and steps < max_steps:
+        steps += 1
+        if rng.random() < restart_probability:
+            current = start
+            continue
+        neighbors = indices[indptr[current]:indptr[current + 1]]
+        if neighbors.size == 0:
+            current = int(rng.integers(n))
+        else:
+            current = int(rng.choice(neighbors))
+        visited.add(current)
+    if len(visited) < sample_size:  # top up from the complement if the walk stalled
+        remaining = np.setdiff1d(np.arange(n), np.fromiter(visited, dtype=np.int64))
+        extra = rng.choice(remaining, size=sample_size - len(visited), replace=False)
+        visited.update(int(x) for x in extra)
+    return np.sort(np.fromiter(visited, dtype=np.int64))
+
+
+def diffusion_view(graph: Graph, alpha: float = 0.2, top_k: int = 32) -> sp.csr_matrix:
+    """MVGRL's second structural view: sparsified PPR diffusion."""
+    return ppr_diffusion(graph.adjacency, alpha=alpha, top_k=top_k)

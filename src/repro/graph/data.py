@@ -1,0 +1,252 @@
+"""Graph containers: single attributed graphs and batches of small graphs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from . import sparse as sparse_utils
+
+
+@dataclass
+class Graph:
+    """A single attributed graph (the node-task datasets of Table 2).
+
+    Attributes
+    ----------
+    adjacency:
+        Binary, symmetric CSR adjacency without self loops.
+    features:
+        ``(N, d)`` float node-feature matrix.
+    labels:
+        Optional ``(N,)`` integer class labels.
+    train_mask / val_mask / test_mask:
+        Optional boolean split masks over nodes.
+    name:
+        Human-readable dataset name.
+    """
+
+    adjacency: sp.csr_matrix
+    features: np.ndarray
+    labels: Optional[np.ndarray] = None
+    train_mask: Optional[np.ndarray] = None
+    val_mask: Optional[np.ndarray] = None
+    test_mask: Optional[np.ndarray] = None
+    name: str = "graph"
+    _norm_cache: Dict[str, sp.csr_matrix] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self.adjacency = sparse_utils.remove_self_loops(
+            sparse_utils.symmetrize(self.adjacency)
+        )
+        self.features = np.asarray(self.features, dtype=np.float64)
+        if self.features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {self.features.shape}")
+        if self.features.shape[0] != self.adjacency.shape[0]:
+            raise ValueError(
+                f"feature rows ({self.features.shape[0]}) do not match "
+                f"adjacency size ({self.adjacency.shape[0]})"
+            )
+        if self.labels is not None:
+            self.labels = np.asarray(self.labels, dtype=np.int64)
+            if self.labels.shape != (self.num_nodes,):
+                raise ValueError(
+                    f"labels must have shape ({self.num_nodes},), got {self.labels.shape}"
+                )
+        for mask_name in ("train_mask", "val_mask", "test_mask"):
+            mask = getattr(self, mask_name)
+            if mask is not None:
+                mask = np.asarray(mask, dtype=bool)
+                if mask.shape != (self.num_nodes,):
+                    raise ValueError(
+                        f"{mask_name} must have shape ({self.num_nodes},), got {mask.shape}"
+                    )
+                setattr(self, mask_name, mask)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edge entries (both (u,v) and (v,u)), as in Table 2."""
+        return int(self.adjacency.nnz)
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        if self.labels is None:
+            raise ValueError(f"graph {self.name!r} has no labels")
+        return int(self.labels.max()) + 1
+
+    def degrees(self) -> np.ndarray:
+        """Node degrees (number of neighbours)."""
+        return np.asarray(self.adjacency.sum(axis=1)).ravel()
+
+    def edges(self, directed: bool = False) -> np.ndarray:
+        """Edge list; see :func:`repro.graph.sparse.edge_array`."""
+        return sparse_utils.edge_array(self.adjacency, directed=directed)
+
+    def normalized_adjacency(
+        self, self_loops: bool = True, mode: str = "symmetric"
+    ) -> sp.csr_matrix:
+        """Cached normalised adjacency for message passing."""
+        key = f"{mode}:{self_loops}"
+        if key not in self._norm_cache:
+            self._norm_cache[key] = sparse_utils.normalized_adjacency(
+                self.adjacency, self_loops=self_loops, mode=mode
+            )
+        return self._norm_cache[key]
+
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: np.ndarray, name: Optional[str] = None) -> "Graph":
+        """Node-induced subgraph; masks and labels are sliced accordingly."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            raise ValueError("cannot take a subgraph over zero nodes")
+        sub_adj = self.adjacency[nodes][:, nodes]
+        return Graph(
+            adjacency=sub_adj,
+            features=self.features[nodes],
+            labels=None if self.labels is None else self.labels[nodes],
+            train_mask=None if self.train_mask is None else self.train_mask[nodes],
+            val_mask=None if self.val_mask is None else self.val_mask[nodes],
+            test_mask=None if self.test_mask is None else self.test_mask[nodes],
+            name=name or f"{self.name}-sub",
+        )
+
+    def with_adjacency(self, adjacency: sp.spmatrix) -> "Graph":
+        """Copy of this graph with a different edge structure."""
+        return Graph(
+            adjacency=adjacency,
+            features=self.features,
+            labels=self.labels,
+            train_mask=self.train_mask,
+            val_mask=self.val_mask,
+            test_mask=self.test_mask,
+            name=self.name,
+        )
+
+    def with_features(self, features: np.ndarray) -> "Graph":
+        """Copy of this graph with different node features."""
+        return Graph(
+            adjacency=self.adjacency,
+            features=features,
+            labels=self.labels,
+            train_mask=self.train_mask,
+            val_mask=self.val_mask,
+            test_mask=self.test_mask,
+            name=self.name,
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Statistics row in the format of the paper's Table 2."""
+        row: Dict[str, object] = {
+            "dataset": self.name,
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "features": self.num_features,
+        }
+        if self.labels is not None:
+            row["classes"] = self.num_classes
+        return row
+
+
+@dataclass
+class GraphBatch:
+    """A batch of small graphs merged into one block-diagonal graph.
+
+    Used for the graph-classification datasets of Table 3: node features are
+    stacked, adjacencies are block-diagonal, and ``graph_ids`` maps each node
+    to its source graph for segment readout.
+    """
+
+    adjacency: sp.csr_matrix
+    features: np.ndarray
+    graph_ids: np.ndarray
+    graph_labels: Optional[np.ndarray] = None
+    name: str = "batch"
+
+    @property
+    def num_graphs(self) -> int:
+        return int(self.graph_ids.max()) + 1 if self.graph_ids.size else 0
+
+    @property
+    def num_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    def normalized_adjacency(self, mode: str = "symmetric") -> sp.csr_matrix:
+        return sparse_utils.normalized_adjacency(self.adjacency, self_loops=True, mode=mode)
+
+    @classmethod
+    def from_graphs(
+        cls, graphs: Sequence[Graph], labels: Optional[Sequence[int]] = None, name: str = "batch"
+    ) -> "GraphBatch":
+        """Merge ``graphs`` into one block-diagonal batch."""
+        if not graphs:
+            raise ValueError("cannot batch zero graphs")
+        widths = {g.num_features for g in graphs}
+        if len(widths) != 1:
+            raise ValueError(f"graphs have inconsistent feature widths: {sorted(widths)}")
+        adjacency = sp.block_diag([g.adjacency for g in graphs], format="csr")
+        features = np.concatenate([g.features for g in graphs], axis=0)
+        graph_ids = np.concatenate(
+            [np.full(g.num_nodes, i, dtype=np.int64) for i, g in enumerate(graphs)]
+        )
+        graph_labels = None if labels is None else np.asarray(labels, dtype=np.int64)
+        if graph_labels is not None and len(graph_labels) != len(graphs):
+            raise ValueError(
+                f"got {len(graph_labels)} labels for {len(graphs)} graphs"
+            )
+        return cls(
+            adjacency=sparse_utils.to_csr(adjacency),
+            features=features,
+            graph_ids=graph_ids,
+            graph_labels=graph_labels,
+            name=name,
+        )
+
+
+@dataclass
+class GraphDataset:
+    """A labelled collection of small graphs (one Table 3 dataset)."""
+
+    graphs: List[Graph]
+    labels: np.ndarray
+    name: str = "graph-dataset"
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if len(self.graphs) != len(self.labels):
+            raise ValueError(
+                f"{len(self.graphs)} graphs but {len(self.labels)} labels"
+            )
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1
+
+    def to_batch(self) -> GraphBatch:
+        """The whole dataset as one block-diagonal batch."""
+        return GraphBatch.from_graphs(self.graphs, labels=self.labels, name=self.name)
+
+    def summary(self) -> Dict[str, object]:
+        """Statistics row in the format of the paper's Table 3."""
+        return {
+            "dataset": self.name,
+            "graphs": len(self.graphs),
+            "classes": self.num_classes,
+            "avg_nodes": float(np.mean([g.num_nodes for g in self.graphs])),
+        }

@@ -1,0 +1,119 @@
+"""Mini-batch samplers for large graphs.
+
+Two strategies, matching how the paper's methods scale past full-batch
+training (Section 4.4 / Table 9):
+
+* :func:`repro.graph.augment.random_subgraph_nodes` (uniform node-induced
+  subgraphs) — what GCMAE's trainer uses by default,
+* :class:`NeighborSampler` — GraphSAGE's layerwise neighbour sampling, which
+  yields per-batch computation blocks whose receptive field is bounded by
+  the fan-out, independent of graph size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from .data import Graph
+from .sparse import to_csr
+
+
+@dataclass
+class SampledBlock:
+    """One mini-batch produced by :class:`NeighborSampler`.
+
+    Attributes
+    ----------
+    nodes:
+        Global ids of every node that participates in the computation, with
+        the ``seed_nodes`` first.
+    seed_nodes:
+        Global ids of the batch's target nodes (a prefix of ``nodes``).
+    adjacency:
+        Adjacency of the induced subgraph over ``nodes`` (local indexing).
+    features:
+        Feature rows for ``nodes``.
+    """
+
+    nodes: np.ndarray
+    seed_nodes: np.ndarray
+    adjacency: sp.csr_matrix
+    features: np.ndarray
+
+    @property
+    def num_seeds(self) -> int:
+        return len(self.seed_nodes)
+
+    def seed_positions(self) -> np.ndarray:
+        """Local indices of the seed nodes inside ``nodes`` (a prefix)."""
+        return np.arange(self.num_seeds)
+
+
+class NeighborSampler:
+    """Layerwise uniform neighbour sampling (Hamilton et al., 2017).
+
+    For each batch of seed nodes, expands ``fanouts[k]`` sampled neighbours
+    per node per hop, then materialises the induced subgraph over the union.
+    """
+
+    def __init__(self, graph: Graph, fanouts: Sequence[int], batch_size: int) -> None:
+        if not fanouts or any(f < 1 for f in fanouts):
+            raise ValueError(f"fanouts must be positive, got {fanouts}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.graph = graph
+        self.fanouts = list(fanouts)
+        self.batch_size = batch_size
+        self._indices = graph.adjacency.indices
+        self._indptr = graph.adjacency.indptr
+
+    # ------------------------------------------------------------------
+    def _sample_neighbors(
+        self, nodes: np.ndarray, fanout: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        sampled: List[np.ndarray] = []
+        for node in nodes:
+            neighbors = self._indices[self._indptr[node]:self._indptr[node + 1]]
+            if neighbors.size == 0:
+                continue
+            if neighbors.size <= fanout:
+                sampled.append(neighbors)
+            else:
+                sampled.append(rng.choice(neighbors, size=fanout, replace=False))
+        if not sampled:
+            return np.array([], dtype=np.int64)
+        return np.unique(np.concatenate(sampled))
+
+    def sample_block(self, seed_nodes: np.ndarray, rng: np.random.Generator) -> SampledBlock:
+        """Expand ``seed_nodes`` by the configured fan-outs into one block."""
+        seed_nodes = np.asarray(seed_nodes, dtype=np.int64)
+        frontier = seed_nodes
+        participants = set(seed_nodes.tolist())
+        for fanout in self.fanouts:
+            frontier = self._sample_neighbors(frontier, fanout, rng)
+            participants.update(frontier.tolist())
+        others = np.array(
+            sorted(participants - set(seed_nodes.tolist())), dtype=np.int64
+        )
+        nodes = np.concatenate([seed_nodes, others])
+        adjacency = to_csr(self.graph.adjacency[nodes][:, nodes])
+        return SampledBlock(
+            nodes=nodes,
+            seed_nodes=seed_nodes,
+            adjacency=adjacency,
+            features=self.graph.features[nodes],
+        )
+
+    def batches(self, rng: np.random.Generator) -> Iterator[SampledBlock]:
+        """One epoch of blocks covering every node exactly once as a seed."""
+        order = rng.permutation(self.graph.num_nodes)
+        for start in range(0, len(order), self.batch_size):
+            seeds = np.sort(order[start:start + self.batch_size])
+            yield self.sample_block(seeds, rng)
+
+    def num_batches(self) -> int:
+        return int(np.ceil(self.graph.num_nodes / self.batch_size))

@@ -1,0 +1,138 @@
+"""Sparse adjacency utilities shared by the GNN layers and augmentations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def to_csr(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Coerce any scipy sparse format to canonical CSR with float data."""
+    csr = sp.csr_matrix(matrix, dtype=np.float64)
+    csr.sum_duplicates()
+    csr.eliminate_zeros()
+    return csr
+
+
+def remove_self_loops(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """Return the adjacency with a zeroed diagonal."""
+    adjacency = to_csr(adjacency).tolil()
+    adjacency.setdiag(0.0)
+    return to_csr(adjacency)
+
+
+def add_self_loops(adjacency: sp.spmatrix, weight: float = 1.0) -> sp.csr_matrix:
+    """Return ``A + weight * I`` (existing diagonal is replaced)."""
+    adjacency = remove_self_loops(adjacency)
+    return to_csr(adjacency + weight * sp.eye(adjacency.shape[0], format="csr"))
+
+
+def symmetrize(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """Make the adjacency symmetric by taking the elementwise maximum."""
+    adjacency = to_csr(adjacency)
+    return to_csr(adjacency.maximum(adjacency.T))
+
+
+def normalized_adjacency(
+    adjacency: sp.spmatrix,
+    self_loops: bool = True,
+    mode: str = "symmetric",
+) -> sp.csr_matrix:
+    """GCN-style normalisation ``D^-1/2 (A + I) D^-1/2`` (or ``D^-1 A``).
+
+    Parameters
+    ----------
+    adjacency:
+        Unnormalised (binary) adjacency.
+    self_loops:
+        Whether to add the renormalisation-trick self loops first.
+    mode:
+        ``"symmetric"`` for GCN or ``"row"`` for mean aggregation (SAGE-style).
+    """
+    matrix = add_self_loops(adjacency) if self_loops else to_csr(adjacency)
+    degrees = np.asarray(matrix.sum(axis=1)).ravel()
+    if mode == "symmetric":
+        inv_sqrt = np.zeros_like(degrees)
+        nonzero = degrees > 0
+        inv_sqrt[nonzero] = degrees[nonzero] ** -0.5
+        scale = sp.diags(inv_sqrt)
+        return to_csr(scale @ matrix @ scale)
+    if mode == "row":
+        inv = np.zeros_like(degrees)
+        nonzero = degrees > 0
+        inv[nonzero] = 1.0 / degrees[nonzero]
+        return to_csr(sp.diags(inv) @ matrix)
+    raise ValueError(f"unknown normalisation mode {mode!r}; use 'symmetric' or 'row'")
+
+
+def edge_array(adjacency: sp.spmatrix, directed: bool = False) -> np.ndarray:
+    """Return edges as an ``(E, 2)`` int array.
+
+    With ``directed=False`` each undirected edge appears once, as ``(u, v)``
+    with ``u < v``.
+    """
+    coo = sp.coo_matrix(adjacency)
+    rows, cols = coo.row, coo.col
+    if directed:
+        return np.stack([rows, cols], axis=1)
+    mask = rows < cols
+    return np.stack([rows[mask], cols[mask]], axis=1)
+
+
+def adjacency_from_edges(
+    edges: np.ndarray, num_nodes: int, symmetric: bool = True
+) -> sp.csr_matrix:
+    """Build a binary adjacency from an ``(E, 2)`` edge array."""
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    data = np.ones(len(edges))
+    matrix = sp.coo_matrix(
+        (data, (edges[:, 0], edges[:, 1])), shape=(num_nodes, num_nodes)
+    )
+    matrix = to_csr(matrix)
+    if symmetric:
+        matrix = symmetrize(matrix)
+    matrix.data[:] = 1.0
+    return matrix
+
+
+def k_hop_neighbors(adjacency: sp.spmatrix, node: int, k: int) -> np.ndarray:
+    """Nodes at *exactly* ``k`` hops from ``node`` (breadth-first)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    adjacency = to_csr(adjacency)
+    frontier = {node}
+    seen = {node}
+    for _ in range(k):
+        next_frontier = set()
+        for u in frontier:
+            next_frontier.update(adjacency.indices[adjacency.indptr[u]:adjacency.indptr[u + 1]])
+        frontier = next_frontier - seen
+        seen |= frontier
+    return np.array(sorted(frontier), dtype=np.int64)
+
+
+def ppr_diffusion(
+    adjacency: sp.spmatrix,
+    alpha: float = 0.2,
+    top_k: Optional[int] = None,
+) -> sp.csr_matrix:
+    """Personalised-PageRank diffusion matrix (MVGRL's structural view).
+
+    Computes ``alpha (I - (1 - alpha) D^-1/2 A D^-1/2)^-1`` densely (the
+    graphs in this repo are small), optionally sparsified to the ``top_k``
+    strongest entries per row.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+    norm = normalized_adjacency(adjacency, self_loops=True).toarray()
+    n = norm.shape[0]
+    diffusion = alpha * np.linalg.inv(np.eye(n) - (1.0 - alpha) * norm)
+    if top_k is not None and top_k < n:
+        keep = np.argsort(diffusion, axis=1)[:, -top_k:]
+        sparse = np.zeros_like(diffusion)
+        rows = np.repeat(np.arange(n), top_k)
+        sparse[rows, keep.ravel()] = diffusion[rows, keep.ravel()]
+        diffusion = sparse
+    return to_csr(sp.csr_matrix(diffusion))

@@ -1,0 +1,104 @@
+"""Edge splits for link prediction (Table 5 protocol).
+
+Following MaskGAE's protocol, a fraction of edges is held out as validation
+and test positives, an equal number of non-edges is sampled as negatives, and
+models train on the residual graph only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .data import Graph
+from .sparse import adjacency_from_edges
+
+
+@dataclass
+class LinkSplit:
+    """Held-out edge sets for link-prediction evaluation.
+
+    ``train_graph`` is the input graph with validation/test edges removed;
+    every ``*_pos``/``*_neg`` array has shape ``(E, 2)``.
+    """
+
+    train_graph: Graph
+    train_pos: np.ndarray
+    val_pos: np.ndarray
+    val_neg: np.ndarray
+    test_pos: np.ndarray
+    test_neg: np.ndarray
+
+
+def _sample_negative_edges(
+    graph: Graph, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``count`` distinct node pairs that are not edges (u < v)."""
+    n = graph.num_nodes
+    existing = set(map(tuple, graph.edges(directed=False)))
+    negatives = set()
+    max_attempts = count * 200
+    attempts = 0
+    while len(negatives) < count and attempts < max_attempts:
+        attempts += 1
+        u, v = rng.integers(0, n, size=2)
+        if u == v:
+            continue
+        pair = (min(u, v), max(u, v))
+        if pair in existing or pair in negatives:
+            continue
+        negatives.add(pair)
+    if len(negatives) < count:
+        raise RuntimeError(
+            f"could only sample {len(negatives)}/{count} negative edges; graph too dense"
+        )
+    return np.array(sorted(negatives), dtype=np.int64)
+
+
+def split_edges(
+    graph: Graph,
+    val_fraction: float = 0.05,
+    test_fraction: float = 0.10,
+    seed: int = 0,
+) -> LinkSplit:
+    """Hold out edges for link prediction; keeps the train graph connected-ish.
+
+    Parameters mirror the common 85/5/10 protocol used by MaskGAE and
+    SeeGera.
+    """
+    if val_fraction < 0 or test_fraction < 0 or val_fraction + test_fraction >= 1.0:
+        raise ValueError(
+            f"invalid fractions: val={val_fraction}, test={test_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    edges = graph.edges(directed=False)
+    order = rng.permutation(len(edges))
+    edges = edges[order]
+    num_val = int(round(len(edges) * val_fraction))
+    num_test = int(round(len(edges) * test_fraction))
+    val_pos = edges[:num_val]
+    test_pos = edges[num_val:num_val + num_test]
+    train_pos = edges[num_val + num_test:]
+
+    train_adj = adjacency_from_edges(train_pos, graph.num_nodes)
+    train_graph = Graph(
+        adjacency=train_adj,
+        features=graph.features,
+        labels=graph.labels,
+        train_mask=graph.train_mask,
+        val_mask=graph.val_mask,
+        test_mask=graph.test_mask,
+        name=f"{graph.name}-lp-train",
+    )
+
+    val_neg = _sample_negative_edges(graph, max(len(val_pos), 1), rng)
+    test_neg = _sample_negative_edges(graph, max(len(test_pos), 1), rng)
+    return LinkSplit(
+        train_graph=train_graph,
+        train_pos=train_pos,
+        val_pos=val_pos,
+        val_neg=val_neg,
+        test_pos=test_pos,
+        test_neg=test_neg,
+    )

@@ -1,0 +1,45 @@
+"""Numpy-backed neural-network substrate: autograd, modules, optimizers.
+
+This subpackage replaces PyTorch in the original paper's stack.  It provides
+exactly the pieces the GSSL methods need: a reverse-mode autodiff
+:class:`Tensor`, a recursive :class:`Module` system, dense layers, and the
+optimizers the paper trains with.
+"""
+
+from . import functional
+from .module import Module, ModuleList, Parameter
+from .layers import (
+    ACTIVATIONS,
+    BatchNorm1d,
+    Dropout,
+    LayerNorm,
+    Linear,
+    MLP,
+    resolve_activation,
+)
+from .optim import Adam, CosineAnnealingLR, Optimizer, SGD
+from .tensor import Tensor, concatenate, ensure_tensor, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "ACTIVATIONS",
+    "Adam",
+    "BatchNorm1d",
+    "CosineAnnealingLR",
+    "Dropout",
+    "LayerNorm",
+    "Linear",
+    "MLP",
+    "Module",
+    "ModuleList",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "Tensor",
+    "concatenate",
+    "ensure_tensor",
+    "functional",
+    "is_grad_enabled",
+    "no_grad",
+    "resolve_activation",
+    "stack",
+]

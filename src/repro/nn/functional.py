@@ -1,0 +1,201 @@
+"""Functional operations built on the autograd :class:`~repro.nn.tensor.Tensor`.
+
+These are the composite and graph-specific operations that models call
+directly: sparse-dense matmul for message passing, softmax family, dropout,
+normalisation, segment reductions for graph-level readout, and the standard
+loss functions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor, ensure_tensor
+
+
+# ---------------------------------------------------------------------------
+# Graph primitives
+# ---------------------------------------------------------------------------
+def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Sparse-constant @ dense-tensor product.
+
+    ``matrix`` is treated as a constant (typically the normalised adjacency),
+    so the gradient flows only into ``dense``:  ``d/dX (A @ X) = A^T @ grad``.
+    """
+    if not sp.issparse(matrix):
+        raise TypeError(f"spmm expects a scipy sparse matrix, got {type(matrix)!r}")
+    dense = ensure_tensor(dense)
+    data = matrix @ dense.data
+
+    def backward(grad: np.ndarray) -> None:
+        if dense.requires_grad:
+            dense._accumulate(matrix.T @ grad)
+
+    return Tensor._make(np.asarray(data), (dense,), backward)
+
+
+def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``values`` grouped by ``segment_ids`` (graph readout)."""
+    values = ensure_tensor(values)
+    segment_ids = np.asarray(segment_ids)
+    out = np.zeros((num_segments,) + values.data.shape[1:], dtype=values.data.dtype)
+    np.add.at(out, segment_ids, values.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if values.requires_grad:
+            values._accumulate(grad[segment_ids])
+
+    return Tensor._make(out, (values,), backward)
+
+
+def segment_mean(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Mean of rows of ``values`` grouped by ``segment_ids``."""
+    counts = np.bincount(np.asarray(segment_ids), minlength=num_segments).astype(float)
+    counts = np.maximum(counts, 1.0)
+    summed = segment_sum(values, segment_ids, num_segments)
+    return summed * Tensor(1.0 / counts[:, None] if summed.ndim == 2 else 1.0 / counts)
+
+
+def segment_max(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Row-wise max of ``values`` grouped by ``segment_ids``."""
+    values = ensure_tensor(values)
+    segment_ids = np.asarray(segment_ids)
+    out = np.full((num_segments,) + values.data.shape[1:], -np.inf, dtype=values.data.dtype)
+    np.maximum.at(out, segment_ids, values.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if not values.requires_grad:
+            return
+        # Route gradient to the (first) element achieving the max.
+        mask = values.data == out[segment_ids]
+        values._accumulate(grad[segment_ids] * mask)
+
+    return Tensor._make(out, (values,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Activations and normalisation
+# ---------------------------------------------------------------------------
+def relu(x: Tensor) -> Tensor:
+    return ensure_tensor(x).relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    x = ensure_tensor(x)
+    data = np.where(x.data > 0.0, x.data, negative_slope * x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * np.where(x.data > 0.0, 1.0, negative_slope))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    x = ensure_tensor(x)
+    exp_part = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    data = np.where(x.data > 0.0, x.data, exp_part)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * np.where(x.data > 0.0, 1.0, exp_part + alpha))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Tanh approximation of GELU."""
+    x = ensure_tensor(x)
+    c = np.sqrt(2.0 / np.pi)
+    inner = (x * c) * (1.0 + (x * x) * 0.044715)
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = ensure_tensor(x)
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = ensure_tensor(x)
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: scales kept units by ``1/(1-p)`` at train time."""
+    if not training or p <= 0.0:
+        return ensure_tensor(x)
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must lie in [0, 1), got {p}")
+    x = ensure_tensor(x)
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask.astype(x.data.dtype))
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Normalise rows to unit L2 norm (differentiable)."""
+    x = ensure_tensor(x)
+    norm = ((x * x).sum(axis=axis, keepdims=True) + eps) ** 0.5
+    return x / norm
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Row-wise cosine similarity between equally-shaped tensors."""
+    return (l2_normalize(a, axis=axis, eps=eps) * l2_normalize(b, axis=axis, eps=eps)).sum(axis=axis)
+
+
+def cosine_similarity_matrix(a: Tensor, b: Tensor, eps: float = 1e-12) -> Tensor:
+    """All-pairs cosine similarity: result[i, j] = cos(a_i, b_j)."""
+    return l2_normalize(a, eps=eps) @ l2_normalize(b, eps=eps).T
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    prediction = ensure_tensor(prediction)
+    target = ensure_tensor(target).detach()
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def binary_cross_entropy(probabilities: Tensor, targets: Tensor, eps: float = 1e-7) -> Tensor:
+    """BCE over probabilities in (0, 1); clamps for numerical stability."""
+    probabilities = ensure_tensor(probabilities).clip(eps, 1.0 - eps)
+    targets = ensure_tensor(targets).detach()
+    loss = -(targets * probabilities.log() + (1.0 - targets) * (1.0 - probabilities).log())
+    return loss.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: Tensor) -> Tensor:
+    """Numerically-stable BCE from raw logits."""
+    logits = ensure_tensor(logits)
+    targets = ensure_tensor(targets).detach()
+    # max(x, 0) - x*z + log(1 + exp(-|x|))
+    relu_part = logits.relu()
+    abs_part = logits.abs()
+    softplus = ((-abs_part).exp() + 1.0).log()
+    return (relu_part - logits * targets + softplus).mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy with integer class labels."""
+    logits = ensure_tensor(logits)
+    labels = np.asarray(labels)
+    logp = log_softmax(logits, axis=-1)
+    rows = np.arange(logits.shape[0])
+    return -logp[rows, labels].mean()
+
+
+def nll_loss(log_probabilities: Tensor, labels: np.ndarray) -> Tensor:
+    """Negative log-likelihood given precomputed log-probabilities."""
+    log_probabilities = ensure_tensor(log_probabilities)
+    labels = np.asarray(labels)
+    rows = np.arange(log_probabilities.shape[0])
+    return -log_probabilities[rows, labels].mean()

@@ -1,0 +1,178 @@
+"""Dense neural-network layers: linear maps, MLPs, norms, dropout."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, ModuleList, Parameter
+from .tensor import Tensor
+
+
+ACTIVATIONS: dict = {
+    "relu": F.relu,
+    "elu": F.elu,
+    "gelu": F.gelu,
+    "leaky_relu": F.leaky_relu,
+    "tanh": lambda x: x.tanh(),
+    "sigmoid": lambda x: x.sigmoid(),
+    "identity": lambda x: x,
+}
+
+
+def resolve_activation(name_or_fn) -> Callable[[Tensor], Tensor]:
+    """Map an activation name (or pass through a callable) to a function."""
+    if callable(name_or_fn):
+        return name_or_fn
+    try:
+        return ACTIVATIONS[name_or_fn]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name_or_fn!r}; available: {sorted(ACTIVATIONS)}"
+        ) from None
+
+
+class PReLU(Module):
+    """Parametric ReLU with a single learnable negative slope.
+
+    GraphMAE's published configuration uses PReLU between GNN layers; the
+    learnable slope lets the network keep a calibrated fraction of negative
+    signal, which matters for reconstruction-style objectives.
+    """
+
+    def __init__(self, init: float = 0.25) -> None:
+        super().__init__()
+        self.slope = Parameter(np.array([init]))
+
+    def forward(self, x: Tensor) -> Tensor:
+        positive = x.relu()
+        negative = (-x).relu() * self.slope
+        return positive - negative
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with Xavier-uniform initialisation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must lie in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, training=self.training)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(np.ones(normalized_shape))
+        self.beta = Parameter(np.zeros(normalized_shape))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normalized = (x - mu) / ((var + self.eps) ** 0.5)
+        return normalized * self.gamma + self.beta
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the first dimension with running statistics."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mu = x.mean(axis=0, keepdims=True)
+            var = x.var(axis=0, keepdims=True)
+            self.running_mean = (
+                (1.0 - self.momentum) * self.running_mean + self.momentum * mu.data.ravel()
+            )
+            self.running_var = (
+                (1.0 - self.momentum) * self.running_var + self.momentum * var.data.ravel()
+            )
+        else:
+            mu = Tensor(self.running_mean[None, :])
+            var = Tensor(self.running_var[None, :])
+        normalized = (x - mu) / ((var + self.eps) ** 0.5)
+        return normalized * self.gamma + self.beta
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden sizes and activation.
+
+    Used for the projector heads ``g1``/``g2`` of the contrastive branch
+    (paper Eq. 13) and for the discriminators of several baselines.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: Sequence[int],
+        out_features: int,
+        activation: str = "relu",
+        dropout: float = 0.0,
+        final_activation: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self._activation = resolve_activation(activation)
+        self._final_activation = (
+            resolve_activation(final_activation) if final_activation else None
+        )
+        sizes = [in_features, *hidden_features, out_features]
+        self.layers = ModuleList(
+            Linear(a, b, rng=rng) for a, b in zip(sizes[:-1], sizes[1:])
+        )
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0.0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.layers) - 1
+        for index, layer in enumerate(self.layers):
+            x = layer(x)
+            if index < last:
+                x = self._activation(x)
+                if self.dropout is not None:
+                    x = self.dropout(x)
+        if self._final_activation is not None:
+            x = self._final_activation(x)
+        return x

@@ -1,0 +1,124 @@
+"""Module system: parameters, recursive containers, and state handling."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as a trainable model weight."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+        # Parameters are leaves of the graph even when created inside
+        # ``no_grad`` blocks, so force the flag on.
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for models and layers.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` attributes in
+    ``__init__``; those are discovered recursively by :meth:`parameters` and
+    :meth:`named_parameters`.  The ``training`` flag gates stochastic layers
+    such as dropout.
+    """
+
+    def __init__(self) -> None:
+        self.training: bool = True
+
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError(f"{type(self).__name__} does not implement forward()")
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _children(self) -> Iterator[Tuple[str, "Module"]]:
+        for name, value in vars(self).items():
+            if isinstance(value, Module):
+                yield name, value
+            elif isinstance(value, ModuleList):
+                for index, child in enumerate(value):
+                    yield f"{name}.{index}", child
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs, depth-first."""
+        for name, value in vars(self).items():
+            if isinstance(value, Parameter):
+                yield (f"{prefix}{name}", value)
+        for name, child in self._children():
+            yield from child.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """Return all trainable parameters of this module tree."""
+        return [param for _, param in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights in the module tree."""
+        return sum(param.size for param in self.parameters())
+
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        """Put this module (and children) into training mode."""
+        self.training = True
+        for _, child in self._children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Put this module (and children) into evaluation mode."""
+        self.training = False
+        for _, child in self._children():
+            child.eval()
+        return self
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter array, keyed by qualified name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` (strict matching)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            array = np.asarray(state[name])
+            if array.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: expected {param.data.shape}, got {array.shape}"
+                )
+            param.data = array.astype(param.data.dtype).copy()
+
+
+class ModuleList:
+    """An ordered container of modules registered for parameter discovery."""
+
+    def __init__(self, modules=()) -> None:
+        self._modules: List[Module] = list(modules)
+
+    def append(self, module: Module) -> None:
+        self._modules.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[index]

@@ -1,0 +1,96 @@
+"""Tests for the extension baselines: BGRL, GCA, GraphMAE2."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BGRL, GCA, GraphMAE2
+from repro.baselines.contrastive_extra import degree_centrality_weights
+from repro.graph.generators import (
+    CitationGraphSpec,
+    add_planted_splits,
+    make_citation_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    spec = CitationGraphSpec(100, 24, 3, average_degree=4.0)
+    return add_planted_splits(make_citation_graph(spec, seed=0), seed=0)
+
+
+class TestBGRL:
+    def test_fit_contract(self, graph):
+        result = BGRL(hidden_dim=16, epochs=4).fit(graph, seed=0)
+        assert result.embeddings.shape == (graph.num_nodes, 16)
+        assert np.isfinite(result.embeddings).all()
+
+    def test_loss_decreases(self, graph):
+        history = BGRL(hidden_dim=32, epochs=40).fit(graph, seed=0).loss_history
+        assert np.mean(history[-5:]) < np.mean(history[:5])
+
+    def test_deterministic(self, graph):
+        a = BGRL(hidden_dim=16, epochs=3).fit(graph, seed=2).embeddings
+        b = BGRL(hidden_dim=16, epochs=3).fit(graph, seed=2).embeddings
+        np.testing.assert_allclose(a, b)
+
+    def test_ema_moves_target_toward_online(self, graph):
+        method = BGRL(hidden_dim=16, epochs=1, momentum=0.0)
+        # With momentum 0, one EMA update copies the online weights exactly;
+        # training must still run without error.
+        result = method.fit(graph, seed=0)
+        assert np.isfinite(result.loss_history).all()
+
+
+class TestGCA:
+    def test_fit_contract(self, graph):
+        result = GCA(hidden_dim=16, projector_dim=8, epochs=4).fit(graph, seed=0)
+        assert result.embeddings.shape == (graph.num_nodes, 16)
+        assert np.isfinite(result.embeddings).all()
+
+    def test_centrality_weights_shape(self, graph):
+        weights = degree_centrality_weights(graph.adjacency)
+        assert weights.shape == (len(graph.edges()),)
+        assert (weights > 0).all()
+
+    def test_adaptive_drop_keeps_central_edges_more(self, graph):
+        method = GCA(hidden_dim=16, epochs=1)
+        rng = np.random.default_rng(0)
+        survived = np.zeros(len(graph.edges()))
+        original = {tuple(e) for e in graph.edges()}
+        for _ in range(30):
+            dropped = method._adaptive_edge_drop(graph.adjacency, 0.5, rng)
+            kept = {tuple(e) for e in np.column_stack(
+                __import__("scipy.sparse", fromlist=["triu"]).triu(dropped, k=1).nonzero()
+            )}
+            for i, edge in enumerate(sorted(original)):
+                if edge in kept:
+                    survived[i] += 1
+        weights = degree_centrality_weights(graph.adjacency)
+        order = {tuple(e): i for i, e in enumerate(graph.edges())}
+        aligned_weights = np.array([weights[order[e]] for e in sorted(original)])
+        # Higher-centrality edges survive more often (positive correlation).
+        correlation = np.corrcoef(aligned_weights, survived)[0, 1]
+        assert correlation > 0.2
+
+    def test_drop_probabilities_bounded(self):
+        probabilities = GCA._drop_probabilities(np.array([1.0, 5.0, 10.0]), 0.5)
+        assert (probabilities >= 0).all() and (probabilities <= 0.9).all()
+
+
+class TestGraphMAE2:
+    def test_fit_contract(self, graph):
+        result = GraphMAE2(hidden_dim=16, epochs=4, num_remask_views=2).fit(graph, seed=0)
+        assert result.embeddings.shape == (graph.num_nodes, 16)
+        assert np.isfinite(result.embeddings).all()
+
+    def test_loss_decreases(self, graph):
+        history = GraphMAE2(hidden_dim=32, epochs=40).fit(graph, seed=0).loss_history
+        assert np.mean(history[-5:]) < np.mean(history[:5])
+
+    def test_invalid_views(self):
+        with pytest.raises(ValueError):
+            GraphMAE2(num_remask_views=0)
+
+    def test_single_view_variant(self, graph):
+        result = GraphMAE2(hidden_dim=16, epochs=3, num_remask_views=1).fit(graph, seed=0)
+        assert np.isfinite(result.loss_history).all()

@@ -1,0 +1,168 @@
+"""Tests for the four GCMAE loss terms."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    adjacency_reconstruction_loss,
+    discrimination_loss,
+    info_nce,
+    sce_loss,
+)
+from repro.core.losses import sample_nonedges
+from repro.graph.sparse import adjacency_from_edges
+from repro.nn import Tensor
+
+RNG = np.random.default_rng(0)
+
+
+class TestSCELoss:
+    def test_zero_for_perfect_reconstruction(self):
+        x = RNG.normal(size=(10, 6))
+        loss = sce_loss(Tensor(x), Tensor(x), np.arange(10))
+        assert loss.item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_maximal_for_opposite(self):
+        x = RNG.normal(size=(10, 6))
+        loss = sce_loss(Tensor(-x), Tensor(x), np.arange(10), gamma=1.0)
+        assert loss.item() == pytest.approx(2.0)
+
+    def test_gamma_downweights_easy_examples(self):
+        x = np.ones((4, 3))
+        half_right = x.copy()
+        half_right[0, 0] = 0.0  # slight error on one node
+        g1 = sce_loss(Tensor(half_right), Tensor(x), np.arange(4), gamma=1.0).item()
+        g3 = sce_loss(Tensor(half_right), Tensor(x), np.arange(4), gamma=3.0).item()
+        assert g3 < g1
+
+    def test_only_masked_nodes_count(self):
+        x = RNG.normal(size=(6, 4))
+        bad = x.copy()
+        bad[0] = -x[0]
+        loss = sce_loss(Tensor(bad), Tensor(x), np.array([3, 4]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            sce_loss(Tensor(np.ones((2, 2))), Tensor(np.ones((2, 2))), np.array([0]), gamma=0.5)
+
+    def test_empty_mask(self):
+        with pytest.raises(ValueError):
+            sce_loss(Tensor(np.ones((2, 2))), Tensor(np.ones((2, 2))), np.array([]))
+
+    def test_gradient_flows(self):
+        z = Tensor(RNG.normal(size=(5, 4)), requires_grad=True)
+        sce_loss(z, Tensor(RNG.normal(size=(5, 4))), np.array([0, 1])).backward()
+        assert z.grad is not None
+        # Non-masked rows receive zero gradient.
+        np.testing.assert_allclose(z.grad[2:], 0.0)
+
+
+class TestInfoNCE:
+    def test_aligned_views_give_low_loss(self):
+        z = RNG.normal(size=(20, 8))
+        aligned = info_nce(Tensor(z), Tensor(z * 1.001), temperature=0.1).item()
+        shuffled = info_nce(Tensor(z), Tensor(z[RNG.permutation(20)]), temperature=0.1).item()
+        assert aligned < shuffled
+
+    def test_loss_positive(self):
+        a, b = RNG.normal(size=(12, 6)), RNG.normal(size=(12, 6))
+        assert info_nce(Tensor(a), Tensor(b)).item() > 0.0
+
+    def test_symmetric_in_views(self):
+        a, b = RNG.normal(size=(10, 5)), RNG.normal(size=(10, 5))
+        ab = info_nce(Tensor(a), Tensor(b)).item()
+        ba = info_nce(Tensor(b), Tensor(a)).item()
+        assert ab == pytest.approx(ba, rel=1e-9)
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            info_nce(Tensor(np.ones((3, 2))), Tensor(np.ones((3, 2))), temperature=0.0)
+
+    def test_view_size_mismatch(self):
+        with pytest.raises(ValueError):
+            info_nce(Tensor(np.ones((3, 2))), Tensor(np.ones((4, 2))))
+
+    def test_gradient_flows_to_both_views(self):
+        a = Tensor(RNG.normal(size=(8, 4)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(8, 4)), requires_grad=True)
+        info_nce(a, b).backward()
+        assert a.grad is not None and b.grad is not None
+
+    def test_stable_for_large_embeddings(self):
+        a = Tensor(RNG.normal(size=(10, 4)) * 1000)
+        b = Tensor(RNG.normal(size=(10, 4)) * 1000)
+        assert np.isfinite(info_nce(a, b).item())
+
+
+class TestAdjacencyReconstruction:
+    ADJ = adjacency_from_edges(np.array([(i, (i + 1) % 12) for i in range(12)]), 12)
+
+    def test_good_embeddings_beat_bad(self):
+        rng = np.random.default_rng(0)
+        # "Good": adjacent nodes share an indicator direction.
+        positions = np.linspace(0, 2 * np.pi, 12, endpoint=False)
+        good = np.stack([np.cos(positions), np.sin(positions)], axis=1) * 3
+        bad = rng.normal(size=(12, 2)) * 3
+        loss_good = adjacency_reconstruction_loss(
+            Tensor(good), self.ADJ, np.random.default_rng(1)
+        ).item()
+        loss_bad = adjacency_reconstruction_loss(
+            Tensor(bad), self.ADJ, np.random.default_rng(1)
+        ).item()
+        assert loss_good < loss_bad
+
+    def test_gradient_flows(self):
+        z = Tensor(RNG.normal(size=(12, 4)), requires_grad=True)
+        adjacency_reconstruction_loss(z, self.ADJ, np.random.default_rng(0)).backward()
+        assert z.grad is not None and np.isfinite(z.grad).all()
+
+    def test_edgeless_graph_raises(self):
+        import scipy.sparse as sp
+        with pytest.raises(ValueError):
+            adjacency_reconstruction_loss(
+                Tensor(np.ones((3, 2))), sp.csr_matrix((3, 3)), np.random.default_rng(0)
+            )
+
+    def test_num_negative_controls_sampling(self):
+        z = Tensor(RNG.normal(size=(12, 4)))
+        loss = adjacency_reconstruction_loss(
+            z, self.ADJ, np.random.default_rng(0), num_negative=5
+        )
+        assert np.isfinite(loss.item())
+
+
+class TestSampleNonedges:
+    ADJ = adjacency_from_edges(np.array([(i, (i + 1) % 10) for i in range(10)]), 10)
+
+    def test_samples_are_nonedges(self):
+        pairs = sample_nonedges(self.ADJ, 15, np.random.default_rng(0))
+        for u, v in pairs:
+            assert self.ADJ[u, v] == 0.0
+            assert u != v
+
+    def test_count(self):
+        pairs = sample_nonedges(self.ADJ, 15, np.random.default_rng(0))
+        assert len(pairs) == 15
+
+
+class TestDiscriminationLoss:
+    def test_collapsed_embeddings_penalised(self):
+        collapsed = Tensor(np.ones((20, 8)))
+        spread = Tensor(RNG.normal(scale=3.0, size=(20, 8)))
+        assert discrimination_loss(collapsed).item() > discrimination_loss(spread).item()
+
+    def test_zero_above_unit_std(self):
+        wide = Tensor(RNG.normal(scale=10.0, size=(50, 4)))
+        assert discrimination_loss(wide).item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient_pushes_variance_up(self):
+        h = Tensor(RNG.normal(scale=0.1, size=(20, 4)), requires_grad=True)
+        discrimination_loss(h).backward()
+        # Moving against the gradient should increase the std of each column.
+        updated = h.data - 0.5 * h.grad
+        assert updated.std(axis=0).mean() > h.data.std(axis=0).mean()
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            discrimination_loss(Tensor(np.ones((4, 2))), eps=0.0)

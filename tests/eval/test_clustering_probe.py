@@ -1,0 +1,148 @@
+"""Tests for k-means, the clustering protocol, and linear probes."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    KMeans,
+    LinearProbe,
+    LinearSVM,
+    cross_validated_probe,
+    evaluate_clustering,
+    evaluate_probe,
+    k_fold_indices,
+)
+
+
+def blobs(k=3, per=40, d=4, spread=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=4.0, size=(k, d))
+    data = np.concatenate([
+        centers[i] + rng.normal(scale=spread, size=(per, d)) for i in range(k)
+    ])
+    labels = np.repeat(np.arange(k), per)
+    return data, labels
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        data, labels = blobs()
+        result = KMeans(3).fit(data, rng=np.random.default_rng(0))
+        # Cluster assignment should be a relabelling of the truth.
+        from repro.eval import normalized_mutual_information
+        assert normalized_mutual_information(result.assignments, labels) > 0.95
+
+    def test_inertia_decreases_with_more_clusters(self):
+        data, _ = blobs()
+        inertia2 = KMeans(2).fit(data, rng=np.random.default_rng(0)).inertia
+        inertia6 = KMeans(6).fit(data, rng=np.random.default_rng(0)).inertia
+        assert inertia6 < inertia2
+
+    def test_single_cluster(self):
+        data, _ = blobs()
+        result = KMeans(1).fit(data, rng=np.random.default_rng(0))
+        assert set(result.assignments) == {0}
+
+    def test_k_larger_than_n_raises(self):
+        with pytest.raises(ValueError):
+            KMeans(10).fit(np.zeros((3, 2)))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            KMeans(2).fit(np.zeros(10))
+
+    def test_deterministic_with_rng(self):
+        data, _ = blobs()
+        a = KMeans(3).fit(data, rng=np.random.default_rng(5)).assignments
+        b = KMeans(3).fit(data, rng=np.random.default_rng(5)).assignments
+        np.testing.assert_array_equal(a, b)
+
+    def test_duplicate_points_do_not_crash(self):
+        data = np.ones((20, 3))
+        result = KMeans(2).fit(data, rng=np.random.default_rng(0))
+        assert result.assignments.shape == (20,)
+
+
+class TestEvaluateClustering:
+    def test_scores_high_on_separable_data(self):
+        data, labels = blobs()
+        scores = evaluate_clustering(data, labels)
+        assert scores.nmi > 0.9 and scores.ari > 0.9
+
+    def test_infers_num_clusters_from_labels(self):
+        data, labels = blobs(k=4)
+        scores = evaluate_clustering(data, labels)
+        assert scores.nmi > 0.8
+
+
+class TestLinearProbe:
+    def test_separable_data(self):
+        data, labels = blobs(spread=0.2)
+        probe = LinearProbe().fit(data, labels)
+        assert (probe.predict(data) == labels).mean() > 0.95
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearProbe().predict(np.zeros((2, 2)))
+
+    def test_predict_proba_rows_sum_to_one(self):
+        data, labels = blobs()
+        probe = LinearProbe().fit(data, labels)
+        proba = probe.predict_proba(data)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_row_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearProbe().fit(np.zeros((3, 2)), np.zeros(2, dtype=int))
+
+    def test_svm_separable_data(self):
+        data, labels = blobs(spread=0.2)
+        svm = LinearSVM().fit(data, labels)
+        assert (svm.predict(data) == labels).mean() > 0.95
+
+    def test_svm_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().predict(np.zeros((2, 2)))
+
+
+class TestEvaluateProbe:
+    def test_train_test_protocol(self):
+        data, labels = blobs(per=60, spread=0.3)
+        n = len(labels)
+        rng = np.random.default_rng(0)
+        train_mask = np.zeros(n, dtype=bool)
+        train_mask[rng.choice(n, size=n // 3, replace=False)] = True
+        result = evaluate_probe(data, labels, train_mask, ~train_mask)
+        assert result.accuracy > 0.9
+        assert result.macro_f1 > 0.9
+
+    def test_svm_variant(self):
+        data, labels = blobs(per=60, spread=0.3)
+        train_mask = np.zeros(len(labels), dtype=bool)
+        train_mask[::3] = True
+        result = evaluate_probe(data, labels, train_mask, ~train_mask, probe="svm")
+        assert result.accuracy > 0.9
+
+
+class TestCrossValidation:
+    def test_folds_partition(self):
+        rng = np.random.default_rng(0)
+        seen = []
+        for train_idx, test_idx in k_fold_indices(50, 5, rng):
+            assert len(np.intersect1d(train_idx, test_idx)) == 0
+            seen.append(test_idx)
+        np.testing.assert_array_equal(np.sort(np.concatenate(seen)), np.arange(50))
+
+    def test_invalid_folds(self):
+        with pytest.raises(ValueError):
+            list(k_fold_indices(10, 1, np.random.default_rng(0)))
+
+    def test_cross_validated_probe_scores(self):
+        data, labels = blobs(per=50, spread=0.3)
+        mean, std = cross_validated_probe(data, labels, num_folds=5, seed=0)
+        assert mean > 0.9
+        assert std < 0.1

@@ -1,0 +1,87 @@
+"""Tests for embedding-quality diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.diagnostics import (
+    alignment_score,
+    effective_rank,
+    embedding_diagnostics,
+    uniformity_score,
+)
+from repro.graph.generators import CitationGraphSpec, make_citation_graph
+
+RNG = np.random.default_rng(0)
+
+
+class TestAlignment:
+    def test_identical_pairs_give_zero(self):
+        emb = RNG.normal(size=(10, 4))
+        pairs = np.stack([np.arange(10), np.arange(10)], axis=1)
+        assert alignment_score(emb, pairs) == pytest.approx(0.0)
+
+    def test_tight_pairs_beat_random_pairs(self):
+        base = RNG.normal(size=(50, 8))
+        emb = np.concatenate([base, base + 0.01 * RNG.normal(size=base.shape)])
+        tight_pairs = np.stack([np.arange(50), np.arange(50) + 50], axis=1)
+        random_pairs = np.stack(
+            [RNG.integers(0, 100, 50), RNG.integers(0, 100, 50)], axis=1
+        )
+        assert alignment_score(emb, tight_pairs) < alignment_score(emb, random_pairs)
+
+    def test_empty_pairs(self):
+        with pytest.raises(ValueError):
+            alignment_score(RNG.normal(size=(5, 3)), np.empty((0, 2)))
+
+
+class TestUniformity:
+    def test_spread_beats_collapsed(self):
+        collapsed = np.ones((100, 6)) + 0.001 * RNG.normal(size=(100, 6))
+        spread = RNG.normal(size=(100, 6))
+        assert uniformity_score(spread) < uniformity_score(collapsed)
+
+    def test_subsampling_path(self):
+        emb = RNG.normal(size=(600, 4))
+        exact = uniformity_score(emb, max_pairs=10**9)
+        sampled = uniformity_score(emb, max_pairs=1000)
+        assert abs(exact - sampled) < 0.3
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            uniformity_score(np.ones((1, 3)))
+
+
+class TestEffectiveRank:
+    def test_full_rank_gaussian(self):
+        emb = RNG.normal(size=(500, 8))
+        assert effective_rank(emb) > 7.0
+
+    def test_rank_one_data(self):
+        direction = RNG.normal(size=8)
+        emb = np.outer(RNG.normal(size=200), direction)
+        assert effective_rank(emb) < 1.5
+
+    def test_zero_data(self):
+        assert effective_rank(np.zeros((10, 4))) == 0.0
+
+
+class TestFullDiagnostics:
+    def test_with_graph_alignment(self):
+        graph = make_citation_graph(CitationGraphSpec(80, 16, 3), seed=0)
+        emb = RNG.normal(size=(80, 8))
+        diag = embedding_diagnostics(emb, graph)
+        assert diag.alignment > 0.0
+        assert np.isfinite(diag.uniformity)
+        assert 0 < diag.effective_rank <= 8.0
+        assert "alignment=" in str(diag)
+
+    def test_without_graph(self):
+        diag = embedding_diagnostics(RNG.normal(size=(50, 4)))
+        assert diag.alignment == 0.0
+
+    def test_discrimination_loss_connection(self):
+        """Collapsed embeddings show low std — the Eq. 20 failure signature."""
+        collapsed = np.ones((60, 8)) * 3.0
+        diag = embedding_diagnostics(collapsed)
+        assert diag.mean_feature_std == pytest.approx(0.0)
+        assert diag.effective_rank == pytest.approx(0.0)

@@ -1,0 +1,105 @@
+"""Tests for link-prediction scoring and the t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.eval import TSNE, EdgeScorer, dot_product_scores, evaluate_link_prediction
+from repro.graph.datasets import cora_like
+from repro.graph.splits import split_edges
+
+
+class TestDotProductScores:
+    def test_matches_manual(self):
+        embeddings = np.array([[1.0, 0.0], [0.0, 2.0], [1.0, 1.0]])
+        edges = np.array([[0, 2], [1, 2]])
+        np.testing.assert_allclose(dot_product_scores(embeddings, edges), [1.0, 2.0])
+
+
+class TestEdgeScorer:
+    def test_learns_separable_edges(self):
+        rng = np.random.default_rng(0)
+        positive = rng.normal(loc=1.0, size=(100, 8))
+        negative = rng.normal(loc=-1.0, size=(100, 8))
+        features = np.concatenate([positive, negative])
+        labels = np.concatenate([np.ones(100), np.zeros(100)])
+        scorer = EdgeScorer().fit(features, labels)
+        scores = scorer.score(features)
+        assert (scores[:100] > scores[100:].max()).mean() > 0.9
+
+    def test_score_before_fit(self):
+        with pytest.raises(RuntimeError):
+            EdgeScorer().score(np.zeros((2, 2)))
+
+
+class TestEvaluateLinkPrediction:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph = cora_like(seed=0)
+        split = split_edges(graph, seed=0)
+        # Structure-aware embeddings: rows of the normalised adjacency squared.
+        operator = split.train_graph.normalized_adjacency()
+        embeddings = np.asarray((operator @ operator @ graph.features))
+        return embeddings, split
+
+    def test_finetune_beats_random(self, setup):
+        embeddings, split = setup
+        scores = evaluate_link_prediction(embeddings, split, method="finetune")
+        assert scores.auc > 0.6
+        assert scores.ap > 0.6
+
+    def test_dot_method_runs(self, setup):
+        embeddings, split = setup
+        scores = evaluate_link_prediction(embeddings, split, method="dot")
+        assert 0.0 <= scores.auc <= 1.0
+
+    def test_unknown_method(self, setup):
+        embeddings, split = setup
+        with pytest.raises(ValueError):
+            evaluate_link_prediction(embeddings, split, method="mlp")
+
+    def test_random_embeddings_near_chance(self, setup):
+        _, split = setup
+        rng = np.random.default_rng(0)
+        random_embeddings = rng.normal(size=(split.train_graph.num_nodes, 16))
+        scores = evaluate_link_prediction(random_embeddings, split, method="dot")
+        assert abs(scores.auc - 0.5) < 0.12
+
+
+class TestTSNE:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(60, 10))
+        coords = TSNE(num_iterations=100, seed=0).fit_transform(data)
+        assert coords.shape == (60, 2)
+        assert np.isfinite(coords).all()
+
+    def test_separates_two_blobs(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(loc=0.0, scale=0.3, size=(40, 6))
+        b = rng.normal(loc=6.0, scale=0.3, size=(40, 6))
+        coords = TSNE(num_iterations=300, seed=0).fit_transform(np.concatenate([a, b]))
+        # Mean inter-blob distance should exceed intra-blob spread.
+        center_a = coords[:40].mean(axis=0)
+        center_b = coords[40:].mean(axis=0)
+        spread = max(coords[:40].std(), coords[40:].std())
+        assert np.linalg.norm(center_a - center_b) > 2 * spread
+
+    def test_deterministic_in_seed(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(30, 5))
+        a = TSNE(num_iterations=50, seed=3).fit_transform(data)
+        b = TSNE(num_iterations=50, seed=3).fit_transform(data)
+        np.testing.assert_allclose(a, b)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            TSNE().fit_transform(np.zeros((3, 4)))
+
+    def test_invalid_perplexity(self):
+        with pytest.raises(ValueError):
+            TSNE(perplexity=0.5)
+
+    def test_centered_output(self):
+        rng = np.random.default_rng(4)
+        coords = TSNE(num_iterations=50, seed=0).fit_transform(rng.normal(size=(25, 4)))
+        np.testing.assert_allclose(coords.mean(axis=0), 0.0, atol=1e-9)

@@ -1,0 +1,173 @@
+"""Tests for evaluation metrics, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import (
+    accuracy,
+    adjusted_rand_index,
+    average_precision,
+    macro_f1,
+    normalized_mutual_information,
+    roc_auc,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 3])) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([1, 0]), np.array([1, 1])) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestMacroF1:
+    def test_perfect(self):
+        assert macro_f1(np.array([0, 1, 2]), np.array([0, 1, 2])) == 1.0
+
+    def test_unbalanced_classes_weighted_equally(self):
+        # 9/10 correct on class 0 but class 1 fully wrong -> macro pulls down.
+        predictions = np.array([0] * 10)
+        labels = np.array([0] * 9 + [1])
+        assert macro_f1(predictions, labels) < 0.6
+
+    def test_missing_predicted_class_scores_zero(self):
+        predictions = np.array([0, 0])
+        labels = np.array([0, 1])
+        score = macro_f1(predictions, labels)
+        assert 0.0 < score < 1.0
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc(np.array([0.9, 0.8, 0.2, 0.1]), np.array([1, 1, 0, 0])) == 1.0
+
+    def test_inverted(self):
+        assert roc_auc(np.array([0.1, 0.9]), np.array([1, 0])) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(4000)
+        labels = rng.random(4000) > 0.5
+        assert abs(roc_auc(scores, labels) - 0.5) < 0.05
+
+    def test_ties_averaged(self):
+        # All scores equal -> AUC exactly 0.5.
+        assert roc_auc(np.ones(6), np.array([1, 0, 1, 0, 1, 0])) == 0.5
+
+    def test_needs_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.5, 0.7]), np.array([1, 1]))
+
+    def test_monotone_transform_invariant(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(size=100)
+        labels = rng.random(100) > 0.4
+        a = roc_auc(scores, labels)
+        b = roc_auc(np.exp(scores), labels)
+        assert a == pytest.approx(b)
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision(np.array([0.9, 0.8, 0.1]), np.array([1, 1, 0])) == 1.0
+
+    def test_worst_ranking(self):
+        ap = average_precision(np.array([0.9, 0.1]), np.array([0, 1]))
+        assert ap == pytest.approx(0.5)
+
+    def test_prevalence_baseline(self):
+        rng = np.random.default_rng(2)
+        labels = (rng.random(2000) < 0.3).astype(int)
+        scores = rng.random(2000)
+        assert abs(average_precision(scores, labels) - 0.3) < 0.05
+
+    def test_needs_positive(self):
+        with pytest.raises(ValueError):
+            average_precision(np.array([0.5]), np.array([0]))
+
+
+class TestClusteringMetrics:
+    def test_nmi_perfect(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_nmi_permutation_invariant(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        renamed = np.array([2, 2, 0, 0, 1, 1])
+        assert normalized_mutual_information(renamed, labels) == pytest.approx(1.0)
+
+    def test_nmi_independent_near_zero(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 4, size=5000)
+        b = rng.integers(0, 4, size=5000)
+        assert normalized_mutual_information(a, b) < 0.01
+
+    def test_ari_perfect(self):
+        labels = np.array([0, 0, 1, 1])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_ari_random_near_zero(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 3, size=5000)
+        b = rng.integers(0, 3, size=5000)
+        assert abs(adjusted_rand_index(a, b)) < 0.01
+
+    def test_ari_can_be_negative(self):
+        # Systematically anti-correlated assignment on a worst case.
+        labels = np.array([0, 0, 1, 1])
+        predicted = np.array([0, 1, 0, 1])
+        assert adjusted_rand_index(predicted, labels) <= 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(np.array([0]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            adjusted_rand_index(np.array([0]), np.array([0, 1]))
+
+
+class TestMetricProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_auc_and_ap_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(10, 200))
+        scores = rng.normal(size=n)
+        labels = rng.random(n) > rng.random()
+        if labels.all() or not labels.any():
+            labels[0] = True
+            labels[-1] = False
+        assert 0.0 <= roc_auc(scores, labels) <= 1.0
+        assert 0.0 <= average_precision(scores, labels) <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_nmi_symmetric_and_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(10, 200))
+        a = rng.integers(0, 5, size=n)
+        b = rng.integers(0, 5, size=n)
+        forward = normalized_mutual_information(a, b)
+        backward = normalized_mutual_information(b, a)
+        assert forward == pytest.approx(backward, abs=1e-10)
+        assert 0.0 <= forward <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_ari_symmetric(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(10, 200))
+        a = rng.integers(0, 4, size=n)
+        b = rng.integers(0, 4, size=n)
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a), abs=1e-10
+        )

@@ -1,0 +1,42 @@
+"""Tests for the extension design-ablation runner."""
+
+import pytest
+
+from repro.experiments import Profile
+from repro.experiments.extensions import DESIGN_VARIANTS, run_design_ablation
+
+MICRO = Profile(
+    name="micro", hidden_dim=16, epochs=2, gcmae_epochs=2,
+    num_seeds=1, graph_epochs=2, include_reddit=False,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+
+def test_design_ablation_runs_all_variants():
+    table = run_design_ablation(
+        profile=MICRO,
+        datasets=["cora-like"],
+        variants={k: DESIGN_VARIANTS[k] for k in ("full model", "no re-mask")},
+    )
+    assert table.get("full model", "cora-like") is not None
+    assert table.get("no re-mask", "cora-like") is not None
+
+
+def test_structure_term_variants_validate():
+    from repro.core import GCMAEConfig
+    config = GCMAEConfig(structure_terms=("bce",))
+    assert config.structure_terms == ("bce",)
+    with pytest.raises(ValueError):
+        GCMAEConfig(structure_terms=())
+    with pytest.raises(ValueError):
+        GCMAEConfig(structure_terms=("hinge",))
+
+
+def test_default_variants_cover_documented_choices():
+    assert "no re-mask" in DESIGN_VARIANTS
+    assert any(k.startswith("L_E") for k in DESIGN_VARIANTS)
+    assert any(k.startswith("tau") for k in DESIGN_VARIANTS)

@@ -1,0 +1,84 @@
+"""Tests for the paper-reference data and report rendering."""
+
+import pytest
+
+from repro.experiments import Profile
+from repro.experiments import paper_reference as ref
+from repro.experiments.report import _table_markdown, generate_report
+from repro.experiments.results import ExperimentTable
+
+
+class TestPaperReference:
+    def test_gcmae_is_best_in_paper_table4(self):
+        for dataset in ("Cora", "Citeseer", "PubMed", "Reddit"):
+            ours = ref.TABLE4["GCMAE"][dataset]
+            for method, row in ref.TABLE4.items():
+                if method == "GCMAE" or row[dataset] is None:
+                    continue
+                assert ours > row[dataset], (method, dataset)
+
+    def test_paper_value_maps_dataset_names(self):
+        assert ref.paper_value(ref.TABLE4, "GCMAE", "cora-like") == 88.82
+        assert ref.paper_value(ref.TABLE4, "MVGRL", "reddit-like") is None
+        assert ref.paper_value(ref.TABLE4, "NoSuchMethod", "cora-like") is None
+
+    def test_table10_structure_removal_hurts_most_in_paper(self):
+        for dataset in ("Cora", "Citeseer", "PubMed"):
+            full = ref.TABLE10["GCMAE"][dataset]
+            drops = {
+                row: full - ref.TABLE10[row][dataset]
+                for row in ("w/o Con.", "w/o Stru. Rec.", "w/o Disc.")
+            }
+            assert max(drops, key=drops.get) == "w/o Stru. Rec."
+
+    def test_figure1_ordering(self):
+        assert (
+            ref.FIGURE1_NMI["GCMAE"]
+            >= ref.FIGURE1_NMI["GraphMAE"]
+            >= ref.FIGURE1_NMI["CCA-SSG"]
+        )
+
+
+class TestReportRendering:
+    def _table(self):
+        table = ExperimentTable(
+            "Table X — demo", rows=["GCMAE", "GRACE"], columns=["cora-like"]
+        )
+        table.set("GCMAE", "cora-like", [80.0, 82.0])
+        table.mark("GRACE", "cora-like", "OOM")
+        return table
+
+    def test_markdown_includes_paper_column(self):
+        lines = _table_markdown(self._table(), ref.TABLE4)
+        text = "\n".join(lines)
+        assert "88.82" in text  # paper value for GCMAE on Cora
+        assert "81.00±1.00" in text
+        assert "OOM" in text
+
+    def test_markdown_without_paper(self):
+        lines = _table_markdown(self._table())
+        assert all("paper" not in line for line in lines[:4])
+
+    def test_metric_suffix_filters_columns(self):
+        table = ExperimentTable(
+            "t", rows=["GCMAE"], columns=["cora-like:AUC", "cora-like:AP"]
+        )
+        table.set("GCMAE", "cora-like:AUC", [99.0])
+        table.set("GCMAE", "cora-like:AP", [97.5])
+        lines = _table_markdown(table, ref.TABLE5_AUC, metric_suffix=":AUC")
+        text = "\n".join(lines)
+        assert "99.00±0.00" in text      # the AUC column survives
+        assert "97.50±0.00" not in text  # the AP column is filtered out
+
+
+@pytest.mark.slow
+class TestGenerateReport:
+    def test_generates_markdown(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        micro = Profile(
+            name="micro", hidden_dim=16, epochs=2, gcmae_epochs=2,
+            num_seeds=1, graph_epochs=2, include_reddit=False,
+        )
+        report = generate_report(profile=micro)
+        assert report.startswith("# EXPERIMENTS")
+        assert "Table 4" in report and "Figure 4" in report

@@ -1,0 +1,125 @@
+"""Integration tests: every table/figure runner executes end-to-end.
+
+These use a micro profile (tiny dims, 1-2 epochs) — they validate plumbing,
+shapes, and annotations, not accuracy (the benchmarks do that).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ABLATION_ROWS,
+    Profile,
+    VARIANT_ROWS,
+    run_figure1,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_table10,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table8,
+    run_table9,
+)
+
+MICRO = Profile(
+    name="micro", hidden_dim=16, epochs=2, gcmae_epochs=2,
+    num_seeds=1, graph_epochs=2, include_reddit=False,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+
+class TestTableRunners:
+    def test_table4(self):
+        table = run_table4(
+            profile=MICRO, datasets=["cora-like"], methods=["DGI", "GCMAE"],
+            include_supervised=True,
+        )
+        assert table.get("GCN", "cora-like") is not None
+        assert table.get("GCMAE", "cora-like") is not None
+        assert any("best on" in note for note in table.notes)
+
+    def test_table4_without_supervised(self):
+        table = run_table4(
+            profile=MICRO, datasets=["cora-like"], methods=["DGI"],
+            include_supervised=False,
+        )
+        assert "GCN" not in table.rows
+
+    def test_table5(self):
+        table = run_table5(
+            profile=MICRO, datasets=["cora-like"], methods=["MaskGAE", "GCMAE"]
+        )
+        cell = table.get("MaskGAE", "cora-like:AUC")
+        assert cell is not None and 0 <= cell.mean <= 100
+
+    def test_table6(self):
+        table = run_table6(
+            profile=MICRO, datasets=["cora-like"], methods=["DGI", "GCMAE"],
+            include_clustering_specialists=False,
+        )
+        assert table.get("GCMAE", "cora-like:NMI") is not None
+        assert table.get("GCMAE", "cora-like:ARI") is not None
+
+    def test_table6_with_specialists(self):
+        table = run_table6(
+            profile=MICRO, datasets=["cora-like"], methods=["DGI"],
+            include_clustering_specialists=True,
+        )
+        assert table.get("GCC", "cora-like:NMI") is not None
+
+    def test_table7(self):
+        table = run_table7(
+            profile=MICRO, datasets=["mutag-like"], methods=["GraphCL", "GCMAE"]
+        )
+        assert table.get("GCMAE", "mutag-like") is not None
+
+    def test_table8(self):
+        table = run_table8(profile=MICRO, datasets=["cora-like"])
+        for row in VARIANT_ROWS:
+            assert table.get(row, "cora-like") is not None
+
+    def test_table9(self):
+        table = run_table9(
+            profile=MICRO, datasets=["cora-like"], methods=["CCA-SSG", "GCMAE"]
+        )
+        cell = table.get("GCMAE", "cora-like")
+        assert cell is not None and cell.mean > 0
+
+    def test_table10(self):
+        table = run_table10(profile=MICRO, datasets=["cora-like"])
+        for row in ABLATION_ROWS:
+            assert table.get(row, "cora-like") is not None
+
+
+class TestFigureRunners:
+    def test_figure1_panels(self):
+        panels = run_figure1(profile=MICRO, tsne_iterations=30)
+        assert [p.method for p in panels] == ["GCMAE", "GraphMAE", "CCA-SSG"]
+        for panel in panels:
+            assert panel.coordinates.shape[1] == 2
+            assert 0.0 <= panel.nmi <= 1.0
+
+    def test_figure4_series(self):
+        figure = run_figure4(profile=MICRO, num_targets=5, probe_every=1)
+        assert set(figure.series) == {"GCMAE", "GraphMAE"}
+        for points in figure.series.values():
+            assert len(points) == MICRO.gcmae_epochs
+
+    def test_figure5_grid(self):
+        figure = run_figure5(
+            profile=MICRO, mask_rates=(0.3, 0.6), drop_rates=(0.0, 0.2)
+        )
+        assert set(figure.series) == {"p_drop=0", "p_drop=0.2"}
+        assert all(len(points) == 2 for points in figure.series.values())
+
+    def test_figure6_sweeps(self):
+        figure = run_figure6(profile=MICRO, widths=(8, 16), depths=(1, 2))
+        assert set(figure.series) == {"width", "depth"}
+        assert sorted(figure.series["width"]) == [8, 16]

@@ -1,0 +1,110 @@
+"""Tests for GNNEncoder stacks and graph readout."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import CONV_TYPES, GNNEncoder, graph_readout
+from repro.graph.sparse import adjacency_from_edges
+from repro.nn import Tensor
+
+N = 10
+ADJ = adjacency_from_edges(np.array([(i, (i + 1) % N) for i in range(N)]), N)
+X = np.random.default_rng(1).normal(size=(N, 6))
+
+
+class TestGNNEncoder:
+    @pytest.mark.parametrize("conv_type", CONV_TYPES)
+    def test_all_conv_types_forward(self, conv_type):
+        encoder = GNNEncoder(
+            6, 8, 4, num_layers=2, conv_type=conv_type,
+            heads=2 if conv_type == "gat" else 1,
+            rng=np.random.default_rng(0),
+        )
+        assert encoder(ADJ, Tensor(X)).shape == (N, 4)
+
+    def test_single_layer(self):
+        encoder = GNNEncoder(6, 8, 4, num_layers=1, rng=np.random.default_rng(0))
+        assert len(encoder.layers) == 1
+        assert encoder(ADJ, Tensor(X)).shape == (N, 4)
+
+    def test_deep_stack(self):
+        encoder = GNNEncoder(6, 8, 4, num_layers=5, rng=np.random.default_rng(0))
+        assert len(encoder.layers) == 5
+        assert encoder(ADJ, Tensor(X)).shape == (N, 4)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            GNNEncoder(6, 8, 4, num_layers=0)
+
+    def test_gat_head_divisibility(self):
+        with pytest.raises(ValueError):
+            GNNEncoder(6, 7, 4, num_layers=2, conv_type="gat", heads=2)
+
+    def test_layer_outputs_lengths(self):
+        encoder = GNNEncoder(6, 8, 4, num_layers=3, rng=np.random.default_rng(0))
+        outputs = encoder.layer_outputs(ADJ, Tensor(X))
+        assert len(outputs) == 3
+        assert outputs[0].shape == (N, 8)
+        assert outputs[-1].shape == (N, 4)
+
+    def test_forward_with_operand_matches_forward(self):
+        encoder = GNNEncoder(6, 8, 4, num_layers=2, rng=np.random.default_rng(0))
+        encoder.eval()
+        direct = encoder(ADJ, Tensor(X)).data
+        via_operand = encoder.forward_with_operand(encoder.structure(ADJ), Tensor(X)).data
+        np.testing.assert_allclose(direct, via_operand)
+
+    def test_dropout_only_in_training(self):
+        encoder = GNNEncoder(6, 8, 4, num_layers=2, dropout=0.5, rng=np.random.default_rng(0))
+        encoder.eval()
+        a = encoder(ADJ, Tensor(X)).data
+        b = encoder(ADJ, Tensor(X)).data
+        np.testing.assert_allclose(a, b)
+        encoder.train()
+        c = encoder(ADJ, Tensor(X)).data
+        d = encoder(ADJ, Tensor(X)).data
+        assert not np.allclose(c, d)
+
+    def test_training_reduces_loss(self):
+        from repro.nn import Adam, functional as F
+        encoder = GNNEncoder(6, 8, 2, num_layers=2, rng=np.random.default_rng(0))
+        target = np.array([0, 1] * (N // 2))
+        opt = Adam(encoder.parameters(), lr=0.01, weight_decay=0.0)
+        losses = []
+        for _ in range(100):
+            opt.zero_grad()
+            loss = F.cross_entropy(encoder(ADJ, Tensor(X)), target)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.8
+
+
+class TestReadout:
+    IDS = np.array([0, 0, 0, 1, 1, 1, 1, 2, 2, 2])
+
+    def test_mean(self):
+        out = graph_readout(Tensor(X), self.IDS, 3, "mean")
+        np.testing.assert_allclose(out.data[0], X[:3].mean(axis=0))
+
+    def test_sum(self):
+        out = graph_readout(Tensor(X), self.IDS, 3, "sum")
+        np.testing.assert_allclose(out.data[1], X[3:7].sum(axis=0))
+
+    def test_max(self):
+        out = graph_readout(Tensor(X), self.IDS, 3, "max")
+        np.testing.assert_allclose(out.data[2], X[7:].max(axis=0))
+
+    def test_meanmax_width(self):
+        out = graph_readout(Tensor(X), self.IDS, 3, "meanmax")
+        assert out.shape == (3, 12)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            graph_readout(Tensor(X), self.IDS, 3, "median")
+
+    def test_gradient_flows_through_readout(self):
+        x = Tensor(X, requires_grad=True)
+        graph_readout(x, self.IDS, 3, "mean").sum().backward()
+        assert x.grad is not None
+        np.testing.assert_allclose(x.grad[0], np.full(6, 1.0 / 3.0))

@@ -1,0 +1,53 @@
+"""Numerical gradient checking utilities shared by the nn test modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    index: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
+    base = [np.array(x, dtype=np.float64) for x in inputs]
+    grad = np.zeros_like(base[index])
+    flat = base[index].reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*[Tensor(x) for x in base]).sum().data)
+        flat[i] = original - eps
+        minus = float(fn(*[Tensor(x) for x in base]).sum().data)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert analytic gradients of ``sum(fn(*inputs))`` match finite diffs."""
+    tensors = [Tensor(np.array(x, dtype=np.float64), requires_grad=True) for x in inputs]
+    out = fn(*tensors).sum()
+    out.backward()
+    for index, tensor in enumerate(tensors):
+        expected = numerical_gradient(fn, inputs, index)
+        assert tensor.grad is not None, f"input {index} received no gradient"
+        np.testing.assert_allclose(
+            tensor.grad,
+            expected,
+            atol=atol,
+            rtol=rtol,
+            err_msg=f"gradient mismatch for input {index}",
+        )

@@ -1,0 +1,174 @@
+"""Tests for graph augmentations and the link-prediction edge split."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import augment, split_edges
+from repro.graph.datasets import cora_like
+from repro.graph.generators import CitationGraphSpec, make_citation_graph
+
+GRAPH = make_citation_graph(
+    CitationGraphSpec(150, 48, 3, average_degree=4.0), seed=0
+)
+
+
+class TestFeatureMasking:
+    def test_masked_rows_are_zero(self):
+        rng = np.random.default_rng(0)
+        masked = augment.mask_node_features(GRAPH.features, 0.5, rng)
+        np.testing.assert_allclose(masked.features[masked.masked_nodes], 0.0)
+
+    def test_unmasked_rows_untouched(self):
+        rng = np.random.default_rng(0)
+        masked = augment.mask_node_features(GRAPH.features, 0.5, rng)
+        untouched = np.setdiff1d(np.arange(GRAPH.num_nodes), masked.masked_nodes)
+        np.testing.assert_allclose(masked.features[untouched], GRAPH.features[untouched])
+
+    def test_original_not_mutated(self):
+        before = GRAPH.features.copy()
+        augment.mask_node_features(GRAPH.features, 0.9, np.random.default_rng(0))
+        np.testing.assert_allclose(GRAPH.features, before)
+
+    def test_rate_zero_masks_nothing(self):
+        masked = augment.mask_node_features(GRAPH.features, 0.0, np.random.default_rng(0))
+        assert masked.masked_nodes.size == 0
+
+    def test_nonzero_rate_always_masks_at_least_one(self):
+        masked = augment.mask_node_features(
+            GRAPH.features[:3], 0.01, np.random.default_rng(0)
+        )
+        assert masked.masked_nodes.size >= 1
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            augment.mask_node_features(GRAPH.features, 1.0, np.random.default_rng(0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(rate=st.floats(0.05, 0.9), seed=st.integers(0, 1000))
+    def test_mask_fraction_tracks_rate(self, rate, seed):
+        rng = np.random.default_rng(seed)
+        features = np.ones((400, 4))
+        masked = augment.mask_node_features(features, rate, rng)
+        fraction = masked.mask.mean()
+        assert abs(fraction - rate) < 0.15
+
+
+class TestNodeAndEdgeDropping:
+    def test_dropped_nodes_lose_all_edges(self):
+        rng = np.random.default_rng(1)
+        corrupted, dropped = augment.drop_nodes(GRAPH.adjacency, 0.3, rng)
+        degrees = np.asarray(corrupted.sum(axis=1)).ravel()
+        np.testing.assert_allclose(degrees[dropped], 0.0)
+
+    def test_drop_rate_zero_is_identity(self):
+        corrupted, dropped = augment.drop_nodes(GRAPH.adjacency, 0.0, np.random.default_rng(0))
+        assert (corrupted != GRAPH.adjacency).nnz == 0
+        assert not dropped.any()
+
+    def test_node_count_preserved(self):
+        corrupted, _ = augment.drop_nodes(GRAPH.adjacency, 0.5, np.random.default_rng(0))
+        assert corrupted.shape == GRAPH.adjacency.shape
+
+    def test_drop_edges_removes_roughly_the_rate(self):
+        rng = np.random.default_rng(2)
+        sparser = augment.drop_edges(GRAPH.adjacency, 0.5, rng)
+        ratio = sparser.nnz / GRAPH.adjacency.nnz
+        assert 0.3 < ratio < 0.7
+
+    def test_drop_edges_keeps_symmetry(self):
+        sparser = augment.drop_edges(GRAPH.adjacency, 0.3, np.random.default_rng(0))
+        assert (sparser != sparser.T).nnz == 0
+
+    def test_drop_edges_is_subset(self):
+        sparser = augment.drop_edges(GRAPH.adjacency, 0.3, np.random.default_rng(0))
+        assert (sparser - sparser.multiply(GRAPH.adjacency)).nnz == 0
+
+    def test_invalid_rates(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            augment.drop_nodes(GRAPH.adjacency, -0.1, rng)
+        with pytest.raises(ValueError):
+            augment.drop_edges(GRAPH.adjacency, 1.0, rng)
+
+
+class TestOtherAugmentations:
+    def test_feature_dimension_masking_zeroes_columns(self):
+        rng = np.random.default_rng(3)
+        masked = augment.mask_feature_dimensions(GRAPH.features, 0.5, rng)
+        zero_columns = np.all(masked == 0.0, axis=0)
+        assert zero_columns.sum() >= 1
+
+    def test_shuffle_features_is_permutation(self):
+        rng = np.random.default_rng(4)
+        shuffled = augment.shuffle_features(GRAPH.features, rng)
+        np.testing.assert_allclose(
+            np.sort(shuffled.sum(axis=1)), np.sort(GRAPH.features.sum(axis=1))
+        )
+        assert not np.allclose(shuffled, GRAPH.features)
+
+    def test_random_subgraph_nodes_sorted_unique(self):
+        nodes = augment.random_subgraph_nodes(100, 30, np.random.default_rng(0))
+        assert len(nodes) == 30
+        assert np.all(np.diff(nodes) > 0)
+
+    def test_random_subgraph_caps_at_population(self):
+        nodes = augment.random_subgraph_nodes(10, 50, np.random.default_rng(0))
+        assert len(nodes) == 10
+
+    def test_random_walk_subgraph_size(self):
+        nodes = augment.random_walk_subgraph_nodes(
+            GRAPH.adjacency, 40, np.random.default_rng(0)
+        )
+        assert len(nodes) == 40
+        assert np.all(np.diff(nodes) > 0)
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(ValueError):
+            augment.random_subgraph_nodes(10, 0, np.random.default_rng(0))
+
+    def test_diffusion_view_shape(self):
+        view = augment.diffusion_view(GRAPH, top_k=8)
+        assert view.shape == GRAPH.adjacency.shape
+
+
+class TestLinkSplit:
+    def test_fractions(self):
+        graph = cora_like(seed=0)
+        split = split_edges(graph, val_fraction=0.05, test_fraction=0.10, seed=0)
+        total = len(graph.edges())
+        assert len(split.val_pos) == round(total * 0.05)
+        assert len(split.test_pos) == round(total * 0.10)
+        assert len(split.train_pos) == total - len(split.val_pos) - len(split.test_pos)
+
+    def test_train_graph_excludes_heldout(self):
+        graph = cora_like(seed=0)
+        split = split_edges(graph, seed=0)
+        train_adj = split.train_graph.adjacency
+        for u, v in split.test_pos[:20]:
+            assert train_adj[u, v] == 0.0
+
+    def test_negatives_are_nonedges(self):
+        graph = cora_like(seed=0)
+        split = split_edges(graph, seed=0)
+        for u, v in split.test_neg[:50]:
+            assert graph.adjacency[u, v] == 0.0
+            assert u != v
+
+    def test_negative_counts_match_positive(self):
+        graph = cora_like(seed=0)
+        split = split_edges(graph, seed=0)
+        assert len(split.test_neg) == len(split.test_pos)
+        assert len(split.val_neg) == len(split.val_pos)
+
+    def test_deterministic(self):
+        graph = cora_like(seed=0)
+        a = split_edges(graph, seed=7)
+        b = split_edges(graph, seed=7)
+        np.testing.assert_array_equal(a.test_pos, b.test_pos)
+        np.testing.assert_array_equal(a.test_neg, b.test_neg)
+
+    def test_invalid_fractions(self):
+        graph = cora_like(seed=0)
+        with pytest.raises(ValueError):
+            split_edges(graph, val_fraction=0.5, test_fraction=0.6)

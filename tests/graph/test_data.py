@@ -1,0 +1,149 @@
+"""Tests for Graph, GraphBatch and GraphDataset containers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import Graph, GraphBatch, GraphDataset
+from repro.graph.sparse import adjacency_from_edges
+
+
+def toy_graph(n=5, with_labels=True):
+    edges = np.array([(i, (i + 1) % n) for i in range(n)])
+    return Graph(
+        adjacency=adjacency_from_edges(edges, n),
+        features=np.arange(n * 3, dtype=float).reshape(n, 3),
+        labels=np.arange(n) % 2 if with_labels else None,
+        name="toy",
+    )
+
+
+class TestGraphValidation:
+    def test_basic_counts(self):
+        g = toy_graph()
+        assert g.num_nodes == 5
+        assert g.num_edges == 10  # directed entries, like the paper's Table 2
+        assert g.num_features == 3
+        assert g.num_classes == 2
+
+    def test_self_loops_removed_on_construction(self):
+        adj = adjacency_from_edges(np.array([[0, 1]]), 2) + sp.eye(2)
+        g = Graph(adjacency=sp.csr_matrix(adj), features=np.zeros((2, 2)))
+        assert g.adjacency.diagonal().sum() == 0
+
+    def test_asymmetric_input_symmetrized(self):
+        adj = sp.csr_matrix(np.array([[0, 1.0], [0, 0]]))
+        g = Graph(adjacency=adj, features=np.zeros((2, 1)))
+        assert g.adjacency[1, 0] == 1.0
+
+    def test_feature_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Graph(adjacency=adjacency_from_edges(np.array([[0, 1]]), 2),
+                  features=np.zeros((3, 2)))
+
+    def test_label_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Graph(adjacency=adjacency_from_edges(np.array([[0, 1]]), 2),
+                  features=np.zeros((2, 2)), labels=np.array([0, 1, 0]))
+
+    def test_mask_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Graph(adjacency=adjacency_from_edges(np.array([[0, 1]]), 2),
+                  features=np.zeros((2, 2)), train_mask=np.array([True]))
+
+    def test_num_classes_requires_labels(self):
+        with pytest.raises(ValueError):
+            toy_graph(with_labels=False).num_classes
+
+
+class TestGraphOps:
+    def test_degrees(self):
+        np.testing.assert_allclose(toy_graph().degrees(), 2.0)
+
+    def test_normalized_adjacency_is_cached(self):
+        g = toy_graph()
+        assert g.normalized_adjacency() is g.normalized_adjacency()
+
+    def test_normalized_modes_cached_separately(self):
+        g = toy_graph()
+        assert g.normalized_adjacency(mode="symmetric") is not g.normalized_adjacency(mode="row")
+
+    def test_subgraph_slices_everything(self):
+        g = toy_graph()
+        g.train_mask = np.array([True, False, True, False, True])
+        sub = g.subgraph(np.array([0, 1, 2]))
+        assert sub.num_nodes == 3
+        np.testing.assert_array_equal(sub.labels, [0, 1, 0])
+        np.testing.assert_array_equal(sub.train_mask, [True, False, True])
+        # Ring 0-1-2 keeps edges (0,1) and (1,2) only.
+        assert sub.num_edges == 4
+
+    def test_subgraph_empty_raises(self):
+        with pytest.raises(ValueError):
+            toy_graph().subgraph(np.array([], dtype=int))
+
+    def test_with_adjacency_keeps_features(self):
+        g = toy_graph()
+        g2 = g.with_adjacency(adjacency_from_edges(np.array([[0, 2]]), 5))
+        np.testing.assert_allclose(g2.features, g.features)
+        assert g2.num_edges == 2
+
+    def test_with_features_keeps_structure(self):
+        g = toy_graph()
+        g2 = g.with_features(np.zeros((5, 7)))
+        assert g2.num_features == 7
+        assert g2.num_edges == g.num_edges
+
+    def test_summary_fields(self):
+        row = toy_graph().summary()
+        assert row == {
+            "dataset": "toy", "nodes": 5, "edges": 10, "features": 3, "classes": 2,
+        }
+
+
+class TestGraphBatch:
+    def _graphs(self, k=3):
+        return [toy_graph() for _ in range(k)]
+
+    def test_block_diagonal_shapes(self):
+        batch = GraphBatch.from_graphs(self._graphs(), labels=[0, 1, 0])
+        assert batch.num_nodes == 15
+        assert batch.num_graphs == 3
+        assert batch.adjacency.shape == (15, 15)
+
+    def test_no_cross_graph_edges(self):
+        batch = GraphBatch.from_graphs(self._graphs(2))
+        assert batch.adjacency[:5, 5:].nnz == 0
+
+    def test_graph_ids(self):
+        batch = GraphBatch.from_graphs(self._graphs(2))
+        np.testing.assert_array_equal(batch.graph_ids, [0] * 5 + [1] * 5)
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ValueError):
+            GraphBatch.from_graphs(self._graphs(2), labels=[0])
+
+    def test_feature_width_mismatch(self):
+        bad = toy_graph().with_features(np.zeros((5, 9)))
+        with pytest.raises(ValueError):
+            GraphBatch.from_graphs([toy_graph(), bad])
+
+    def test_empty_batch(self):
+        with pytest.raises(ValueError):
+            GraphBatch.from_graphs([])
+
+
+class TestGraphDataset:
+    def test_summary(self):
+        ds = GraphDataset([toy_graph(), toy_graph()], labels=[0, 1], name="t")
+        row = ds.summary()
+        assert row["graphs"] == 2 and row["classes"] == 2 and row["avg_nodes"] == 5.0
+
+    def test_to_batch_carries_labels(self):
+        ds = GraphDataset([toy_graph(), toy_graph()], labels=[0, 1])
+        batch = ds.to_batch()
+        np.testing.assert_array_equal(batch.graph_labels, [0, 1])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            GraphDataset([toy_graph()], labels=[0, 1])

@@ -1,0 +1,98 @@
+"""Tests for triangle closure, jitter, and the multistar family."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.graph.generators import (
+    CitationGraphSpec,
+    GraphFamilySpec,
+    make_citation_graph,
+    make_graph_classification_dataset,
+)
+
+
+class TestTriangleClosure:
+    BASE = dict(
+        num_nodes=200, num_features=32, num_classes=3,
+        average_degree=3.0, homophily=0.8,
+    )
+
+    def _clustering(self, graph):
+        return nx.average_clustering(nx.from_scipy_sparse_array(graph.adjacency))
+
+    def test_closure_raises_clustering_coefficient(self):
+        open_graph = make_citation_graph(
+            CitationGraphSpec(**self.BASE, triangle_closure=0.0), seed=0
+        )
+        closed_graph = make_citation_graph(
+            CitationGraphSpec(**self.BASE, triangle_closure=0.3), seed=0
+        )
+        assert self._clustering(closed_graph) > self._clustering(open_graph) + 0.1
+
+    def test_closure_adds_edges(self):
+        open_graph = make_citation_graph(
+            CitationGraphSpec(**self.BASE, triangle_closure=0.0), seed=0
+        )
+        closed_graph = make_citation_graph(
+            CitationGraphSpec(**self.BASE, triangle_closure=0.3), seed=0
+        )
+        assert closed_graph.num_edges > open_graph.num_edges
+
+    def test_closed_graph_still_valid(self):
+        graph = make_citation_graph(
+            CitationGraphSpec(**self.BASE, triangle_closure=0.4), seed=1
+        )
+        assert graph.adjacency.diagonal().sum() == 0
+        assert (graph.adjacency != graph.adjacency.T).nnz == 0
+        assert set(np.unique(graph.adjacency.data)) == {1.0}
+
+    def test_zero_closure_is_identity(self):
+        a = make_citation_graph(CitationGraphSpec(**self.BASE), seed=0)
+        b = make_citation_graph(
+            CitationGraphSpec(**self.BASE, triangle_closure=0.0), seed=0
+        )
+        assert (a.adjacency != b.adjacency).nnz == 0
+
+
+class TestJitterAndMultistar:
+    def test_jitter_varies_density_within_class(self):
+        plain = make_graph_classification_dataset(
+            [GraphFamilySpec("er", 20, 20, (0.3,), jitter=0.0)],
+            graphs_per_class=20, seed=0,
+        )
+        jittered = make_graph_classification_dataset(
+            [GraphFamilySpec("er", 20, 20, (0.3,), jitter=0.6)],
+            graphs_per_class=20, seed=0,
+        )
+        def density_std(ds):
+            return np.std([g.num_edges / g.num_nodes for g in ds.graphs])
+        assert density_std(jittered) > density_std(plain)
+
+    def test_multistar_has_requested_hub_count_shape(self):
+        dataset = make_graph_classification_dataset(
+            [GraphFamilySpec("multistar", 30, 30, (3, 0.0))],
+            graphs_per_class=5, seed=0,
+        )
+        for g in dataset.graphs:
+            degrees = np.sort(g.degrees())[::-1]
+            # The hubs dominate: the 3rd largest degree is still hub-sized.
+            assert degrees[2] > degrees[3] + 2
+
+    def test_multistar_single_hub_is_star(self):
+        dataset = make_graph_classification_dataset(
+            [GraphFamilySpec("multistar", 12, 12, (1, 0.0))],
+            graphs_per_class=3, seed=0,
+        )
+        for g in dataset.graphs:
+            assert g.degrees().max() == g.num_nodes - 1
+
+    def test_tree_with_chords_can_contain_cycles(self):
+        dataset = make_graph_classification_dataset(
+            [GraphFamilySpec("tree", 20, 20, (0.5,), jitter=0.0)],
+            graphs_per_class=10, seed=0,
+        )
+        has_cycle = any(
+            g.num_edges // 2 >= g.num_nodes for g in dataset.graphs
+        )
+        assert has_cycle

@@ -1,0 +1,167 @@
+"""Tests for the synthetic graph generators, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.generators import (
+    CitationGraphSpec,
+    GraphFamilySpec,
+    add_planted_splits,
+    make_citation_graph,
+    make_graph_classification_dataset,
+)
+
+
+SPEC = CitationGraphSpec(
+    num_nodes=200, num_features=64, num_classes=4,
+    average_degree=4.0, homophily=0.8, feature_signal=0.6, features_per_node=8.0,
+)
+
+
+class TestCitationGenerator:
+    def test_deterministic_in_seed(self):
+        a = make_citation_graph(SPEC, seed=3)
+        b = make_citation_graph(SPEC, seed=3)
+        np.testing.assert_allclose(a.features, b.features)
+        assert (a.adjacency != b.adjacency).nnz == 0
+
+    def test_different_seeds_differ(self):
+        a = make_citation_graph(SPEC, seed=0)
+        b = make_citation_graph(SPEC, seed=1)
+        assert (a.adjacency != b.adjacency).nnz > 0
+
+    def test_every_class_inhabited(self):
+        g = make_citation_graph(SPEC, seed=0)
+        assert set(np.unique(g.labels)) == set(range(SPEC.num_classes))
+
+    def test_no_isolated_nodes(self):
+        g = make_citation_graph(SPEC, seed=0)
+        assert g.degrees().min() >= 1
+
+    def test_average_degree_near_target(self):
+        g = make_citation_graph(SPEC, seed=0)
+        assert SPEC.average_degree * 0.6 < g.degrees().mean() < SPEC.average_degree * 1.5
+
+    def test_homophily_near_target(self):
+        g = make_citation_graph(SPEC, seed=0)
+        edges = g.edges()
+        measured = (g.labels[edges[:, 0]] == g.labels[edges[:, 1]]).mean()
+        assert abs(measured - SPEC.homophily) < 0.12
+
+    def test_higher_homophily_spec_gives_higher_homophily(self):
+        low = make_citation_graph(
+            CitationGraphSpec(200, 64, 4, homophily=0.3), seed=0
+        )
+        high = make_citation_graph(
+            CitationGraphSpec(200, 64, 4, homophily=0.9), seed=0
+        )
+        def hom(g):
+            e = g.edges()
+            return (g.labels[e[:, 0]] == g.labels[e[:, 1]]).mean()
+        assert hom(high) > hom(low) + 0.3
+
+    def test_features_binary_and_sparse(self):
+        g = make_citation_graph(SPEC, seed=0)
+        assert set(np.unique(g.features)) <= {0.0, 1.0}
+        assert g.features.sum(axis=1).max() < SPEC.num_features / 2
+
+    def test_class_imbalance(self):
+        skewed = make_citation_graph(
+            CitationGraphSpec(400, 32, 4, class_imbalance=1.0), seed=0
+        )
+        counts = np.bincount(skewed.labels, minlength=4)
+        assert counts[0] > counts[-1] * 1.5
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            CitationGraphSpec(num_nodes=3, num_features=8, num_classes=5)
+        with pytest.raises(ValueError):
+            CitationGraphSpec(10, 8, 2, homophily=1.5)
+        with pytest.raises(ValueError):
+            CitationGraphSpec(10, 8, 2, feature_signal=-0.1)
+
+
+class TestPlantedSplits:
+    def test_masks_partition_nodes(self):
+        g = add_planted_splits(make_citation_graph(SPEC, seed=0), seed=0)
+        total = g.train_mask.astype(int) + g.val_mask.astype(int) + g.test_mask.astype(int)
+        np.testing.assert_array_equal(total, 1)
+
+    def test_train_count_per_class(self):
+        g = add_planted_splits(make_citation_graph(SPEC, seed=0), train_per_class=10, seed=0)
+        for cls in range(SPEC.num_classes):
+            assert (g.train_mask & (g.labels == cls)).sum() == 10
+
+    def test_unlabelled_graph_raises(self):
+        g = make_citation_graph(SPEC, seed=0)
+        g.labels = None
+        with pytest.raises(ValueError):
+            add_planted_splits(g)
+
+
+class TestGraphFamilies:
+    FAMILIES = [
+        GraphFamilySpec("er", 8, 12, (0.3,)),
+        GraphFamilySpec("tree", 8, 12, ()),
+        GraphFamilySpec("ring", 8, 12, (0.2,)),
+        GraphFamilySpec("star", 8, 12, (0.05,)),
+        GraphFamilySpec("community", 10, 14, (2, 0.8, 0.1)),
+    ]
+
+    def test_dataset_shapes(self):
+        ds = make_graph_classification_dataset(self.FAMILIES, graphs_per_class=5, seed=0)
+        assert len(ds) == 25
+        assert ds.num_classes == 5
+
+    def test_node_counts_in_range(self):
+        ds = make_graph_classification_dataset(self.FAMILIES, graphs_per_class=5, seed=0)
+        for g in ds.graphs:
+            assert 8 <= g.num_nodes <= 14
+
+    def test_degree_onehot_features(self):
+        ds = make_graph_classification_dataset(self.FAMILIES, graphs_per_class=3, seed=0)
+        for g in ds.graphs:
+            np.testing.assert_allclose(g.features.sum(axis=1), 1.0)
+
+    def test_no_isolates(self):
+        ds = make_graph_classification_dataset(self.FAMILIES, graphs_per_class=5, seed=1)
+        for g in ds.graphs:
+            assert g.degrees().min() >= 1
+
+    def test_deterministic(self):
+        a = make_graph_classification_dataset(self.FAMILIES, graphs_per_class=3, seed=5)
+        b = make_graph_classification_dataset(self.FAMILIES, graphs_per_class=3, seed=5)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        assert (a.graphs[0].adjacency != b.graphs[0].adjacency).nnz == 0
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            make_graph_classification_dataset(
+                [GraphFamilySpec("mystery", 5, 8, ())], graphs_per_class=2
+            )
+
+    def test_empty_families(self):
+        with pytest.raises(ValueError):
+            make_graph_classification_dataset([], graphs_per_class=2)
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        homophily=st.floats(0.2, 0.95),
+        degree=st.floats(2.0, 8.0),
+    )
+    def test_generated_graphs_are_valid(self, seed, homophily, degree):
+        spec = CitationGraphSpec(
+            num_nodes=80, num_features=32, num_classes=3,
+            average_degree=degree, homophily=homophily,
+        )
+        g = make_citation_graph(spec, seed=seed)
+        # Structural invariants that must hold for every spec/seed.
+        assert g.adjacency.diagonal().sum() == 0
+        assert (g.adjacency != g.adjacency.T).nnz == 0
+        assert g.degrees().min() >= 1
+        assert g.labels.min() >= 0 and g.labels.max() < 3
+        assert np.isfinite(g.features).all()

@@ -1,0 +1,86 @@
+"""Tests for the GraphSAGE-style neighbour sampler."""
+
+import numpy as np
+import pytest
+
+from repro.graph.sampling import NeighborSampler
+from repro.graph.generators import CitationGraphSpec, make_citation_graph
+
+GRAPH = make_citation_graph(
+    CitationGraphSpec(150, 16, 3, average_degree=6.0), seed=0
+)
+
+
+class TestNeighborSampler:
+    def test_block_contains_seeds_first(self):
+        sampler = NeighborSampler(GRAPH, fanouts=[3, 3], batch_size=10)
+        block = sampler.sample_block(np.array([0, 5, 9]), np.random.default_rng(0))
+        np.testing.assert_array_equal(block.nodes[:3], [0, 5, 9])
+        np.testing.assert_array_equal(block.seed_positions(), [0, 1, 2])
+
+    def test_block_adjacency_is_induced_subgraph(self):
+        sampler = NeighborSampler(GRAPH, fanouts=[2], batch_size=10)
+        block = sampler.sample_block(np.array([1, 2]), np.random.default_rng(0))
+        local = block.adjacency.toarray()
+        expected = GRAPH.adjacency[block.nodes][:, block.nodes].toarray()
+        np.testing.assert_allclose(local, expected)
+
+    def test_fanout_bounds_block_size(self):
+        sampler = NeighborSampler(GRAPH, fanouts=[2, 2], batch_size=10)
+        block = sampler.sample_block(np.arange(5), np.random.default_rng(0))
+        # At most seeds + seeds*2 + (seeds*2)*2 participants.
+        assert len(block.nodes) <= 5 + 10 + 20
+
+    def test_epoch_covers_all_nodes(self):
+        sampler = NeighborSampler(GRAPH, fanouts=[3], batch_size=32)
+        seen = []
+        for block in sampler.batches(np.random.default_rng(0)):
+            seen.append(block.seed_nodes)
+        np.testing.assert_array_equal(
+            np.sort(np.concatenate(seen)), np.arange(GRAPH.num_nodes)
+        )
+
+    def test_num_batches(self):
+        sampler = NeighborSampler(GRAPH, fanouts=[3], batch_size=32)
+        assert sampler.num_batches() == int(np.ceil(150 / 32))
+        assert sum(1 for _ in sampler.batches(np.random.default_rng(0))) == sampler.num_batches()
+
+    def test_features_align_with_nodes(self):
+        sampler = NeighborSampler(GRAPH, fanouts=[2], batch_size=8)
+        block = sampler.sample_block(np.array([3, 4]), np.random.default_rng(1))
+        np.testing.assert_allclose(block.features, GRAPH.features[block.nodes])
+
+    def test_deterministic_given_rng(self):
+        sampler = NeighborSampler(GRAPH, fanouts=[2, 2], batch_size=8)
+        a = sampler.sample_block(np.array([7]), np.random.default_rng(3))
+        b = sampler.sample_block(np.array([7]), np.random.default_rng(3))
+        np.testing.assert_array_equal(a.nodes, b.nodes)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            NeighborSampler(GRAPH, fanouts=[], batch_size=8)
+        with pytest.raises(ValueError):
+            NeighborSampler(GRAPH, fanouts=[0], batch_size=8)
+        with pytest.raises(ValueError):
+            NeighborSampler(GRAPH, fanouts=[2], batch_size=0)
+
+    def test_trains_an_encoder_end_to_end(self):
+        """Integration: mini-batch supervised training through sampled blocks."""
+        from repro.gnn import GNNEncoder
+        from repro.nn import Adam, Tensor, functional as F
+
+        rng = np.random.default_rng(0)
+        encoder = GNNEncoder(GRAPH.num_features, 16, 3, num_layers=2, rng=rng)
+        optimizer = Adam(encoder.parameters(), lr=0.01, weight_decay=0.0)
+        sampler = NeighborSampler(GRAPH, fanouts=[4, 4], batch_size=50)
+        losses = []
+        for _ in range(3):
+            for block in sampler.batches(rng):
+                optimizer.zero_grad()
+                out = encoder(block.adjacency, Tensor(block.features))
+                seed_logits = out[block.seed_positions()]
+                loss = F.cross_entropy(seed_logits, GRAPH.labels[block.seed_nodes])
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+        assert np.mean(losses[-3:]) < np.mean(losses[:3])

@@ -1,0 +1,116 @@
+"""Edge-case tests for the nn substrate (fast, no training)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Module,
+    ModuleList,
+    Parameter,
+    Tensor,
+    concatenate,
+    functional as F,
+    no_grad,
+    stack,
+)
+
+
+class TestTensorEdgeCases:
+    def test_scalar_tensor_item(self):
+        assert Tensor(np.array(2.5)).item() == 2.5
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor(np.ones(2), requires_grad=True))
+        assert "requires_grad" not in repr(Tensor(np.ones(2)))
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(2)) ** Tensor(np.ones(2))
+
+    def test_rsub_rdiv(self):
+        t = Tensor(np.array([2.0]))
+        np.testing.assert_allclose((5.0 - t).data, [3.0])
+        np.testing.assert_allclose((8.0 / t).data, [4.0])
+
+    def test_numpy_shares_memory(self):
+        t = Tensor(np.zeros(3))
+        t.numpy()[0] = 7.0
+        assert t.data[0] == 7.0
+
+    def test_empty_sum(self):
+        assert Tensor(np.zeros((0, 3))).sum().item() == 0.0
+
+    def test_grad_dtype_follows_data(self):
+        t = Tensor(np.ones(3, dtype=np.float64), requires_grad=True)
+        t.sum().backward()
+        assert t.grad.dtype == np.float64
+
+    def test_parameter_requires_grad_even_under_no_grad(self):
+        with no_grad():
+            param = Parameter(np.ones(2))
+        assert param.requires_grad
+
+    def test_mixed_requires_grad_operands(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(2))
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(2))
+        assert b.grad is None
+
+
+class TestJoinEdgeCases:
+    def test_concatenate_single(self):
+        t = Tensor(np.ones((2, 2)))
+        np.testing.assert_allclose(concatenate([t]).data, t.data)
+
+    def test_stack_new_axis(self):
+        a, b = Tensor(np.zeros(3)), Tensor(np.ones(3))
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+
+    def test_concatenate_gradient_routes_to_grad_requiring_only(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 2)))
+        concatenate([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+
+
+class TestModuleEdgeCases:
+    def test_modulelist_len_and_getitem(self):
+        from repro.nn import Linear
+        items = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(items) == 2
+        assert items[1] is not items[0]
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+    def test_load_state_dict_shape_mismatch(self):
+        from repro.nn import Linear
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        state = layer.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            layer.load_state_dict(state)
+
+
+class TestFunctionalEdgeCases:
+    def test_segment_sum_all_one_segment(self):
+        values = Tensor(np.arange(6.0).reshape(3, 2))
+        out = F.segment_sum(values, np.zeros(3, dtype=int), 1)
+        np.testing.assert_allclose(out.data, [[6.0, 9.0]])
+
+    def test_cross_entropy_single_row(self):
+        loss = F.cross_entropy(Tensor(np.array([[10.0, 0.0]])), np.array([0]))
+        assert loss.item() < 0.01
+
+    def test_dropout_p_zero_identity(self):
+        x = Tensor(np.ones((5, 5)))
+        out = F.dropout(x, 0.0, np.random.default_rng(0), training=True)
+        np.testing.assert_allclose(out.data, 1.0)
+
+    def test_softmax_axis_zero(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3)))
+        out = F.softmax(x, axis=0)
+        np.testing.assert_allclose(out.data.sum(axis=0), 1.0, atol=1e-10)

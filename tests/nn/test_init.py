@@ -1,0 +1,44 @@
+"""Tests for the weight-initialisation schemes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+RNG = np.random.default_rng(11)
+
+
+class TestXavier:
+    def test_uniform_bounds(self):
+        weights = init.xavier_uniform((64, 32), RNG)
+        bound = np.sqrt(6.0 / (64 + 32))
+        assert np.abs(weights).max() <= bound
+        assert weights.shape == (64, 32)
+
+    def test_uniform_gain_scales_bound(self):
+        rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(0)
+        plain = init.xavier_uniform((64, 64), rng_a)
+        gained = init.xavier_uniform((64, 64), rng_b, gain=2.0)
+        np.testing.assert_allclose(gained, 2.0 * plain)
+
+    def test_normal_std(self):
+        weights = init.xavier_normal((400, 400), RNG)
+        expected = np.sqrt(2.0 / 800)
+        assert abs(weights.std() - expected) < expected * 0.1
+
+    def test_vector_fans(self):
+        weights = init.xavier_uniform((10,), RNG)
+        assert weights.shape == (10,)
+
+    def test_kaiming_bound(self):
+        weights = init.kaiming_uniform((50, 20), RNG)
+        assert np.abs(weights).max() <= np.sqrt(6.0 / 50)
+
+    def test_zeros(self):
+        np.testing.assert_allclose(init.zeros((3, 4)), 0.0)
+
+    def test_deterministic_given_rng(self):
+        a = init.xavier_uniform((8, 8), np.random.default_rng(5))
+        b = init.xavier_uniform((8, 8), np.random.default_rng(5))
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,267 @@
+"""Tests for layers, module mechanics, and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BatchNorm1d,
+    CosineAnnealingLR,
+    Dropout,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    Parameter,
+    SGD,
+    Tensor,
+    resolve_activation,
+)
+
+from tests.gradcheck import check_gradients
+
+
+RNG = np.random.default_rng(7)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(5, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(RNG.normal(size=(10, 5))))
+        assert out.shape == (10, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 2, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_flow_to_weights(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        out = layer(Tensor(RNG.normal(size=(4, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+
+
+class TestMLP:
+    def test_depth(self):
+        mlp = MLP(8, [16, 16], 4, rng=np.random.default_rng(0))
+        assert len(mlp.layers) == 3
+        assert mlp(Tensor(RNG.normal(size=(5, 8)))).shape == (5, 4)
+
+    def test_no_hidden_is_single_linear(self):
+        mlp = MLP(8, [], 4, rng=np.random.default_rng(0))
+        assert len(mlp.layers) == 1
+
+    def test_final_activation(self):
+        mlp = MLP(4, [8], 3, final_activation="sigmoid", rng=np.random.default_rng(0))
+        out = mlp(Tensor(RNG.normal(size=(6, 4))))
+        assert np.all(out.data > 0.0) and np.all(out.data < 1.0)
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            resolve_activation("swishh")
+
+
+class TestNorms:
+    def test_layernorm_zero_mean_unit_var(self):
+        layer = LayerNorm(16)
+        out = layer(Tensor(RNG.normal(size=(8, 16)) * 5 + 3))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_layernorm_gradient(self):
+        layer = LayerNorm(6)
+        check_gradients(lambda x: layer(x), [RNG.normal(size=(4, 6))])
+
+    def test_batchnorm_train_vs_eval(self):
+        layer = BatchNorm1d(4, momentum=0.5)
+        x = Tensor(RNG.normal(size=(32, 4)) * 2 + 1)
+        layer.train()
+        out_train = layer(x)
+        np.testing.assert_allclose(out_train.data.mean(axis=0), 0.0, atol=1e-6)
+        layer.eval()
+        out_eval = layer(x)
+        # Eval uses running stats, so outputs differ from train-time outputs.
+        assert not np.allclose(out_train.data, out_eval.data)
+
+
+class TestDropoutLayer:
+    def test_respects_training_flag(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 10)))
+        layer.eval()
+        np.testing.assert_allclose(layer(x).data, 1.0)
+        layer.train()
+        assert (layer(x).data == 0).any()
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestModuleMechanics:
+    def _model(self):
+        class Toy(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(3, 4, rng=np.random.default_rng(0))
+                self.b = MLP(4, [5], 2, rng=np.random.default_rng(1))
+
+            def forward(self, x):
+                return self.b(self.a(x))
+
+        return Toy()
+
+    def test_named_parameters_are_qualified(self):
+        names = [name for name, _ in self._model().named_parameters()]
+        assert "a.weight" in names
+        assert any(name.startswith("b.layers.0") for name in names)
+
+    def test_num_parameters(self):
+        model = self._model()
+        expected = sum(p.size for p in model.parameters())
+        assert model.num_parameters() == expected
+
+    def test_state_dict_roundtrip(self):
+        model = self._model()
+        state = model.state_dict()
+        for param in model.parameters():
+            param.data += 1.0
+        model.load_state_dict(state)
+        for name, param in model.named_parameters():
+            np.testing.assert_allclose(param.data, state[name])
+
+    def test_load_state_dict_rejects_mismatch(self):
+        model = self._model()
+        with pytest.raises(KeyError):
+            model.load_state_dict({"nope": np.zeros(3)})
+
+    def test_train_eval_propagates(self):
+        model = self._model()
+        model.eval()
+        assert not model.a.training and not model.b.training
+        model.train()
+        assert model.a.training
+
+    def test_zero_grad_clears_all(self):
+        model = self._model()
+        out = model(Tensor(RNG.normal(size=(2, 3)))).sum()
+        out.backward()
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([1.0, -2.0, 3.0])
+        param = Parameter(np.zeros(3))
+
+        def loss_fn():
+            diff = param - Tensor(target)
+            return (diff * diff).sum()
+
+        return param, target, loss_fn
+
+    def test_sgd_converges(self):
+        param, target, loss_fn = self._quadratic_problem()
+        opt = SGD([param], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        param, target, loss_fn = self._quadratic_problem()
+        opt = SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        param, target, loss_fn = self._quadratic_problem()
+        opt = Adam([param], lr=0.1, weight_decay=0.0)
+        for _ in range(300):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_adam_weight_decay_shrinks_solution(self):
+        param_plain, target, loss_plain = self._quadratic_problem()
+        opt = Adam([param_plain], lr=0.1, weight_decay=0.0)
+        for _ in range(300):
+            opt.zero_grad()
+            loss_plain().backward()
+            opt.step()
+        param_decayed, _, loss_decayed = self._quadratic_problem()
+        opt2 = Adam([param_decayed], lr=0.1, weight_decay=1.0)
+        for _ in range(300):
+            opt2.zero_grad()
+            loss_decayed().backward()
+            opt2.step()
+        assert np.linalg.norm(param_decayed.data) < np.linalg.norm(param_plain.data)
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        param = Parameter(np.zeros(2))
+        with pytest.raises(ValueError):
+            Adam([param], lr=-1.0)
+
+    def test_step_skips_parameters_without_grad(self):
+        p1, p2 = Parameter(np.ones(2)), Parameter(np.ones(2))
+        opt = SGD([p1, p2], lr=0.1)
+        (p1.sum() * 2.0).backward()
+        opt.step()
+        np.testing.assert_allclose(p2.data, np.ones(2))
+        assert not np.allclose(p1.data, np.ones(2))
+
+    def test_cosine_schedule_decays_to_min(self):
+        param = Parameter(np.zeros(1))
+        opt = Adam([param], lr=1.0)
+        sched = CosineAnnealingLR(opt, total_steps=10, min_lr=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_schedule_halfway(self):
+        param = Parameter(np.zeros(1))
+        opt = SGD([param], lr=1.0)
+        sched = CosineAnnealingLR(opt, total_steps=2, min_lr=0.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+
+class TestPReLU:
+    def test_positive_passthrough(self):
+        from repro.nn.layers import PReLU
+        layer = PReLU()
+        x = Tensor(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(layer(x).data, [1.0, 2.0])
+
+    def test_negative_scaled_by_slope(self):
+        from repro.nn.layers import PReLU
+        layer = PReLU(init=0.1)
+        x = Tensor(np.array([-2.0]))
+        np.testing.assert_allclose(layer(x).data, [-0.2])
+
+    def test_slope_is_trainable(self):
+        from repro.nn.layers import PReLU
+        layer = PReLU()
+        (layer(Tensor(np.array([-1.0, 2.0]))).sum()).backward()
+        assert layer.slope.grad is not None
+        np.testing.assert_allclose(layer.slope.grad, [-1.0])
+
+    def test_encoder_accepts_prelu(self):
+        from repro.gnn import GNNEncoder
+        from repro.graph.sparse import adjacency_from_edges
+        adj = adjacency_from_edges(np.array([(i, (i + 1) % 6) for i in range(6)]), 6)
+        encoder = GNNEncoder(4, 8, 2, activation="prelu", rng=np.random.default_rng(0))
+        out = encoder(adj, Tensor(np.random.default_rng(0).normal(size=(6, 4))))
+        assert out.shape == (6, 2)
+        assert any("slope" in name for name, _ in encoder.named_parameters())

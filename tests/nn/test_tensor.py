@@ -1,0 +1,202 @@
+"""Unit tests for the autograd Tensor: forward values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concatenate, no_grad, stack
+
+from tests.gradcheck import check_gradients
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestForwardValues:
+    def test_add_matches_numpy(self):
+        a, b = RNG.normal(size=(3, 4)), RNG.normal(size=(3, 4))
+        np.testing.assert_allclose((Tensor(a) + Tensor(b)).data, a + b)
+
+    def test_scalar_broadcast(self):
+        a = RNG.normal(size=(3, 4))
+        np.testing.assert_allclose((Tensor(a) + 2.0).data, a + 2.0)
+        np.testing.assert_allclose((3.0 * Tensor(a)).data, 3.0 * a)
+        np.testing.assert_allclose((1.0 - Tensor(a)).data, 1.0 - a)
+        np.testing.assert_allclose((1.0 / Tensor(a + 10.0)).data, 1.0 / (a + 10.0))
+
+    def test_matmul_matches_numpy(self):
+        a, b = RNG.normal(size=(3, 5)), RNG.normal(size=(5, 2))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_reductions(self):
+        a = RNG.normal(size=(4, 6))
+        np.testing.assert_allclose(Tensor(a).sum().data, a.sum())
+        np.testing.assert_allclose(Tensor(a).mean(axis=1).data, a.mean(axis=1))
+        np.testing.assert_allclose(Tensor(a).var(axis=0).data, a.var(axis=0))
+        np.testing.assert_allclose(Tensor(a).max(axis=1).data, a.max(axis=1))
+
+    def test_integer_input_promoted_to_float(self):
+        t = Tensor([[1, 2], [3, 4]])
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_item_and_len(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+        assert len(Tensor(np.zeros((7, 2)))) == 7
+
+    def test_getitem_fancy_indexing(self):
+        a = RNG.normal(size=(5, 3))
+        idx = np.array([0, 2, 4])
+        np.testing.assert_allclose(Tensor(a)[idx].data, a[idx])
+
+
+class TestGradients:
+    def test_add(self):
+        check_gradients(lambda a, b: a + b, [RNG.normal(size=(3, 4)), RNG.normal(size=(3, 4))])
+
+    def test_add_broadcast(self):
+        check_gradients(lambda a, b: a + b, [RNG.normal(size=(3, 4)), RNG.normal(size=(4,))])
+
+    def test_sub(self):
+        check_gradients(lambda a, b: a - b, [RNG.normal(size=(2, 3)), RNG.normal(size=(2, 3))])
+
+    def test_mul_broadcast(self):
+        check_gradients(lambda a, b: a * b, [RNG.normal(size=(3, 4)), RNG.normal(size=(3, 1))])
+
+    def test_div(self):
+        check_gradients(
+            lambda a, b: a / b,
+            [RNG.normal(size=(3, 3)), RNG.normal(size=(3, 3)) + 3.0],
+        )
+
+    def test_matmul(self):
+        check_gradients(lambda a, b: a @ b, [RNG.normal(size=(4, 3)), RNG.normal(size=(3, 5))])
+
+    def test_matvec(self):
+        check_gradients(lambda a, b: a @ b, [RNG.normal(size=(4, 3)), RNG.normal(size=(3,))])
+
+    def test_pow(self):
+        check_gradients(lambda a: a ** 3, [RNG.normal(size=(3, 3))])
+
+    def test_sqrt(self):
+        check_gradients(lambda a: a.sqrt(), [np.abs(RNG.normal(size=(3, 3))) + 0.5])
+
+    def test_neg(self):
+        check_gradients(lambda a: -a, [RNG.normal(size=(2, 2))])
+
+    def test_exp_log(self):
+        check_gradients(lambda a: (a.exp() + 1.0).log(), [RNG.normal(size=(3, 3))])
+
+    def test_tanh_sigmoid(self):
+        check_gradients(lambda a: a.tanh() * a.sigmoid(), [RNG.normal(size=(3, 3))])
+
+    def test_relu(self):
+        # Avoid points near the kink where finite differences are invalid.
+        data = RNG.normal(size=(4, 4))
+        data[np.abs(data) < 0.1] = 0.5
+        check_gradients(lambda a: a.relu(), [data])
+
+    def test_abs(self):
+        data = RNG.normal(size=(4, 4))
+        data[np.abs(data) < 0.1] = 0.5
+        check_gradients(lambda a: a.abs(), [data])
+
+    def test_clip(self):
+        data = RNG.normal(size=(4, 4)) * 3.0
+        data[np.abs(np.abs(data) - 1.0) < 0.1] = 0.0
+        check_gradients(lambda a: a.clip(-1.0, 1.0), [data])
+
+    def test_sum_axis_keepdims(self):
+        check_gradients(lambda a: a.sum(axis=0, keepdims=True) * 2.0, [RNG.normal(size=(3, 4))])
+
+    def test_mean(self):
+        check_gradients(lambda a: a.mean(axis=1), [RNG.normal(size=(3, 4))])
+
+    def test_var(self):
+        check_gradients(lambda a: a.var(axis=0), [RNG.normal(size=(5, 3))])
+
+    def test_max(self):
+        data = RNG.normal(size=(4, 5)) * 10  # make ties vanishingly unlikely
+        check_gradients(lambda a: a.max(axis=1), [data])
+
+    def test_reshape_transpose(self):
+        check_gradients(lambda a: a.reshape(6, 2).T @ a.reshape(6, 2), [RNG.normal(size=(3, 4))])
+
+    def test_getitem(self):
+        idx = np.array([0, 2, 2])
+
+        def fn(a):
+            return a[idx] * 3.0
+
+        check_gradients(fn, [RNG.normal(size=(4, 3))])
+
+    def test_concatenate(self):
+        check_gradients(
+            lambda a, b: concatenate([a, b], axis=1) ** 2,
+            [RNG.normal(size=(2, 3)), RNG.normal(size=(2, 2))],
+        )
+
+    def test_stack(self):
+        check_gradients(
+            lambda a, b: stack([a, b], axis=0) * 2.0,
+            [RNG.normal(size=(2, 3)), RNG.normal(size=(2, 3))],
+        )
+
+    def test_chained_expression(self):
+        check_gradients(
+            lambda a, b: ((a @ b).tanh() ** 2).mean(axis=0),
+            [RNG.normal(size=(4, 3)), RNG.normal(size=(3, 4))],
+        )
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_across_uses(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = (a * 2.0 + a * 3.0).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 5.0))
+
+    def test_backward_requires_scalar_without_grad_argument(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2.0).backward()
+
+    def test_backward_on_constant_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(3)).sum().backward()
+
+    def test_detach_blocks_gradient(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        out = (a.detach() * a).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))  # only the live branch
+
+    def test_no_grad_context(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+
+    def test_zero_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a * 2.0).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph_gradient(self):
+        # a -> b, c -> d: gradient must combine both paths exactly once.
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        b = a * 3.0
+        c = a * 4.0
+        d = (b * c).sum()
+        d.backward()
+        # d = 12 a^2, so dd/da = 24 a = 48.
+        np.testing.assert_allclose(a.grad, np.array([48.0]))
+
+    def test_second_backward_requires_fresh_graph(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        out = (a * 2.0).sum()
+        out.backward()
+        first = a.grad.copy()
+        out2 = (a * 2.0).sum()
+        out2.backward()
+        np.testing.assert_allclose(a.grad, 2.0 * first)

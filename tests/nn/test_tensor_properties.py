@@ -1,0 +1,126 @@
+"""Property-based tests of the autograd engine (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Tensor, functional as F
+
+
+def arrays(min_rows=1, max_rows=6, min_cols=1, max_cols=6):
+    @st.composite
+    def strategy(draw):
+        rows = draw(st.integers(min_rows, max_rows))
+        cols = draw(st.integers(min_cols, max_cols))
+        seed = draw(st.integers(0, 2**31 - 1))
+        rng = np.random.default_rng(seed)
+        return rng.normal(size=(rows, cols))
+
+    return strategy()
+
+
+class TestAlgebraicProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(arrays())
+    def test_addition_commutes(self, a):
+        b = a[::-1].copy()
+        left = (Tensor(a) + Tensor(b)).data
+        right = (Tensor(b) + Tensor(a)).data
+        np.testing.assert_allclose(left, right)
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays())
+    def test_double_negation(self, a):
+        np.testing.assert_allclose((-(-Tensor(a))).data, a)
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays())
+    def test_exp_log_roundtrip(self, a):
+        t = Tensor(a)
+        np.testing.assert_allclose(t.exp().log().data, a, atol=1e-10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays())
+    def test_sum_of_mean_scaling(self, a):
+        t = Tensor(a)
+        np.testing.assert_allclose(
+            t.mean().data * a.size, t.sum().data, rtol=1e-10
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays(min_rows=2))
+    def test_transpose_involution(self, a):
+        np.testing.assert_allclose(Tensor(a).T.T.data, a)
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays())
+    def test_softmax_simplex(self, a):
+        out = F.softmax(Tensor(a * 10)).data
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-9)
+
+
+class TestGradientProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(arrays())
+    def test_gradient_of_sum_is_ones(self, a):
+        t = Tensor(a, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(a))
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays())
+    def test_gradient_linearity_in_scale(self, a):
+        # d/dx sum(c * x) == c everywhere.
+        for scale in (2.0, -3.5):
+            t = Tensor(a, requires_grad=True)
+            (t * scale).sum().backward()
+            np.testing.assert_allclose(t.grad, np.full_like(a, scale))
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays())
+    def test_chain_rule_through_identity_composition(self, a):
+        t = Tensor(a, requires_grad=True)
+        # log(exp(x)) == x, so gradient of its sum is exactly 1.
+        t.exp().log().sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(a), atol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays(min_rows=2, max_rows=5, min_cols=2, max_cols=5))
+    def test_matmul_gradient_shapes(self, a):
+        b = np.random.default_rng(0).normal(size=(a.shape[1], 3))
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        (ta @ tb).sum().backward()
+        assert ta.grad.shape == a.shape
+        assert tb.grad.shape == b.shape
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays())
+    def test_detach_produces_zero_gradient_path(self, a):
+        t = Tensor(a, requires_grad=True)
+        (t.detach() * 3.0).sum()
+        assert t.grad is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays(), st.floats(0.1, 0.9))
+    def test_dropout_preserves_expectation(self, a, p):
+        rng = np.random.default_rng(0)
+        big = np.ones((5000, 2))
+        out = F.dropout(Tensor(big), p, rng, training=True)
+        assert abs(out.data.mean() - 1.0) < 0.1
+
+
+class TestNumericalStability:
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(-1e4, 1e4))
+    def test_sigmoid_bounded(self, x):
+        out = Tensor(np.array([x])).sigmoid().data
+        assert 0.0 <= out[0] <= 1.0 and np.isfinite(out[0])
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays())
+    def test_l2_normalize_never_nan(self, a):
+        a[0] = 0.0  # include a zero row
+        out = F.l2_normalize(Tensor(a)).data
+        assert np.isfinite(out).all()

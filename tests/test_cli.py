@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import _build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args([])
+
+    def test_pretrain_args(self):
+        args = _build_parser().parse_args(["pretrain", "GCMAE", "cora-like", "--seed", "3"])
+        assert args.method == "GCMAE" and args.seed == 3
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["table", "2"])  # 2/3 are dataset stats
+
+    def test_evaluate_task_choices(self):
+        args = _build_parser().parse_args(
+            ["evaluate", "DGI", "cora-like", "--task", "clustering"]
+        )
+        assert args.task == "clustering"
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        main(["datasets"])
+        out = capsys.readouterr().out
+        assert "cora-like" in out and "mutag-like" in out
+
+    def test_unknown_method_exits(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "fast")
+        with pytest.raises(SystemExit, match="unknown method"):
+            main(["pretrain", "NotAMethod", "cora-like"])
+
+    def test_pretrain_writes_embeddings(self, tmp_path, monkeypatch, capsys):
+        # Micro-size run via a monkeypatched registry to keep the test fast.
+        from repro.experiments import registry
+
+        def tiny_methods(profile):
+            from repro.baselines import DGI
+            return {"DGI": lambda: DGI(hidden_dim=8, epochs=2)}
+
+        monkeypatch.setattr(registry, "node_ssl_methods", tiny_methods)
+        monkeypatch.setattr(
+            "repro.experiments.node_classification.node_ssl_methods", tiny_methods
+        )
+        output = tmp_path / "emb.npz"
+        main(["pretrain", "DGI", "cora-like", "--output", str(output)])
+        payload = np.load(output)
+        assert payload["embeddings"].shape[0] == 600
+        assert "saved" in capsys.readouterr().out
+
+    def test_evaluate_classification(self, monkeypatch, capsys):
+        from repro.experiments import registry
+
+        def tiny_methods(profile):
+            from repro.baselines import DGI
+            return {"DGI": lambda: DGI(hidden_dim=8, epochs=2)}
+
+        monkeypatch.setattr(registry, "node_ssl_methods", tiny_methods)
+        main(["evaluate", "DGI", "cora-like", "--task", "classification"])
+        assert "accuracy=" in capsys.readouterr().out

@@ -1,0 +1,19 @@
+PYTHON ?= python
+
+.PHONY: ci test lint perf bench
+
+ci:
+	scripts/ci.sh
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+lint:
+	ruff check src tests benchmarks
+	ruff format --check src tests benchmarks
+
+perf:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_regression.py -q -s
+
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks -q

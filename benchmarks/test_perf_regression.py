@@ -1,0 +1,161 @@
+"""Perf smoke benchmark guarding the CSR-cached sparse matmul path.
+
+Workload: 50 epochs of GCMAE (GCN backbone, 32-dim encoder, SCE objective)
+on the Cora-like 600-node graph — the configuration where message passing
+dominates the step, i.e. exactly the path this repo optimised with
+structure-operand caching, cached transposes, and the fused
+``spmm_linear`` kernel.
+
+Two timed runs on identical seeds:
+
+* **current** — the optimised path as shipped.
+* **legacy**  — a faithful re-creation of the seed (pre-cache, pre-fusion)
+  implementation: LIL-based adjacency normalisation rebuilt on every
+  encoder forward, unfused ``A @ (X W)``, and a transpose materialised per
+  backward (the derived-matrix cache is disabled for the run).
+
+The committed ``perf_baseline.json`` records the minimum acceptable
+speedup (1.5x, per the PR acceptance criteria) plus reference numbers from
+the machine that authored the change.  Set ``REPRO_PERF_REPORT_ONLY=1``
+(as CI does on pull requests) to print the comparison without failing.
+A ``BENCH_perf_regression.json`` artifact with the measured numbers and
+the profiler's op table is written next to this file.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.config import GCMAEConfig
+from repro.core.trainer import train_gcmae
+from repro.gnn import conv as conv_module
+from repro.gnn.conv import GCNConv
+from repro.graph import sparse
+from repro.graph.datasets import load_node_dataset
+from repro.nn import functional as F
+from repro.nn import profiler as nn_profiler
+
+HERE = Path(__file__).resolve().parent
+BASELINE_PATH = HERE / "perf_baseline.json"
+ARTIFACT_PATH = HERE / "BENCH_perf_regression.json"
+
+WORKLOAD = dict(
+    conv_type="gcn",
+    heads=1,
+    hidden_dim=32,
+    embed_dim=32,
+    epochs=50,
+    use_contrastive=False,
+    use_structure_reconstruction=False,
+    use_discrimination=False,
+)
+
+
+# ---------------------------------------------------------------------------
+# Seed (pre-PR) implementations, kept verbatim for regression comparison
+# ---------------------------------------------------------------------------
+def _legacy_normalized_adjacency(adjacency, self_loops=True, mode="symmetric"):
+    """The seed's normalisation: LIL diagonal surgery + diagonal spgemm."""
+    matrix = sp.csr_matrix(adjacency, dtype=np.float64).tolil()
+    matrix.setdiag(0.0)
+    matrix = sparse.to_csr(matrix)
+    if self_loops:
+        matrix = sparse.to_csr(matrix + sp.eye(matrix.shape[0], format="csr"))
+    degrees = np.asarray(matrix.sum(axis=1)).ravel()
+    if mode == "symmetric":
+        inv_sqrt = np.zeros_like(degrees)
+        nonzero = degrees > 0
+        inv_sqrt[nonzero] = degrees[nonzero] ** -0.5
+        scale = sp.diags(inv_sqrt)
+        return sparse.to_csr(scale @ matrix @ scale)
+    inv = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv[nonzero] = 1.0 / degrees[nonzero]
+    return sparse.to_csr(sp.diags(inv) @ matrix)
+
+
+def _legacy_gcn_forward(self, norm_adjacency, x):
+    """The seed's unfused GCN forward: separate projection and spmm nodes."""
+    out = F.spmm(norm_adjacency, x @ self.weight)
+    if self.bias is not None:
+        out = out + self.bias
+    return out
+
+
+def _run_workload(seed=0):
+    graph = load_node_dataset("cora-like", seed=seed)
+    config = GCMAEConfig(**WORKLOAD)
+    start = time.perf_counter()
+    result = train_gcmae(graph, config, seed=seed)
+    return time.perf_counter() - start, result
+
+
+def test_csr_cached_path_beats_legacy(monkeypatch):
+    baseline = json.loads(BASELINE_PATH.read_text())
+    min_speedup = float(baseline["min_speedup"])
+    report_only = os.environ.get("REPRO_PERF_REPORT_ONLY", "") not in ("", "0")
+
+    _run_workload()  # warm caches, imports, and BLAS threads
+
+    current_seconds, current_result = _run_workload()
+
+    with sparse.cache_disabled():
+        monkeypatch.setattr(
+            conv_module, "normalized_adjacency", _legacy_normalized_adjacency
+        )
+        monkeypatch.setattr(GCNConv, "forward", _legacy_gcn_forward)
+        legacy_seconds, legacy_result = _run_workload()
+    monkeypatch.undo()
+
+    # Same seeds, mathematically identical pipeline: the optimisation must
+    # not change what is computed, only how fast.
+    np.testing.assert_allclose(
+        current_result.loss_history, legacy_result.loss_history, rtol=1e-8
+    )
+
+    speedup = legacy_seconds / current_seconds
+
+    # Op-level profile of the optimised path for the JSON artifact.
+    graph = load_node_dataset("cora-like", seed=0)
+    with nn_profiler.profile() as prof:
+        train_gcmae(graph, GCMAEConfig(**{**WORKLOAD, "epochs": 5}), seed=0)
+    payload = prof.to_dict()
+    payload["benchmark"] = {
+        "workload": WORKLOAD,
+        "dataset": "cora-like (600 nodes)",
+        "current_seconds": current_seconds,
+        "legacy_seconds": legacy_seconds,
+        "speedup": speedup,
+        "min_speedup": min_speedup,
+        "report_only": report_only,
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"\n[perf] cached {current_seconds:.3f}s vs legacy {legacy_seconds:.3f}s "
+        f"-> speedup {speedup:.2f}x (required >= {min_speedup}x)"
+    )
+    print(prof.summary(limit=8))
+
+    if report_only:
+        return
+    assert speedup >= min_speedup, (
+        f"CSR-cached sparse path regressed: {speedup:.2f}x vs legacy "
+        f"(required >= {min_speedup}x). See {ARTIFACT_PATH.name} for the "
+        "op-level breakdown."
+    )
+
+
+def test_profiled_train_top_op_is_sparse_matmul():
+    """The profiler's top op-level entry on this workload is the fused
+    sparse matmul — the kernel the perf gate above protects."""
+    graph = load_node_dataset("cora-like", seed=0)
+    config = GCMAEConfig(**{**WORKLOAD, "epochs": 5})
+    with nn_profiler.profile() as prof:
+        train_gcmae(graph, config, seed=0)
+    top = prof.top(n=1)
+    assert top and top[0].name == "graph.spmm_linear", prof.summary(limit=5)

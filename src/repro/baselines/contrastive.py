@@ -17,7 +17,6 @@ substrate (see DESIGN.md for the substitution argument):
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

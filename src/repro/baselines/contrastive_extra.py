@@ -13,7 +13,7 @@ tables, but they round out the contrastive family for extension studies:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 import scipy.sparse as sp

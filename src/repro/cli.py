@@ -13,7 +13,6 @@ Commands
 from __future__ import annotations
 
 import argparse
-import sys
 from typing import List, Optional
 
 import numpy as np

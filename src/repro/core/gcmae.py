@@ -18,7 +18,7 @@ The total objective is ``J = L_SCE + alpha L_C + lam L_E + mu L_Var``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp

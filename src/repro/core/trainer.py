@@ -8,14 +8,16 @@ GraphSAGE's mini-batch style with MaskGAE).  Graphs below
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from ..graph.augment import random_subgraph_nodes
 from ..graph.data import Graph, GraphDataset
 from ..nn.optim import Adam
+from ..nn.profiler import active_session
 from .base import EmbeddingResult, Stopwatch
 from .config import GCMAEConfig
 from .gcmae import GCMAE, LossParts
@@ -23,12 +25,19 @@ from .gcmae import GCMAE, LossParts
 
 @dataclass
 class TrainResult:
-    """A trained GCMAE plus its loss curves."""
+    """A trained GCMAE plus its loss curves.
+
+    ``epoch_seconds`` holds per-epoch wall time; when an active
+    :func:`repro.nn.profiler.profile` session spans the call the same
+    boundaries are marked there, so ``prof.summary()`` can report mean
+    epoch cost alongside the per-op table.
+    """
 
     model: GCMAE
     loss_history: List[float] = field(default_factory=list)
     part_history: List[LossParts] = field(default_factory=list)
     train_seconds: float = 0.0
+    epoch_seconds: List[float] = field(default_factory=list)
 
 
 def train_gcmae(
@@ -62,8 +71,10 @@ def train_gcmae(
     use_subgraphs = graph.num_nodes > config.subgraph_threshold
 
     result = TrainResult(model=model)
+    session = active_session()
     with Stopwatch() as timer:
         for epoch in range(config.epochs):
+            epoch_start = time.perf_counter()
             model.train()
             if use_subgraphs:
                 epoch_losses = []
@@ -79,6 +90,10 @@ def train_gcmae(
                 parts = _train_step(model, optimizer, graph, rng)
             result.loss_history.append(parts.total)
             result.part_history.append(parts)
+            epoch_elapsed = time.perf_counter() - epoch_start
+            result.epoch_seconds.append(epoch_elapsed)
+            if session is not None:
+                session.mark_epoch(epoch_elapsed)
             if epoch_callback is not None:
                 epoch_callback(epoch, model)
     result.train_seconds = timer.seconds

@@ -14,7 +14,7 @@ Table 8 compares four ways of wiring the two branches:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 

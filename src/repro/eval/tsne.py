@@ -7,7 +7,6 @@ Quadratic in the number of points — fine for the few hundred nodes we plot.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -2,7 +2,12 @@
 
 from .ablation import ABLATION_ROWS, run_table10
 from .cache import cached_fit, clear_cache
-from .efficiency import TIMED_METHODS, run_table9
+from .efficiency import (
+    TIMED_METHODS,
+    profile_gcmae_components,
+    run_table9,
+    run_table9_breakdown,
+)
 from .encoder_variants import VARIANT_ROWS, run_table8
 from .extension_methods import extension_methods, run_extension_comparison
 from .extensions import DESIGN_VARIANTS, run_design_ablation
@@ -69,6 +74,8 @@ __all__ = [
     "run_table6",
     "run_table7",
     "run_table8",
+    "profile_gcmae_components",
     "run_table9",
+    "run_table9_breakdown",
     "supervised_methods",
 ]

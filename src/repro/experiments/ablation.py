@@ -7,7 +7,7 @@ and the GraphMAE backbone as the floor.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..baselines import GraphMAE
 from ..core import GCMAEMethod

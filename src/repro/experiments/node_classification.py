@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-import numpy as np
 
 from ..core.base import EmbeddingResult
 from ..eval.classification import evaluate_probe

@@ -7,7 +7,7 @@ derived from its evaluation tables.  Improvements are relative percentages:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Iterable, Optional
 
 import numpy as np
 

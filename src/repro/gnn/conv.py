@@ -9,16 +9,23 @@ graph-classification baselines.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp
 
-from ..graph.sparse import add_self_loops, normalized_adjacency, to_csr
+from ..graph.sparse import (
+    add_self_loops,
+    memoized_on_matrix,
+    normalized_adjacency,
+    to_csr,
+)
 from ..nn import functional as F
 from ..nn import init
+from ..nn.layers import MLP
 from ..nn.module import Module, Parameter
-from ..nn.layers import MLP, Linear
+from ..nn.profiler import active_session
 from ..nn.tensor import Tensor
 
 
@@ -42,7 +49,8 @@ class GCNConv(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, norm_adjacency: sp.csr_matrix, x: Tensor) -> Tensor:
-        out = F.spmm(norm_adjacency, x @ self.weight)
+        # Fused projection + aggregation: one autograd node for A @ (X W).
+        out = F.spmm_linear(norm_adjacency, x, self.weight)
         if self.bias is not None:
             out = out + self.bias
         return out
@@ -114,8 +122,9 @@ class GATConv(Module):
     def forward(self, adjacency: sp.csr_matrix, x: Tensor) -> Tensor:
         """``adjacency`` is the raw (unnormalised) adjacency; self loops are added."""
         n = adjacency.shape[0]
-        coo = sp.coo_matrix(add_self_loops(adjacency))
-        src, dst = coo.row, coo.col
+        src, dst = memoized_on_matrix(
+            adjacency, "gat-edges", lambda: _self_loop_edges(adjacency)
+        )
 
         h = (x @ self.weight).reshape(n, self.heads, self.out_features)
         # Per-node attention halves: (N, heads)
@@ -160,7 +169,8 @@ class GINConv(Module):
 
     def forward(self, adjacency: sp.csr_matrix, x: Tensor) -> Tensor:
         """``adjacency`` is the raw (binary) adjacency: GIN uses sum aggregation."""
-        aggregated = F.spmm(to_csr(adjacency), x)
+        operand = memoized_on_matrix(adjacency, "gin-csr", lambda: to_csr(adjacency))
+        aggregated = F.spmm(operand, x)
         if self.eps is not None:
             combined = x * (1.0 + self.eps) + aggregated
         else:
@@ -168,17 +178,40 @@ class GINConv(Module):
         return self.mlp(combined)
 
 
+def _self_loop_edges(adjacency: sp.spmatrix):
+    """(src, dst) arrays of the adjacency with self loops, for GAT attention."""
+    coo = sp.coo_matrix(add_self_loops(adjacency))
+    return coo.row, coo.col
+
+
 def structure_operand(conv_type: str, adjacency: sp.csr_matrix) -> sp.csr_matrix:
-    """Precompute the sparse operand each conv type expects.
+    """The sparse operand each conv type expects, built once per adjacency.
 
     * ``gcn``  — symmetrically-normalised adjacency with self loops,
     * ``sage`` — row-normalised adjacency (mean aggregation),
     * ``gat`` / ``gin`` — the raw adjacency.
+
+    Results are memoized against the adjacency's identity (see
+    :func:`repro.graph.sparse.memoized_on_matrix`), so training loops that
+    call the encoder every epoch normalise each adjacency exactly once.
+    A profiler session records cache-miss builds under ``graph.structure``.
     """
-    if conv_type == "gcn":
-        return normalized_adjacency(adjacency, self_loops=True, mode="symmetric")
-    if conv_type == "sage":
-        return normalized_adjacency(adjacency, self_loops=False, mode="row")
-    if conv_type in ("gat", "gin"):
-        return to_csr(adjacency)
-    raise ValueError(f"unknown conv type {conv_type!r}; use gcn/sage/gat/gin")
+    if conv_type not in ("gcn", "sage", "gat", "gin"):
+        raise ValueError(f"unknown conv type {conv_type!r}; use gcn/sage/gat/gin")
+
+    def build() -> sp.csr_matrix:
+        session = active_session()
+        start = time.perf_counter() if session is not None else 0.0
+        if conv_type == "gcn":
+            operand = normalized_adjacency(adjacency, self_loops=True, mode="symmetric")
+        elif conv_type == "sage":
+            operand = normalized_adjacency(adjacency, self_loops=False, mode="row")
+        else:
+            operand = to_csr(adjacency)
+        if session is not None:
+            session.record(
+                "graph.structure", time.perf_counter() - start, int(operand.data.nbytes)
+            )
+        return operand
+
+    return memoized_on_matrix(adjacency, ("operand", conv_type), build)

@@ -1,8 +1,23 @@
-"""Sparse adjacency utilities shared by the GNN layers and augmentations."""
+"""Sparse adjacency utilities shared by the GNN layers and augmentations.
+
+The construction helpers here sit on the hot training path: every encoder
+forward needs a structure operand derived from the adjacency, and every
+``spmm`` backward needs its transpose.  Two mechanisms keep that cheap:
+
+* All diagonal surgery works on COO triplets directly (no LIL round trips,
+  which dominated the seed implementation's cost).
+* :func:`memoized_on_matrix` caches derived matrices (normalised operands,
+  CSR transposes, edge arrays) keyed on the *identity* of the source
+  adjacency, with weakref-based eviction, so one adjacency trained for many
+  epochs is normalised exactly once.  :class:`cache_disabled` restores the
+  build-every-call behaviour for benchmarking.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+import threading
+import weakref
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -16,17 +31,146 @@ def to_csr(matrix: sp.spmatrix) -> sp.csr_matrix:
     return csr
 
 
+# ---------------------------------------------------------------------------
+# Identity-keyed derived-matrix cache
+# ---------------------------------------------------------------------------
+class _MatrixCache:
+    """Cache of values derived from scipy matrices, keyed by matrix identity.
+
+    Entries are evicted when the source matrix is garbage collected (via a
+    weakref callback) or when the cache exceeds ``max_entries`` (oldest
+    first), so short-lived corrupted/augmented adjacencies cannot leak.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        self._entries: Dict[Tuple[int, Hashable], object] = {}
+        self._refs: Dict[int, weakref.ref] = {}
+        # Reentrant: evicting an entry can drop the last reference to a
+        # matrix that is itself the source of other entries, firing the
+        # weakref callback (and hence _evict_id) while the lock is held.
+        self._lock = threading.RLock()
+        self.max_entries = max_entries
+
+    def _evict_id(self, matrix_id: int) -> None:
+        with self._lock:
+            self._refs.pop(matrix_id, None)
+            for key in [k for k in self._entries if k[0] == matrix_id]:
+                self._entries.pop(key, None)
+
+    def get(self, matrix: sp.spmatrix, key: Hashable) -> Optional[object]:
+        with self._lock:
+            return self._entries.get((id(matrix), key))
+
+    def put(self, matrix: sp.spmatrix, key: Hashable, value: object) -> None:
+        matrix_id = id(matrix)
+        with self._lock:
+            if matrix_id not in self._refs:
+                callback = lambda _ref, mid=matrix_id: self._evict_id(mid)  # noqa: E731
+                self._refs[matrix_id] = weakref.ref(matrix, callback)
+            self._entries[(matrix_id, key)] = value
+            while len(self._entries) > self.max_entries:
+                oldest = next(iter(self._entries))
+                self._entries.pop(oldest)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._refs.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_derived_cache = _MatrixCache()
+_cache_enabled = True
+
+
+def cache_info() -> Dict[str, int]:
+    """Size of the derived-matrix cache (diagnostics/tests)."""
+    return {"entries": len(_derived_cache)}
+
+
+def clear_cache() -> None:
+    """Drop every cached derived matrix."""
+    _derived_cache.clear()
+
+
+def cache_is_enabled() -> bool:
+    return _cache_enabled
+
+
+class cache_disabled:
+    """Context manager that bypasses the derived-matrix cache.
+
+    Used by the perf-regression benchmark to time the build-every-call
+    (pre-cache) behaviour against the cached path on identical workloads.
+    """
+
+    def __enter__(self) -> "cache_disabled":
+        global _cache_enabled
+        self._previous = _cache_enabled
+        _cache_enabled = False
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _cache_enabled
+        _cache_enabled = self._previous
+
+
+def memoized_on_matrix(
+    matrix: sp.spmatrix, key: Hashable, builder: Callable[[], object]
+) -> object:
+    """Return ``builder()``, cached against ``matrix``'s identity under ``key``."""
+    if not _cache_enabled:
+        return builder()
+    value = _derived_cache.get(matrix, key)
+    if value is None:
+        value = builder()
+        _derived_cache.put(matrix, key, value)
+    return value
+
+
+def cached_transpose(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """``matrix.T`` as CSR, built once per source matrix.
+
+    ``spmm``'s backward multiplies by the transpose; materialising it once
+    (instead of per backward call) keeps the fused forward+backward path
+    free of repeated CSC→CSR conversions.
+    """
+    return memoized_on_matrix(matrix, "transpose-csr", lambda: to_csr(matrix.T))
+
+
+# ---------------------------------------------------------------------------
+# Diagonal surgery (COO-based, no LIL round trips)
+# ---------------------------------------------------------------------------
 def remove_self_loops(adjacency: sp.spmatrix) -> sp.csr_matrix:
     """Return the adjacency with a zeroed diagonal."""
-    adjacency = to_csr(adjacency).tolil()
-    adjacency.setdiag(0.0)
-    return to_csr(adjacency)
+    coo = sp.coo_matrix(adjacency)
+    off_diagonal = coo.row != coo.col
+    return to_csr(
+        sp.coo_matrix(
+            (
+                coo.data[off_diagonal].astype(np.float64),
+                (coo.row[off_diagonal], coo.col[off_diagonal]),
+            ),
+            shape=coo.shape,
+        )
+    )
 
 
 def add_self_loops(adjacency: sp.spmatrix, weight: float = 1.0) -> sp.csr_matrix:
     """Return ``A + weight * I`` (existing diagonal is replaced)."""
-    adjacency = remove_self_loops(adjacency)
-    return to_csr(adjacency + weight * sp.eye(adjacency.shape[0], format="csr"))
+    coo = sp.coo_matrix(adjacency)
+    off_diagonal = coo.row != coo.col
+    n = coo.shape[0]
+    diagonal = np.arange(n)
+    rows = np.concatenate([coo.row[off_diagonal], diagonal])
+    cols = np.concatenate([coo.col[off_diagonal], diagonal])
+    data = np.concatenate(
+        [coo.data[off_diagonal].astype(np.float64), np.full(n, float(weight))]
+    )
+    return to_csr(sp.coo_matrix((data, (rows, cols)), shape=coo.shape))
 
 
 def symmetrize(adjacency: sp.spmatrix) -> sp.csr_matrix:
@@ -53,17 +197,21 @@ def normalized_adjacency(
     """
     matrix = add_self_loops(adjacency) if self_loops else to_csr(adjacency)
     degrees = np.asarray(matrix.sum(axis=1)).ravel()
+    # Scale the COO triplets directly: equivalent to D^-1/2 A D^-1/2 (or
+    # D^-1 A) without materialising diagonal matrices or re-running spgemm.
+    coo = matrix.tocoo(copy=True)
     if mode == "symmetric":
         inv_sqrt = np.zeros_like(degrees)
         nonzero = degrees > 0
         inv_sqrt[nonzero] = degrees[nonzero] ** -0.5
-        scale = sp.diags(inv_sqrt)
-        return to_csr(scale @ matrix @ scale)
+        coo.data *= inv_sqrt[coo.row] * inv_sqrt[coo.col]
+        return to_csr(coo)
     if mode == "row":
         inv = np.zeros_like(degrees)
         nonzero = degrees > 0
         inv[nonzero] = 1.0 / degrees[nonzero]
-        return to_csr(sp.diags(inv) @ matrix)
+        coo.data *= inv[coo.row]
+        return to_csr(coo)
     raise ValueError(f"unknown normalisation mode {mode!r}; use 'symmetric' or 'row'")
 
 

@@ -6,8 +6,9 @@ exactly the pieces the GSSL methods need: a reverse-mode autodiff
 optimizers the paper trains with.
 """
 
-from . import functional
+from . import functional, profiler
 from .module import Module, ModuleList, Parameter
+from .profiler import ProfilerSession, profile
 from .layers import (
     ACTIVATIONS,
     BatchNorm1d,
@@ -33,6 +34,7 @@ __all__ = [
     "ModuleList",
     "Optimizer",
     "Parameter",
+    "ProfilerSession",
     "SGD",
     "Tensor",
     "concatenate",
@@ -40,6 +42,8 @@ __all__ = [
     "functional",
     "is_grad_enabled",
     "no_grad",
+    "profile",
+    "profiler",
     "resolve_activation",
     "stack",
 ]

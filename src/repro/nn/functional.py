@@ -8,35 +8,77 @@ loss functions.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 import scipy.sparse as sp
 
+from ..graph.sparse import cache_is_enabled, cached_transpose
+from .profiler import profiled_op
 from .tensor import Tensor, ensure_tensor
 
 
 # ---------------------------------------------------------------------------
 # Graph primitives
 # ---------------------------------------------------------------------------
+@profiled_op("graph.spmm")
 def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
-    """Sparse-constant @ dense-tensor product.
+    """Fused sparse-constant @ dense-tensor product.
 
     ``matrix`` is treated as a constant (typically the normalised adjacency),
     so the gradient flows only into ``dense``:  ``d/dX (A @ X) = A^T @ grad``.
+    The transpose used by the backward is resolved *at forward time* through
+    :func:`repro.graph.sparse.cached_transpose`, so repeated backward passes
+    over the same adjacency never re-materialise it.
     """
     if not sp.issparse(matrix):
         raise TypeError(f"spmm expects a scipy sparse matrix, got {type(matrix)!r}")
     dense = ensure_tensor(dense)
     data = matrix @ dense.data
+    transposed = cached_transpose(matrix) if cache_is_enabled() else None
 
     def backward(grad: np.ndarray) -> None:
         if dense.requires_grad:
-            dense._accumulate(matrix.T @ grad)
+            if transposed is not None:
+                dense._accumulate(transposed @ grad)
+            else:
+                dense._accumulate(matrix.T @ grad)
 
     return Tensor._make(np.asarray(data), (dense,), backward)
 
 
+@profiled_op("graph.spmm_linear")
+def spmm_linear(matrix: sp.spmatrix, dense: Tensor, weight: Tensor) -> Tensor:
+    """Fused message passing ``A @ (X W)`` with a single backward.
+
+    This is the hot kernel of every GCN-style layer.  Fusing the projection
+    and the sparse aggregation into one autograd node removes the
+    intermediate ``X W`` tensor from the graph and shares the expensive
+    ``A^T @ grad`` product between the two gradients::
+
+        d/dX = (A^T grad) W^T        d/dW = X^T (A^T grad)
+
+    As in :func:`spmm`, ``matrix`` is a constant and its transpose is cached.
+    """
+    if not sp.issparse(matrix):
+        raise TypeError(f"spmm_linear expects a scipy sparse matrix, got {type(matrix)!r}")
+    dense = ensure_tensor(dense)
+    weight = ensure_tensor(weight)
+    projected = dense.data @ weight.data
+    data = matrix @ projected
+    transposed = cached_transpose(matrix) if cache_is_enabled() else None
+
+    def backward(grad: np.ndarray) -> None:
+        if not (dense.requires_grad or weight.requires_grad):
+            return
+        upstream = (transposed @ grad) if transposed is not None else (matrix.T @ grad)
+        if dense.requires_grad:
+            dense._accumulate(upstream @ weight.data.T)
+        if weight.requires_grad:
+            weight._accumulate(dense.data.T @ upstream)
+
+    return Tensor._make(np.asarray(data), (dense, weight), backward)
+
+
+@profiled_op("graph.segment_sum")
 def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """Sum rows of ``values`` grouped by ``segment_ids`` (graph readout)."""
     values = ensure_tensor(values)
@@ -59,6 +101,7 @@ def segment_mean(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> 
     return summed * Tensor(1.0 / counts[:, None] if summed.ndim == 2 else 1.0 / counts)
 
 
+@profiled_op("graph.segment_max")
 def segment_max(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """Row-wise max of ``values`` grouped by ``segment_ids``."""
     values = ensure_tensor(values)
@@ -83,6 +126,7 @@ def relu(x: Tensor) -> Tensor:
     return ensure_tensor(x).relu()
 
 
+@profiled_op("nn.leaky_relu")
 def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
     x = ensure_tensor(x)
     data = np.where(x.data > 0.0, x.data, negative_slope * x.data)
@@ -94,6 +138,7 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
     return Tensor._make(data, (x,), backward)
 
 
+@profiled_op("nn.elu")
 def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
     x = ensure_tensor(x)
     exp_part = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
@@ -114,17 +159,76 @@ def gelu(x: Tensor) -> Tensor:
     return x * 0.5 * (inner.tanh() + 1.0)
 
 
+@profiled_op("nn.softmax")
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Fused softmax: one output buffer, in-place shift/exp/normalise.
+
+    The composite formulation (`exp(x - max) / sum`) allocates four
+    intermediate tensors and five graph nodes per call; this primitive
+    reuses a single buffer for the forward and applies the analytic
+    backward ``s * (g - sum(g * s))`` in one step.
+    """
     x = ensure_tensor(x)
-    shifted = x - x.max(axis=axis, keepdims=True).detach()
-    exp = shifted.exp()
-    return exp / exp.sum(axis=axis, keepdims=True)
+    out = x.data - x.data.max(axis=axis, keepdims=True)
+    np.exp(out, out=out)
+    out /= out.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            scaled = grad * out
+            scaled -= out * scaled.sum(axis=axis, keepdims=True)
+            x._accumulate(scaled)
+
+    return Tensor._make(out, (x,), backward)
 
 
+@profiled_op("nn.log_softmax")
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Fused log-softmax with analytic backward ``g - softmax * sum(g)``."""
     x = ensure_tensor(x)
-    shifted = x - x.max(axis=axis, keepdims=True).detach()
-    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+    out = x.data - x.data.max(axis=axis, keepdims=True)
+    out -= np.log(np.exp(out).sum(axis=axis, keepdims=True))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad - np.exp(out) * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out, (x,), backward)
+
+
+@profiled_op("nn.layer_norm")
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Fused layer normalisation over the last axis.
+
+    Replaces the ~8-node composite (mean, var, sub, div, mul, add …) the
+    :class:`~repro.nn.layers.LayerNorm` module used to build, reusing the
+    centred buffer for the normalised output and applying the closed-form
+    gradient in a single backward step.
+    """
+    x = ensure_tensor(x)
+    gamma = ensure_tensor(gamma)
+    beta = ensure_tensor(beta)
+    mu = x.data.mean(axis=-1, keepdims=True)
+    centered = x.data - mu
+    variance = np.mean(centered * centered, axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(variance + eps)
+    x_hat = centered
+    x_hat *= inv_std
+    out = x_hat * gamma.data + beta.data
+
+    def backward(grad: np.ndarray) -> None:
+        reduce_axes = tuple(range(grad.ndim - 1))
+        if beta.requires_grad:
+            beta._accumulate(grad.sum(axis=reduce_axes))
+        if gamma.requires_grad:
+            gamma._accumulate((grad * x_hat).sum(axis=reduce_axes))
+        if x.requires_grad:
+            d_hat = grad * gamma.data
+            term_mean = d_hat.mean(axis=-1, keepdims=True)
+            term_proj = (d_hat * x_hat).mean(axis=-1, keepdims=True)
+            x._accumulate(inv_std * (d_hat - term_mean - x_hat * term_proj))
+
+    return Tensor._make(out, (x, gamma, beta), backward)
 
 
 def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:

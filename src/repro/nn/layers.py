@@ -101,10 +101,7 @@ class LayerNorm(Module):
         self.beta = Parameter(np.zeros(normalized_shape))
 
     def forward(self, x: Tensor) -> Tensor:
-        mu = x.mean(axis=-1, keepdims=True)
-        var = x.var(axis=-1, keepdims=True)
-        normalized = (x - mu) / ((var + self.eps) ** 0.5)
-        return normalized * self.gamma + self.beta
+        return F.layer_norm(x, self.gamma, self.beta, eps=self.eps)
 
 
 class BatchNorm1d(Module):

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
+from .profiler import _nbytes, active_session
 from .tensor import Tensor
 
 
@@ -36,7 +38,20 @@ class Module:
         raise NotImplementedError(f"{type(self).__name__} does not implement forward()")
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        session = active_session()
+        if session is None:
+            return self.forward(*args, **kwargs)
+        # Module timings are *inclusive* — they contain every tensor op (and
+        # child module) executed inside forward — so the profiler reports
+        # them in a separate section from the non-overlapping op rows.
+        start = time.perf_counter()
+        out = self.forward(*args, **kwargs)
+        session.record(
+            f"module.{type(self).__name__}.forward",
+            time.perf_counter() - start,
+            _nbytes(out),
+        )
+        return out
 
     # ------------------------------------------------------------------
     def _children(self) -> Iterator[Tuple[str, "Module"]]:

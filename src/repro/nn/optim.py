@@ -6,7 +6,7 @@ decay ``1e-4`` (Section 5.1); those are the defaults here.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 import numpy as np
 
@@ -77,6 +77,8 @@ class Adam(Optimizer):
             raise ValueError(f"learning rate must be positive, got {lr}")
         if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
             raise ValueError(f"betas must lie in [0, 1), got {betas}")
+        if eps < 0.0:
+            raise ValueError(f"eps must be non-negative, got {eps}")
         self.lr = lr
         self.beta1, self.beta2 = betas
         self.eps = eps
@@ -101,7 +103,13 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * grad * grad
             m_hat = m / bias1
             v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # Guard the denominator: with eps == 0 (or altered after
+            # construction) a zero-gradient parameter yields sqrt(0) + 0 and
+            # the 0/0 update turns the whole parameter to NaN.  Flooring at
+            # the smallest positive float keeps the update exactly 0 there.
+            denominator = np.sqrt(v_hat) + self.eps
+            np.maximum(denominator, np.finfo(param.data.dtype).tiny, out=denominator)
+            param.data -= self.lr * m_hat / denominator
 
 
 class CosineAnnealingLR:

@@ -1,0 +1,256 @@
+"""Op-level profiler for the autograd substrate.
+
+Every :class:`~repro.nn.tensor.Tensor` op, fused functional primitive, and
+:meth:`Module.forward <repro.nn.module.Module.__call__>` call records its
+name, call count, wall time, and bytes touched into the thread-local session
+opened by :func:`profile`:
+
+    >>> from repro.nn.profiler import profile
+    >>> with profile() as prof:
+    ...     train_for_a_few_epochs()
+    >>> print(prof.summary())
+    >>> prof.export_json("BENCH_train.json")
+
+Timing is *inclusive*: a composite op's entry contains the primitives it
+calls, and module entries contain every op executed inside ``forward``.  The
+summary therefore separates op-level rows (non-overlapping primitives, safe
+to rank) from module-level rows (inclusive, for locating cost in the model
+tree).  Backward time is recorded under ``<op>.backward`` by wrapping the
+backward closure at graph-construction time, so the per-op attribution
+survives the engine's streaming graph release.
+
+Sessions are thread-local: concurrent trainer threads each see only their
+own ops.  When no session is active every instrumentation point is a single
+``getattr`` on a thread-local — cheap enough to leave enabled everywhere.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+_tls = threading.local()
+
+
+def active_session() -> Optional["ProfilerSession"]:
+    """The profiler session of the current thread, or ``None``."""
+    return getattr(_tls, "session", None)
+
+
+def _nbytes(value) -> int:
+    data = getattr(value, "data", None)
+    if data is not None and hasattr(data, "nbytes"):
+        return int(data.nbytes)
+    if hasattr(value, "nbytes"):
+        return int(value.nbytes)
+    return 0
+
+
+@dataclass
+class OpStat:
+    """Aggregate statistics for one named operation."""
+
+    name: str
+    calls: int = 0
+    seconds: float = 0.0
+    bytes_touched: int = 0
+
+    def merged_with(self, other: "OpStat", name: Optional[str] = None) -> "OpStat":
+        return OpStat(
+            name=name if name is not None else self.name,
+            calls=self.calls + other.calls,
+            seconds=self.seconds + other.seconds,
+            bytes_touched=self.bytes_touched + other.bytes_touched,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "seconds": self.seconds,
+            "bytes_touched": self.bytes_touched,
+        }
+
+
+class ProfilerSession:
+    """Accumulates :class:`OpStat` records between ``profile()`` enter/exit."""
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, OpStat] = {}
+        self.epoch_seconds: List[float] = []
+        self.wall_seconds: float = 0.0
+        self._started = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, name: str, seconds: float, bytes_touched: int = 0) -> None:
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = self.stats[name] = OpStat(name)
+        stat.calls += 1
+        stat.seconds += seconds
+        stat.bytes_touched += bytes_touched
+
+    def mark_epoch(self, seconds: float) -> None:
+        """Record one epoch's wall time (called by the trainer)."""
+        self.epoch_seconds.append(seconds)
+
+    def _finish(self) -> None:
+        self.wall_seconds = time.perf_counter() - self._started
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_module(name: str) -> bool:
+        return name.startswith("module.")
+
+    def op_stats(self, group_backward: bool = True) -> List[OpStat]:
+        """Op-level rows sorted by total seconds, modules excluded.
+
+        With ``group_backward=True`` (default) each ``<op>.backward`` entry
+        is folded into its forward row, so a row reflects the full
+        forward+backward cost of that op.
+        """
+        rows: Dict[str, OpStat] = {}
+        for name, stat in self.stats.items():
+            if self._is_module(name):
+                continue
+            key = name
+            if group_backward and name.endswith(".backward"):
+                key = name[: -len(".backward")]
+            if key in rows:
+                rows[key] = rows[key].merged_with(stat, name=key)
+            else:
+                rows[key] = OpStat(key, stat.calls, stat.seconds, stat.bytes_touched)
+        return sorted(rows.values(), key=lambda s: s.seconds, reverse=True)
+
+    def module_stats(self) -> List[OpStat]:
+        """Module-level rows (inclusive times) sorted by total seconds."""
+        rows = [s for name, s in self.stats.items() if self._is_module(name)]
+        return sorted(rows, key=lambda s: s.seconds, reverse=True)
+
+    def top(self, n: Optional[int] = None, group_backward: bool = True) -> List[OpStat]:
+        """The ``n`` most expensive op-level entries (all when ``n is None``)."""
+        rows = self.op_stats(group_backward=group_backward)
+        return rows if n is None else rows[:n]
+
+    def total_op_seconds(self) -> float:
+        return sum(s.seconds for s in self.op_stats(group_backward=True))
+
+    def summary(self, limit: int = 20, group_backward: bool = True) -> str:
+        """Fixed-width table of op rows, followed by module rows."""
+        lines: List[str] = []
+        header = f"{'op':<36} {'calls':>8} {'total s':>10} {'mean us':>10} {'MB':>9}"
+        rule = "-" * len(header)
+
+        def render(rows: List[OpStat]) -> None:
+            lines.append(header)
+            lines.append(rule)
+            for stat in rows[:limit]:
+                mean_us = stat.seconds / stat.calls * 1e6 if stat.calls else 0.0
+                mb = stat.bytes_touched / 1e6
+                lines.append(
+                    f"{stat.name:<36} {stat.calls:>8} {stat.seconds:>10.4f} "
+                    f"{mean_us:>10.1f} {mb:>9.1f}"
+                )
+
+        op_rows = self.op_stats(group_backward=group_backward)
+        lines.append(f"profiled {self.wall_seconds:.3f}s wall; op-level (fwd+bwd grouped):")
+        render(op_rows)
+        module_rows = self.module_stats()
+        if module_rows:
+            lines.append("")
+            lines.append("module-level (inclusive of the ops above):")
+            render(module_rows)
+        if self.epoch_seconds:
+            mean_epoch = sum(self.epoch_seconds) / len(self.epoch_seconds)
+            lines.append("")
+            lines.append(
+                f"epochs: {len(self.epoch_seconds)}, mean {mean_epoch * 1e3:.2f} ms/epoch"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict, the schema CI benchmark artifacts use."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "epoch_seconds": list(self.epoch_seconds),
+            "ops": [s.to_dict() for s in self.op_stats(group_backward=False)],
+            "modules": [s.to_dict() for s in self.module_stats()],
+        }
+
+    def export_json(self, path: str) -> None:
+        """Write :meth:`to_dict` to ``path`` (used for ``BENCH_*.json``)."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+class profile:
+    """Context manager opening a thread-local :class:`ProfilerSession`.
+
+    Nesting is allowed; the inner session shadows the outer one until it
+    exits, so a narrow ``profile()`` inside an instrumented loop measures
+    only its own region.
+    """
+
+    def __init__(self) -> None:
+        self.session = ProfilerSession()
+        self._previous: Optional[ProfilerSession] = None
+
+    def __enter__(self) -> ProfilerSession:
+        self._previous = active_session()
+        _tls.session = self.session
+        return self.session
+
+    def __exit__(self, *exc_info) -> None:
+        self.session._finish()
+        _tls.session = self._previous
+
+
+def _timed_backward(
+    name: str, inner: Callable, session: ProfilerSession
+) -> Callable:
+    def timed(grad) -> None:
+        current = active_session() or session
+        start = time.perf_counter()
+        inner(grad)
+        current.record(name, time.perf_counter() - start, _nbytes(grad))
+
+    return timed
+
+
+def profiled_op(name: str) -> Callable:
+    """Decorator instrumenting a tensor-producing function.
+
+    Records the forward pass under ``name`` and, when the result carries a
+    backward closure, wraps it to record ``name + ".backward"`` at
+    backpropagation time.  A no-op (single thread-local read) when no
+    session is active.
+    """
+
+    backward_name = name + ".backward"
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            session = active_session()
+            if session is None:
+                return fn(*args, **kwargs)
+            start = time.perf_counter()
+            out = fn(*args, **kwargs)
+            session.record(name, time.perf_counter() - start, _nbytes(out))
+            inner = getattr(out, "_backward", None)
+            if inner is not None:
+                out._backward = _timed_backward(backward_name, inner, session)
+            return out
+
+        return wrapper
+
+    return decorate

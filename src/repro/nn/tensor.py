@@ -23,6 +23,8 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .profiler import profiled_op
+
 Arrayable = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _grad_enabled = True
@@ -83,6 +85,29 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     if axes:
         grad = grad.sum(axis=axes, keepdims=True)
     return grad.reshape(shape)
+
+
+def _index_selects_once(index) -> bool:
+    """True when ``index`` provably selects each element at most once.
+
+    Such indices admit plain assignment in the ``__getitem__`` backward
+    instead of ``np.add.at``; unknown shapes conservatively return False.
+    """
+    if isinstance(index, np.ndarray):
+        if index.dtype == np.bool_:
+            return True
+        if index.ndim == 1 and index.dtype.kind in "iu":
+            # Mixed-sign indices can alias (-1 vs n-1), so require one sign.
+            return (index.size == 0 or index.min() >= 0) and (
+                np.unique(index).size == index.size
+            )
+        return False
+    if isinstance(index, tuple):
+        return all(
+            isinstance(part, (int, np.integer, slice, type(Ellipsis), type(None)))
+            for part in index
+        )
+    return isinstance(index, (int, np.integer, slice))
 
 
 class Tensor:
@@ -341,7 +366,13 @@ class Tensor:
                 axes = tuple(a % self.data.ndim for a in axes)
                 for a in sorted(axes):
                     g = np.expand_dims(g, a)
-            self._accumulate(np.broadcast_to(g, self.shape).astype(self.dtype))
+            g = np.broadcast_to(g, self.shape)
+            if g.dtype != self.dtype:
+                g = g.astype(self.dtype)
+            # Pass the broadcast view directly: _accumulate copies on first
+            # write and `+=` broadcasts on its own, so materialising here
+            # would just duplicate that work.
+            self._accumulate(g)
 
         return Tensor._make(data, (self,), backward)
 
@@ -416,7 +447,12 @@ class Tensor:
             if not self.requires_grad:
                 return
             full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
+            if _index_selects_once(index):
+                full[index] = grad
+            else:
+                # Fancy indices may repeat an element; only then is the
+                # (much slower) unbuffered scatter-add required.
+                np.add.at(full, index, grad)
             self._accumulate(full)
 
         return Tensor._make(data, (self,), backward)
@@ -493,6 +529,47 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
 
+# ---------------------------------------------------------------------------
+# Profiler instrumentation
+# ---------------------------------------------------------------------------
+# Primitive ops are wrapped at class-definition time so that an active
+# ``repro.nn.profiler`` session records name / calls / wall time / bytes for
+# both the forward computation and (via the backward-closure wrap inside
+# ``profiled_op``) the backward pass.  Composites built from these primitives
+# (``mean``, ``var``, ``std``, ``sqrt``) are intentionally not listed: their
+# cost already lands on the primitives they call.
+_PROFILED_METHODS = {
+    "__add__": "tensor.add",
+    "__radd__": "tensor.add",
+    "__sub__": "tensor.sub",
+    "__rsub__": "tensor.sub",
+    "__mul__": "tensor.mul",
+    "__rmul__": "tensor.mul",
+    "__truediv__": "tensor.div",
+    "__rtruediv__": "tensor.div",
+    "__neg__": "tensor.neg",
+    "__pow__": "tensor.pow",
+    "__matmul__": "tensor.matmul",
+    "sum": "tensor.sum",
+    "max": "tensor.max",
+    "reshape": "tensor.reshape",
+    "transpose": "tensor.transpose",
+    "__getitem__": "tensor.getitem",
+    "exp": "tensor.exp",
+    "log": "tensor.log",
+    "tanh": "tensor.tanh",
+    "sigmoid": "tensor.sigmoid",
+    "relu": "tensor.relu",
+    "clip": "tensor.clip",
+    "abs": "tensor.abs",
+}
+
+for _method, _op_name in _PROFILED_METHODS.items():
+    setattr(Tensor, _method, profiled_op(_op_name)(getattr(Tensor, _method)))
+del _method, _op_name
+
+
+@profiled_op("tensor.concatenate")
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
     tensors = [ensure_tensor(t) for t in tensors]
@@ -510,6 +587,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     return Tensor._make(data, tensors, backward)
 
 
+@profiled_op("tensor.stack")
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient routing."""
     tensors = [ensure_tensor(t) for t in tensors]

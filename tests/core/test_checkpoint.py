@@ -1,7 +1,6 @@
 """Tests for GCMAE checkpointing."""
 
 import numpy as np
-import pytest
 
 from repro.core import GCMAE, GCMAEConfig, load_gcmae, save_gcmae
 from repro.graph.generators import CitationGraphSpec, make_citation_graph

@@ -4,7 +4,6 @@ These use a micro profile (tiny dims, 1-2 epochs) — they validate plumbing,
 shapes, and annotations, not accuracy (the benchmarks do that).
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

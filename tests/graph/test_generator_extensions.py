@@ -2,7 +2,6 @@
 
 import numpy as np
 import networkx as nx
-import pytest
 
 from repro.graph.generators import (
     CitationGraphSpec,

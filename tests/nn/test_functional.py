@@ -80,6 +80,31 @@ class TestActivations:
         out = F.log_softmax(Tensor(x))
         assert np.all(np.isfinite(out.data))
 
+    def test_softmax_gradient_axis_zero(self):
+        check_gradients(lambda x: F.softmax(x, axis=0) ** 2, [RNG.normal(size=(4, 3))])
+
+    def test_log_softmax_gradient(self):
+        check_gradients(
+            lambda x: F.log_softmax(x, axis=-1) * F.log_softmax(x, axis=-1),
+            [RNG.normal(size=(3, 5))],
+        )
+
+    def test_layer_norm_matches_composite_reference(self):
+        x = RNG.normal(size=(6, 8)) * 3.0
+        gamma = RNG.normal(size=(8,))
+        beta = RNG.normal(size=(8,))
+        out = F.layer_norm(Tensor(x), Tensor(gamma), Tensor(beta), eps=1e-5)
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        expected = (x - mu) / np.sqrt(var + 1e-5) * gamma + beta
+        np.testing.assert_allclose(out.data, expected, atol=1e-12)
+
+    def test_layer_norm_gradients_all_inputs(self):
+        check_gradients(
+            lambda x, g, b: F.layer_norm(x, g, b) ** 2,
+            [RNG.normal(size=(4, 6)), RNG.normal(size=(6,)), RNG.normal(size=(6,))],
+        )
+
     def test_leaky_relu_gradient(self):
         data = RNG.normal(size=(4, 4))
         data[np.abs(data) < 0.1] = 0.5

@@ -1,7 +1,6 @@
 """Tests for the weight-initialisation schemes."""
 
 import numpy as np
-import pytest
 
 from repro.nn import init
 

@@ -1,0 +1,63 @@
+"""Regression tests for Adam's zero-gradient / eps denominator guard."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import Adam
+
+
+def _params_with_grads(grads):
+    params = []
+    for grad in grads:
+        param = Parameter(np.ones_like(grad))
+        param.grad = np.array(grad, dtype=float)
+        params.append(param)
+    return params
+
+
+class TestAdamDenominatorGuard:
+    def test_zero_gradient_with_zero_eps_stays_finite(self):
+        # sqrt(0) + 0 used to produce a 0/0 = NaN update that wiped the
+        # parameter; the guard floors the denominator instead.
+        (param,) = _params_with_grads([np.zeros(4)])
+        optimizer = Adam([param], eps=0.0, weight_decay=0.0)
+        optimizer.step()
+        assert np.all(np.isfinite(param.data))
+        np.testing.assert_allclose(param.data, 1.0)
+
+    def test_eps_altered_after_construction(self):
+        (param,) = _params_with_grads([np.zeros(3)])
+        optimizer = Adam([param], weight_decay=0.0)
+        optimizer.eps = 0.0  # simulate a user re-tuning eps mid-run
+        optimizer.step()
+        assert np.all(np.isfinite(param.data))
+
+    def test_partial_zero_gradient_rows(self):
+        grad = np.array([0.0, 0.0, 1.0, -2.0])
+        (param,) = _params_with_grads([grad])
+        optimizer = Adam([param], eps=0.0, weight_decay=0.0)
+        optimizer.step()
+        assert np.all(np.isfinite(param.data))
+        # Zero-gradient entries stay put; non-zero entries move.
+        np.testing.assert_allclose(param.data[:2], 1.0)
+        assert np.all(param.data[2:] != 1.0)
+
+    def test_negative_eps_rejected(self):
+        (param,) = _params_with_grads([np.ones(2)])
+        with pytest.raises(ValueError):
+            Adam([param], eps=-1e-8)
+
+    def test_default_eps_update_unchanged(self):
+        # The guard must not perturb the standard update path.
+        grad = np.array([0.5, -1.5])
+        (param,) = _params_with_grads([grad])
+        optimizer = Adam([param], lr=1e-3, weight_decay=0.0)
+        optimizer.step()
+
+        m = 0.1 * grad
+        v = 0.001 * grad * grad
+        m_hat = m / 0.1
+        v_hat = v / 0.001
+        expected = 1.0 - 1e-3 * m_hat / (np.sqrt(v_hat) + 1e-8)
+        np.testing.assert_allclose(param.data, expected, rtol=1e-12)

@@ -1,7 +1,6 @@
 """Property-based tests of the autograd engine (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.nn import Tensor, functional as F

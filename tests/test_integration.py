@@ -12,11 +12,6 @@ import pytest
 from repro.baselines import DGI, GRACE, GraphMAE, MaskGAE
 from repro.core import GCMAEConfig, GCMAEMethod
 from repro.eval import evaluate_clustering, evaluate_link_prediction, evaluate_probe
-from repro.graph.generators import (
-    CitationGraphSpec,
-    add_planted_splits,
-    make_citation_graph,
-)
 from repro.graph.splits import split_edges
 
 

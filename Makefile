@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: ci test lint perf bench
+.PHONY: ci test lint perf bench-gc bench
 
 ci:
 	scripts/ci.sh
@@ -14,6 +14,10 @@ lint:
 
 perf:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_regression.py -q -s
+
+bench-gc:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_regression.py -q -s \
+		-k "block_diag or segment_ops"
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks -q

@@ -28,7 +28,9 @@ fi
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q
 
-echo "== perf smoke =="
+echo "== perf smoke (node sparse path + graph-classification batching) =="
+# Covers both committed gates: the CSR-cached node path and the
+# block-diagonal graph-batching path (`make perf` / `make bench-gc`).
 REPRO_PERF_REPORT_ONLY="$REPORT_ONLY" \
     PYTHONPATH=src python -m pytest benchmarks/test_perf_regression.py -q -s
 

@@ -26,14 +26,15 @@ import scipy.sparse as sp
 
 from ..core.base import EmbeddingResult, Stopwatch
 from ..gnn.encoder import GNNEncoder
-from ..gnn.readout import graph_readout
+from ..gnn.readout import batch_readout
 from ..graph.augment import (
     drop_edges,
     drop_nodes,
     mask_feature_dimensions,
     random_subgraph_nodes,
 )
-from ..graph.data import Graph, GraphBatch, GraphDataset
+from ..graph.batch import BatchLoader, GraphBatch
+from ..graph.data import GraphDataset
 from ..nn import Adam, MLP, Tensor, functional as F, no_grad
 from ..nn.init import xavier_uniform
 from ..nn.module import Module, Parameter
@@ -81,7 +82,16 @@ def _augment_batch(
 
 
 class _GraphContrastiveBase:
-    """Shared machinery: GIN encoder + readout + projector + Adam loop."""
+    """Shared machinery: GIN encoder + readout + projector + Adam loop.
+
+    All subclasses train on block-diagonal mini-batches of graphs: the
+    dataset is partitioned once into reusable :class:`GraphBatch` objects
+    (``batch_size`` graphs each; ``None`` puts the whole dataset in one
+    batch, the classic full-batch protocol) and each training step encodes
+    one whole batch through a single fused sparse forward.  Reusing the
+    same batch objects every epoch keeps their normalised operands and
+    transposes warm in the derived-matrix cache.
+    """
 
     def __init__(
         self,
@@ -92,6 +102,7 @@ class _GraphContrastiveBase:
         learning_rate: float = 1e-3,
         weight_decay: float = 1e-4,
         readout: str = "sum",
+        batch_size: Optional[int] = None,
     ) -> None:
         self.hidden_dim = hidden_dim
         self.num_layers = num_layers
@@ -100,6 +111,10 @@ class _GraphContrastiveBase:
         self.learning_rate = learning_rate
         self.weight_decay = weight_decay
         self.readout = readout
+        self.batch_size = batch_size
+
+    def _loader(self, dataset: GraphDataset) -> BatchLoader:
+        return BatchLoader(dataset, batch_size=self.batch_size)
 
     def _build(self, num_features: int, rng: np.random.Generator):
         encoder = GNNEncoder(
@@ -109,12 +124,14 @@ class _GraphContrastiveBase:
         projector = MLP(self.hidden_dim, [self.hidden_dim], self.hidden_dim, rng=rng)
         return encoder, projector
 
-    def _graph_embeddings(self, encoder, batch: GraphBatch) -> np.ndarray:
+    def _graph_embeddings(self, encoder, loader: BatchLoader) -> np.ndarray:
         encoder.eval()
+        outputs = []
         with no_grad():
-            nodes = encoder(batch.adjacency, Tensor(batch.features))
-            graphs = graph_readout(nodes, batch.graph_ids, batch.num_graphs, self.readout)
-        return graphs.data.copy()
+            for batch in loader:  # dataset order, so rows line up with labels
+                nodes = encoder.forward_batch(batch)
+                outputs.append(batch_readout(nodes, batch, self.readout).data)
+        return np.concatenate(outputs, axis=0)
 
 
 class GraphCL(_GraphContrastiveBase):
@@ -134,8 +151,8 @@ class GraphCL(_GraphContrastiveBase):
 
     def fit_graphs(self, dataset: GraphDataset, seed: int = 0) -> EmbeddingResult:
         rng = np.random.default_rng(seed)
-        batch = dataset.to_batch()
-        encoder, projector = self._build(batch.features.shape[1], rng)
+        loader = self._loader(dataset)
+        encoder, projector = self._build(dataset.graphs[0].num_features, rng)
         optimizer = Adam(
             encoder.parameters() + projector.parameters(),
             lr=self.learning_rate, weight_decay=self.weight_decay,
@@ -144,22 +161,22 @@ class GraphCL(_GraphContrastiveBase):
         with Stopwatch() as timer:
             for epoch in range(self.epochs):
                 encoder.train()
-                optimizer.zero_grad()
                 pair = self._choose_pair(rng, epoch)
-                adj1, x1 = _augment_batch(batch, pair[0], self.augmentation_strength, rng)
-                adj2, x2 = _augment_batch(batch, pair[1], self.augmentation_strength, rng)
-                g1 = graph_readout(
-                    encoder(adj1, Tensor(x1)), batch.graph_ids, batch.num_graphs, self.readout
-                )
-                g2 = graph_readout(
-                    encoder(adj2, Tensor(x2)), batch.graph_ids, batch.num_graphs, self.readout
-                )
-                loss = _nt_xent(projector(g1), projector(g2), self.temperature)
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-                self._after_epoch(pair, loss.item())
-        embeddings = self._graph_embeddings(encoder, batch)
+                step_losses = []
+                for batch in loader.epoch(rng):
+                    optimizer.zero_grad()
+                    adj1, x1 = _augment_batch(batch, pair[0], self.augmentation_strength, rng)
+                    adj2, x2 = _augment_batch(batch, pair[1], self.augmentation_strength, rng)
+                    g1 = batch_readout(encoder(adj1, Tensor(x1)), batch, self.readout)
+                    g2 = batch_readout(encoder(adj2, Tensor(x2)), batch, self.readout)
+                    loss = _nt_xent(projector(g1), projector(g2), self.temperature)
+                    loss.backward()
+                    optimizer.step()
+                    step_losses.append(loss.item())
+                epoch_loss = float(np.mean(step_losses))
+                losses.append(epoch_loss)
+                self._after_epoch(pair, epoch_loss)
+        embeddings = self._graph_embeddings(encoder, loader)
         return EmbeddingResult(embeddings, timer.seconds, losses)
 
 
@@ -200,31 +217,41 @@ class InfoGraph(_GraphContrastiveBase):
         def forward(self, nodes: Tensor, graphs: Tensor) -> Tensor:
             return (nodes @ self.weight) @ graphs.T  # (num_nodes, num_graphs)
 
+    @staticmethod
+    def _ownership_targets(batch: GraphBatch) -> Tensor:
+        """(num_nodes, num_graphs) indicator of each node's own graph."""
+        own_graph = np.zeros((batch.num_nodes, batch.num_graphs))
+        own_graph[np.arange(batch.num_nodes), batch.node_to_graph] = 1.0
+        return Tensor(own_graph)
+
     def fit_graphs(self, dataset: GraphDataset, seed: int = 0) -> EmbeddingResult:
         rng = np.random.default_rng(seed)
-        batch = dataset.to_batch()
-        encoder, _ = self._build(batch.features.shape[1], rng)
+        loader = self._loader(dataset)
+        encoder, _ = self._build(dataset.graphs[0].num_features, rng)
         critic = self._Critic(self.hidden_dim, rng)
         optimizer = Adam(
             encoder.parameters() + critic.parameters(),
             lr=self.learning_rate, weight_decay=self.weight_decay,
         )
-        own_graph = np.zeros((batch.num_nodes, batch.num_graphs))
-        own_graph[np.arange(batch.num_nodes), batch.graph_ids] = 1.0
-        targets = Tensor(own_graph)
+        # The MI targets depend only on the fixed batch structure: build
+        # them once per batch and reuse them every epoch.
+        targets = {id(batch): self._ownership_targets(batch) for batch in loader}
         losses = []
         with Stopwatch() as timer:
             for _ in range(self.epochs):
                 encoder.train()
-                optimizer.zero_grad()
-                nodes = encoder(batch.adjacency, Tensor(batch.features))
-                graphs = graph_readout(nodes, batch.graph_ids, batch.num_graphs, self.readout)
-                logits = critic(nodes, graphs)
-                loss = F.binary_cross_entropy_with_logits(logits, targets)
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-        embeddings = self._graph_embeddings(encoder, batch)
+                step_losses = []
+                for batch in loader.epoch(rng):
+                    optimizer.zero_grad()
+                    nodes = encoder.forward_batch(batch)
+                    graphs = batch_readout(nodes, batch, self.readout)
+                    logits = critic(nodes, graphs)
+                    loss = F.binary_cross_entropy_with_logits(logits, targets[id(batch)])
+                    loss.backward()
+                    optimizer.step()
+                    step_losses.append(loss.item())
+                losses.append(float(np.mean(step_losses)))
+        embeddings = self._graph_embeddings(encoder, loader)
         return EmbeddingResult(embeddings, timer.seconds, losses)
 
 
@@ -251,8 +278,8 @@ class InfoGCL(_GraphContrastiveBase):
 
     def fit_graphs(self, dataset: GraphDataset, seed: int = 0) -> EmbeddingResult:
         rng = np.random.default_rng(seed)
-        batch = dataset.to_batch()
-        encoder, projector = self._build(batch.features.shape[1], rng)
+        loader = self._loader(dataset)
+        encoder, projector = self._build(dataset.graphs[0].num_features, rng)
         optimizer = Adam(
             encoder.parameters() + projector.parameters(),
             lr=self.learning_rate, weight_decay=self.weight_decay,
@@ -261,23 +288,22 @@ class InfoGCL(_GraphContrastiveBase):
         with Stopwatch() as timer:
             for epoch in range(self.epochs):
                 encoder.train()
-                optimizer.zero_grad()
                 view = self._choose_view(rng, epoch)
-                adj2, x2 = _augment_batch(batch, view, self.augmentation_strength, rng)
-                g1 = graph_readout(
-                    encoder(batch.adjacency, Tensor(batch.features)),
-                    batch.graph_ids, batch.num_graphs, self.readout,
-                )
-                g2 = graph_readout(
-                    encoder(adj2, Tensor(x2)), batch.graph_ids, batch.num_graphs, self.readout
-                )
-                loss = _nt_xent(projector(g1), projector(g2), self.temperature)
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-                previous = self._view_losses.get(view, loss.item())
-                self._view_losses[view] = 0.7 * previous + 0.3 * loss.item()
-        embeddings = self._graph_embeddings(encoder, batch)
+                step_losses = []
+                for batch in loader.epoch(rng):
+                    optimizer.zero_grad()
+                    adj2, x2 = _augment_batch(batch, view, self.augmentation_strength, rng)
+                    g1 = batch_readout(encoder.forward_batch(batch), batch, self.readout)
+                    g2 = batch_readout(encoder(adj2, Tensor(x2)), batch, self.readout)
+                    loss = _nt_xent(projector(g1), projector(g2), self.temperature)
+                    loss.backward()
+                    optimizer.step()
+                    step_losses.append(loss.item())
+                epoch_loss = float(np.mean(step_losses))
+                losses.append(epoch_loss)
+                previous = self._view_losses.get(view, epoch_loss)
+                self._view_losses[view] = 0.7 * previous + 0.3 * epoch_loss
+        embeddings = self._graph_embeddings(encoder, loader)
         return EmbeddingResult(embeddings, timer.seconds, losses)
 
 
@@ -295,12 +321,10 @@ class GraphLevelWrapper:
 
     def fit_graphs(self, dataset: GraphDataset, seed: int = 0) -> EmbeddingResult:
         batch = dataset.to_batch()
-        merged = Graph(adjacency=batch.adjacency, features=batch.features, name=dataset.name)
-        node_result = self.node_method.fit(merged, seed=seed)
+        node_result = self.node_method.fit(batch.as_graph(), seed=seed)
         with no_grad():
-            graph_embeddings = graph_readout(
-                Tensor(node_result.embeddings), batch.graph_ids, batch.num_graphs,
-                mode=self.readout,
+            graph_embeddings = batch_readout(
+                Tensor(node_result.embeddings), batch, mode=self.readout
             ).data
         return EmbeddingResult(
             graph_embeddings, node_result.train_seconds, node_result.loss_history

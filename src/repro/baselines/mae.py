@@ -188,6 +188,7 @@ class S2GAE:
         epochs: int = 150,
         learning_rate: float = 1e-3,
         weight_decay: float = 1e-4,
+        batch_size: int | None = None,
     ) -> None:
         self.hidden_dim = hidden_dim
         self.num_layers = num_layers
@@ -195,6 +196,9 @@ class S2GAE:
         self.epochs = epochs
         self.learning_rate = learning_rate
         self.weight_decay = weight_decay
+        # Graph-level protocol only: graphs per block-diagonal training batch
+        # (None = whole dataset in one batch).
+        self.batch_size = batch_size
 
     def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
         rng = np.random.default_rng(seed)
@@ -246,20 +250,69 @@ class S2GAE:
         return EmbeddingResult(embeddings, timer.seconds, losses)
 
     def fit_graphs(self, dataset, seed: int = 0) -> EmbeddingResult:
-        """Graph-level protocol (Table 7): pretrain on the batch, mean-pool."""
-        from ..gnn.readout import graph_readout
+        """Graph-level protocol (Table 7): masked-edge pretraining over
+        block-diagonal mini-batches, then mean/max pooling per graph."""
+        from ..gnn.readout import batch_readout
+        from ..graph.batch import BatchLoader
 
-        batch = dataset.to_batch()
-        merged = Graph(adjacency=batch.adjacency, features=batch.features, name=dataset.name)
-        node_result = self.fit(merged, seed=seed)
-        with no_grad():
-            graph_embeddings = graph_readout(
-                Tensor(node_result.embeddings), batch.graph_ids, batch.num_graphs,
-                mode="meanmax",
-            ).data
-        return EmbeddingResult(
-            graph_embeddings, node_result.train_seconds, node_result.loss_history
+        rng = np.random.default_rng(seed)
+        loader = BatchLoader(dataset, batch_size=self.batch_size)
+        encoder = GNNEncoder(
+            dataset.graphs[0].num_features, self.hidden_dim, self.hidden_dim,
+            num_layers=self.num_layers, conv_type="gcn", rng=rng,
         )
+        decoder = MLP(
+            self.hidden_dim * self.num_layers, [self.hidden_dim], 1, rng=rng
+        )
+        optimizer = Adam(
+            encoder.parameters() + decoder.parameters(),
+            lr=self.learning_rate, weight_decay=self.weight_decay,
+        )
+        # Edge lists depend only on the fixed batch structure; extract once.
+        batch_edges = {id(b): b.as_graph().edges(directed=False) for b in loader}
+        losses = []
+
+        def edge_scores(layer_outputs, pairs):
+            crossed = [h[pairs[:, 0]] * h[pairs[:, 1]] for h in layer_outputs]
+            return decoder(concatenate(crossed, axis=1))
+
+        with Stopwatch() as timer:
+            for _ in range(self.epochs):
+                encoder.train()
+                step_losses = []
+                for batch in loader.epoch(rng):
+                    edges = batch_edges[id(batch)]
+                    if len(edges) == 0:
+                        continue
+                    optimizer.zero_grad()
+                    mask = rng.random(len(edges)) < self.edge_mask_rate
+                    if not mask.any():
+                        mask[rng.integers(len(edges))] = True
+                    masked_edges = edges[mask]
+                    visible = adjacency_from_edges(edges[~mask], batch.num_nodes) \
+                        if (~mask).any() else sp.csr_matrix((batch.num_nodes, batch.num_nodes))
+                    layer_outputs = encoder.layer_outputs(visible, Tensor(batch.features))
+                    negatives = sample_nonedges(batch.adjacency, len(masked_edges), rng)
+                    loss = F.binary_cross_entropy_with_logits(
+                        edge_scores(layer_outputs, masked_edges),
+                        Tensor(np.ones((len(masked_edges), 1))),
+                    ) + F.binary_cross_entropy_with_logits(
+                        edge_scores(layer_outputs, negatives),
+                        Tensor(np.zeros((len(negatives), 1))),
+                    )
+                    loss.backward()
+                    optimizer.step()
+                    step_losses.append(loss.item())
+                losses.append(float(np.mean(step_losses)) if step_losses else 0.0)
+        encoder.eval()
+        outputs = []
+        with no_grad():
+            for batch in loader:  # dataset order, so rows line up with labels
+                layer_outputs = encoder.layer_outputs(batch.adjacency, Tensor(batch.features))
+                stacked = concatenate(layer_outputs, axis=1)
+                outputs.append(batch_readout(stacked, batch, mode="meanmax").data)
+        embeddings = np.concatenate(outputs, axis=0)
+        return EmbeddingResult(embeddings, timer.seconds, losses)
 
 
 class SeeGera:

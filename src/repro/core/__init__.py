@@ -10,7 +10,7 @@ from .losses import (
     info_nce,
     sce_loss,
 )
-from .trainer import GCMAEMethod, TrainResult, train_gcmae
+from .trainer import GCMAEMethod, TrainResult, train_gcmae, train_gcmae_graphs
 
 __all__ = [
     "EmbeddingResult",
@@ -29,4 +29,5 @@ __all__ = [
     "info_nce",
     "sce_loss",
     "train_gcmae",
+    "train_gcmae_graphs",
 ]

@@ -41,6 +41,10 @@ class GCMAEConfig:
     subgraph_threshold / subgraph_size / steps_per_epoch:
         Graphs larger than the threshold are trained on sampled subgraphs
         (Section 4.4's mitigation for full-adjacency reconstruction).
+    graph_batch_size:
+        Graph-level protocol only (Table 7): number of graphs per
+        block-diagonal training batch.  ``0`` trains the whole dataset as a
+        single batch.
     projector_hidden:
         Width of the two-layer MLP projectors ``g1``/``g2`` (Eq. 13).
     """
@@ -66,6 +70,7 @@ class GCMAEConfig:
     subgraph_threshold: int = 1200
     subgraph_size: int = 512
     steps_per_epoch: int = 2
+    graph_batch_size: int = 0
     projector_hidden: int = 64
     variance_eps: float = 1e-4
     structure_terms: Tuple[str, ...] = ("mse", "bce", "dist")
@@ -84,6 +89,10 @@ class GCMAEConfig:
             raise ValueError(f"epochs must be >= 1, got {self.epochs}")
         if min(self.alpha, self.lam, self.mu) < 0:
             raise ValueError("loss weights must be non-negative")
+        if self.graph_batch_size < 0:
+            raise ValueError(
+                f"graph_batch_size must be >= 0, got {self.graph_batch_size}"
+            )
         if not self.structure_terms or any(
             t not in ("mse", "bce", "dist") for t in self.structure_terms
         ):

@@ -10,6 +10,7 @@ stored as ``.npz`` files keyed by (method, dataset, seed, profile) under
 from __future__ import annotations
 
 import os
+import zipfile
 from pathlib import Path
 from typing import Callable, Optional
 
@@ -54,15 +55,20 @@ def cached_fit(
                 train_seconds=float(payload["train_seconds"]),
                 loss_history=list(payload["loss_history"]),
             )
-        except (OSError, KeyError, ValueError):
+        except (OSError, KeyError, ValueError, zipfile.BadZipFile):
             path.unlink(missing_ok=True)  # corrupt entry: recompute
     result = fit()
-    np.savez_compressed(
-        path,
-        embeddings=result.embeddings,
-        train_seconds=np.float64(result.train_seconds),
-        loss_history=np.asarray(result.loss_history, dtype=np.float64),
-    )
+    # Write-then-rename so an interrupted run never leaves a truncated
+    # entry behind for the next reader.
+    partial = path.with_suffix(".npz.tmp")
+    with open(partial, "wb") as handle:  # file object: numpy won't rename it
+        np.savez_compressed(
+            handle,
+            embeddings=result.embeddings,
+            train_seconds=np.float64(result.train_seconds),
+            loss_history=np.asarray(result.loss_history, dtype=np.float64),
+        )
+    os.replace(partial, path)
     return result
 
 

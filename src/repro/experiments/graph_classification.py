@@ -35,6 +35,7 @@ def run_table7(
     for method_name in methods:
         for dataset_name in datasets:
             scores = []
+            oom = False
             for seed in profile.seeds:
                 dataset = load_graph_dataset(dataset_name, seed=seed)
                 key = f"gc-{method_name}-{dataset_name}-{seed}-{profile.name}"
@@ -45,16 +46,19 @@ def run_table7(
                     )
                 except MemoryError:
                     # MVGRL's dense diffusion exceeds its size gate on the
-                    # larger batches — the paper's Table 7 "OOM" cells.
+                    # larger batches — the paper's Table 7 "OOM" cells.  An
+                    # OOM on *any* seed voids the cell: a mean over the
+                    # surviving seeds would silently misreport the method.
+                    oom = True
                     break
                 mean_accuracy, _ = cross_validated_probe(
                     result.embeddings, dataset.labels, num_folds=5, seed=seed
                 )
                 scores.append(mean_accuracy * 100.0)
-            if scores:
-                table.set(method_name, dataset_name, scores)
-            else:
+            if oom or not scores:
                 table.mark(method_name, dataset_name, "OOM")
+            else:
+                table.set(method_name, dataset_name, scores)
 
     for dataset_name in datasets:
         best = table.best_row(dataset_name)

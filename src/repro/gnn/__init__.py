@@ -2,7 +2,7 @@
 
 from .conv import GATConv, GCNConv, GINConv, SAGEConv, structure_operand
 from .encoder import CONV_TYPES, GNNEncoder
-from .readout import READOUTS, graph_readout
+from .readout import READOUTS, batch_readout, graph_readout
 
 __all__ = [
     "CONV_TYPES",
@@ -12,6 +12,7 @@ __all__ = [
     "GNNEncoder",
     "READOUTS",
     "SAGEConv",
+    "batch_readout",
     "graph_readout",
     "structure_operand",
 ]

@@ -1,11 +1,23 @@
-"""Graph-level readouts: pool node embeddings into per-graph embeddings."""
+"""Graph-level readouts: pool node embeddings into per-graph embeddings.
+
+Built on the vectorised segment reductions of :mod:`repro.nn.functional`
+(profiled under ``graph.segment.*``).  Over a block-diagonal
+:class:`~repro.graph.batch.GraphBatch` the segment ids are sorted, so every
+readout is one contiguous ``reduceat`` pass instead of a Python loop over
+graphs.
+"""
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..nn import functional as F
 from ..nn.tensor import Tensor, concatenate
+
+if TYPE_CHECKING:
+    from ..graph.batch import GraphBatch
 
 READOUTS = ("mean", "sum", "max", "meanmax")
 
@@ -36,3 +48,14 @@ def graph_readout(
             axis=1,
         )
     raise ValueError(f"unknown readout mode {mode!r}; use one of {READOUTS}")
+
+
+def batch_readout(
+    node_embeddings: Tensor, batch: "GraphBatch", mode: str = "mean"
+) -> Tensor:
+    """:func:`graph_readout` over a :class:`GraphBatch`'s segment structure.
+
+    Uses ``batch.node_counts`` for the graph count, so trailing empty
+    graphs still receive (zero / ``-inf``) rows.
+    """
+    return graph_readout(node_embeddings, batch.node_to_graph, batch.num_graphs, mode)

@@ -1,7 +1,8 @@
 """Graph substrate: containers, sparse utilities, generators, augmentations."""
 
-from . import augment, datasets, generators, io, sampling, sparse, splits
-from .data import Graph, GraphBatch, GraphDataset
+from . import augment, batch, datasets, generators, io, sampling, sparse, splits
+from .batch import BatchLoader, GraphBatch, block_diag_csr
+from .data import Graph, GraphDataset
 from .datasets import (
     GRAPH_DATASETS,
     NODE_DATASETS,
@@ -11,6 +12,7 @@ from .datasets import (
 from .splits import LinkSplit, split_edges
 
 __all__ = [
+    "BatchLoader",
     "GRAPH_DATASETS",
     "Graph",
     "GraphBatch",
@@ -18,6 +20,8 @@ __all__ = [
     "LinkSplit",
     "NODE_DATASETS",
     "augment",
+    "batch",
+    "block_diag_csr",
     "datasets",
     "generators",
     "io",

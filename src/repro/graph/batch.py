@@ -1,0 +1,238 @@
+"""Block-diagonal graph batching for graph-level training.
+
+The graph-classification workloads (Table 7) train on hundreds of small
+graphs.  Encoding them one graph per forward pass makes Python/autograd
+overhead the dominant cost: every tiny graph pays its own spmm launch, its
+own autograd nodes, and its own readout.  This module instead merges a list
+of :class:`~repro.graph.data.Graph` objects into one *disjoint-union* graph
+— the same trick as PyG's ``Batch.from_data_list`` — so a whole mini-batch
+of graphs rides a single fused sparse kernel:
+
+* :class:`GraphBatch` — one CSR block-diagonal adjacency, concatenated
+  feature matrix, a ``node_to_graph`` segment-index vector and per-graph
+  ``node_counts``.  Because no edges cross blocks, encoding the batch is
+  mathematically identical to encoding each graph separately.
+* :class:`BatchLoader` — a *fixed* partition of a
+  :class:`~repro.graph.data.GraphDataset` into reusable ``GraphBatch``
+  objects.  The batches are built once and the same adjacency objects are
+  reused every epoch, so the identity-keyed derived-matrix cache
+  (:func:`repro.graph.sparse.memoized_on_matrix`) normalises and transposes
+  each batch exactly once per training run; only the *order* of batches is
+  reshuffled per epoch.
+
+Per-graph readout over a batch is a segment reduction
+(:func:`repro.nn.functional.segment_sum` and friends, profiled under
+``graph.segment.*``); see :func:`repro.gnn.readout.batch_readout`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from . import sparse as sparse_utils
+
+if TYPE_CHECKING:  # imported lazily at runtime; data.py re-exports GraphBatch
+    from .data import Graph, GraphDataset
+
+
+def block_diag_csr(matrices: Sequence[sp.csr_matrix]) -> sp.csr_matrix:
+    """Block-diagonal CSR union of square CSR matrices.
+
+    Equivalent to ``scipy.sparse.block_diag(matrices, format="csr")`` but
+    built by concatenating the CSR arrays directly (one pass, no COO
+    round-trip), which matters when a loader builds many batches.
+    """
+    if not matrices:
+        raise ValueError("cannot build a block diagonal of zero matrices")
+    blocks = [sparse_utils.to_csr(m) for m in matrices]
+    sizes = np.array([b.shape[0] for b in blocks], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    total = int(offsets[-1])
+    indptr = np.zeros(total + 1, dtype=np.int64)
+    position = 0
+    for block, offset in zip(blocks, offsets[:-1]):
+        indptr[offset + 1 : offset + block.shape[0] + 1] = position + block.indptr[1:]
+        position += block.indptr[-1]
+    indices = np.concatenate([b.indices + o for b, o in zip(blocks, offsets[:-1])])
+    data = np.concatenate([b.data for b in blocks])
+    return sp.csr_matrix((data, indices, indptr), shape=(total, total))
+
+
+@dataclass
+class GraphBatch:
+    """A batch of small graphs merged into one block-diagonal graph.
+
+    Attributes
+    ----------
+    adjacency:
+        CSR block-diagonal adjacency over the disjoint union of the graphs.
+    features:
+        ``(total_nodes, d)`` concatenated node features.
+    node_to_graph:
+        ``(total_nodes,)`` segment-index vector mapping each node to its
+        source graph (sorted ascending by construction).
+    node_counts:
+        ``(num_graphs,)`` per-graph node counts.  Authoritative for
+        ``num_graphs`` — unlike ``node_to_graph.max()`` it is correct even
+        when trailing graphs are empty.
+    graph_labels:
+        Optional ``(num_graphs,)`` integer labels.
+    """
+
+    adjacency: sp.csr_matrix
+    features: np.ndarray
+    node_to_graph: np.ndarray
+    node_counts: Optional[np.ndarray] = None
+    graph_labels: Optional[np.ndarray] = None
+    name: str = "batch"
+    _norm_cache: Dict[str, sp.csr_matrix] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self.node_to_graph = np.asarray(self.node_to_graph, dtype=np.int64)
+        if self.node_counts is None:
+            num_graphs = (
+                int(self.node_to_graph.max()) + 1 if self.node_to_graph.size else 0
+            )
+            self.node_counts = np.bincount(self.node_to_graph, minlength=num_graphs)
+        self.node_counts = np.asarray(self.node_counts, dtype=np.int64)
+        if int(self.node_counts.sum()) != self.adjacency.shape[0]:
+            raise ValueError(
+                f"node_counts sum to {int(self.node_counts.sum())} but the "
+                f"adjacency has {self.adjacency.shape[0]} nodes"
+            )
+
+    # -- legacy alias -------------------------------------------------------
+    @property
+    def graph_ids(self) -> np.ndarray:
+        """Alias of :attr:`node_to_graph` (pre-batching-subsystem name)."""
+        return self.node_to_graph
+
+    @property
+    def num_graphs(self) -> int:
+        return len(self.node_counts)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.adjacency.nnz)
+
+    @property
+    def graph_offsets(self) -> np.ndarray:
+        """``(num_graphs + 1,)`` node offsets: graph ``i`` owns rows
+        ``offsets[i]:offsets[i+1]``."""
+        return np.concatenate([[0], np.cumsum(self.node_counts)])
+
+    def normalized_adjacency(
+        self, self_loops: bool = True, mode: str = "symmetric"
+    ) -> sp.csr_matrix:
+        """Cached normalised block-diagonal adjacency (same key scheme as
+        :meth:`repro.graph.data.Graph.normalized_adjacency`)."""
+        key = f"{mode}:{self_loops}"
+        if key not in self._norm_cache:
+            self._norm_cache[key] = sparse_utils.normalized_adjacency(
+                self.adjacency, self_loops=self_loops, mode=mode
+            )
+        return self._norm_cache[key]
+
+    def as_graph(self) -> "Graph":
+        """The disjoint union as a plain :class:`Graph` (for node methods)."""
+        from .data import Graph
+
+        return Graph(adjacency=self.adjacency, features=self.features, name=self.name)
+
+    @classmethod
+    def from_graphs(
+        cls,
+        graphs: Sequence[Graph],
+        labels: Optional[Sequence[int]] = None,
+        name: str = "batch",
+    ) -> "GraphBatch":
+        """Merge ``graphs`` into one block-diagonal batch."""
+        if not graphs:
+            raise ValueError("cannot batch zero graphs")
+        widths = {g.num_features for g in graphs}
+        if len(widths) != 1:
+            raise ValueError(f"graphs have inconsistent feature widths: {sorted(widths)}")
+        adjacency = block_diag_csr([g.adjacency for g in graphs])
+        features = np.concatenate([g.features for g in graphs], axis=0)
+        node_counts = np.array([g.num_nodes for g in graphs], dtype=np.int64)
+        node_to_graph = np.repeat(np.arange(len(graphs), dtype=np.int64), node_counts)
+        graph_labels = None if labels is None else np.asarray(labels, dtype=np.int64)
+        if graph_labels is not None and len(graph_labels) != len(graphs):
+            raise ValueError(f"got {len(graph_labels)} labels for {len(graphs)} graphs")
+        return cls(
+            adjacency=adjacency,
+            features=features,
+            node_to_graph=node_to_graph,
+            node_counts=node_counts,
+            graph_labels=graph_labels,
+            name=name,
+        )
+
+
+class BatchLoader:
+    """Fixed mini-batch partition of a :class:`GraphDataset`.
+
+    The dataset is split into contiguous chunks of ``batch_size`` graphs and
+    each chunk is merged into a :class:`GraphBatch` **once, up front**.  The
+    same batch objects (hence the same adjacency identities) are yielded
+    every epoch, so the derived-matrix cache keeps their normalised
+    operands and transposes warm for the whole training run.  Per-epoch
+    stochasticity comes from :meth:`epoch`, which shuffles the *order* the
+    fixed batches are visited in.
+
+    Iterating the loader directly yields the batches in dataset order, so
+    per-batch outputs concatenated in that order line up with
+    ``dataset.graphs`` / ``dataset.labels``.
+    """
+
+    def __init__(
+        self,
+        dataset: GraphDataset,
+        batch_size: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1 or None, got {batch_size}")
+        total = len(dataset)
+        size = total if batch_size is None else min(batch_size, total)
+        base = name if name is not None else dataset.name
+        self.batch_size = size
+        self.batches: List[GraphBatch] = [
+            GraphBatch.from_graphs(
+                dataset.graphs[start : start + size],
+                labels=dataset.labels[start : start + size],
+                name=f"{base}[{start}:{min(start + size, total)}]",
+            )
+            for start in range(0, total, size)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def __iter__(self) -> Iterator[GraphBatch]:
+        return iter(self.batches)
+
+    @property
+    def num_graphs(self) -> int:
+        return sum(b.num_graphs for b in self.batches)
+
+    def epoch(self, rng: Optional[np.random.Generator] = None) -> Iterator[GraphBatch]:
+        """Yield the fixed batches, in shuffled order when ``rng`` is given."""
+        if rng is None or len(self.batches) == 1:
+            return iter(self.batches)
+        order = rng.permutation(len(self.batches))
+        return iter([self.batches[i] for i in order])

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -162,61 +162,6 @@ class Graph:
 
 
 @dataclass
-class GraphBatch:
-    """A batch of small graphs merged into one block-diagonal graph.
-
-    Used for the graph-classification datasets of Table 3: node features are
-    stacked, adjacencies are block-diagonal, and ``graph_ids`` maps each node
-    to its source graph for segment readout.
-    """
-
-    adjacency: sp.csr_matrix
-    features: np.ndarray
-    graph_ids: np.ndarray
-    graph_labels: Optional[np.ndarray] = None
-    name: str = "batch"
-
-    @property
-    def num_graphs(self) -> int:
-        return int(self.graph_ids.max()) + 1 if self.graph_ids.size else 0
-
-    @property
-    def num_nodes(self) -> int:
-        return self.adjacency.shape[0]
-
-    def normalized_adjacency(self, mode: str = "symmetric") -> sp.csr_matrix:
-        return sparse_utils.normalized_adjacency(self.adjacency, self_loops=True, mode=mode)
-
-    @classmethod
-    def from_graphs(
-        cls, graphs: Sequence[Graph], labels: Optional[Sequence[int]] = None, name: str = "batch"
-    ) -> "GraphBatch":
-        """Merge ``graphs`` into one block-diagonal batch."""
-        if not graphs:
-            raise ValueError("cannot batch zero graphs")
-        widths = {g.num_features for g in graphs}
-        if len(widths) != 1:
-            raise ValueError(f"graphs have inconsistent feature widths: {sorted(widths)}")
-        adjacency = sp.block_diag([g.adjacency for g in graphs], format="csr")
-        features = np.concatenate([g.features for g in graphs], axis=0)
-        graph_ids = np.concatenate(
-            [np.full(g.num_nodes, i, dtype=np.int64) for i, g in enumerate(graphs)]
-        )
-        graph_labels = None if labels is None else np.asarray(labels, dtype=np.int64)
-        if graph_labels is not None and len(graph_labels) != len(graphs):
-            raise ValueError(
-                f"got {len(graph_labels)} labels for {len(graphs)} graphs"
-            )
-        return cls(
-            adjacency=sparse_utils.to_csr(adjacency),
-            features=features,
-            graph_ids=graph_ids,
-            graph_labels=graph_labels,
-            name=name,
-        )
-
-
-@dataclass
 class GraphDataset:
     """A labelled collection of small graphs (one Table 3 dataset)."""
 
@@ -238,9 +183,17 @@ class GraphDataset:
     def num_classes(self) -> int:
         return int(self.labels.max()) + 1
 
-    def to_batch(self) -> GraphBatch:
+    def to_batch(self) -> "GraphBatch":
         """The whole dataset as one block-diagonal batch."""
         return GraphBatch.from_graphs(self.graphs, labels=self.labels, name=self.name)
+
+    def loader(self, batch_size: Optional[int] = None) -> "BatchLoader":
+        """A :class:`~repro.graph.batch.BatchLoader` over this dataset.
+
+        ``batch_size=None`` puts the whole dataset in one batch (the
+        full-batch training the graph-level methods default to).
+        """
+        return BatchLoader(self, batch_size=batch_size)
 
     def summary(self) -> Dict[str, object]:
         """Statistics row in the format of the paper's Table 3."""
@@ -250,3 +203,9 @@ class GraphDataset:
             "classes": self.num_classes,
             "avg_nodes": float(np.mean([g.num_nodes for g in self.graphs])),
         }
+
+
+# Re-exported here for compatibility: GraphBatch predates the batching
+# subsystem and was originally defined in this module.  The import sits at
+# the bottom because batch.py needs Graph/GraphDataset (lazily) itself.
+from .batch import BatchLoader, GraphBatch  # noqa: E402

@@ -78,13 +78,60 @@ def spmm_linear(matrix: sp.spmatrix, dense: Tensor, weight: Tensor) -> Tensor:
     return Tensor._make(np.asarray(data), (dense, weight), backward)
 
 
-@profiled_op("graph.segment_sum")
+def _segment_ids_and_counts(segment_ids: np.ndarray, num_segments: int):
+    """Validated int64 segment ids, per-segment counts, and sortedness.
+
+    Sorted ids are the block-diagonal batching case
+    (:class:`repro.graph.batch.GraphBatch` builds ``node_to_graph`` in
+    ascending order), where the reductions below can use contiguous
+    ``np.*.reduceat`` slices instead of scattered ``np.*.at`` updates —
+    the difference between one vectorised pass and N tiny ones.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.size:
+        if int(segment_ids.min()) < 0 or int(segment_ids.max()) >= num_segments:
+            raise ValueError(
+                f"segment_ids must lie in [0, {num_segments}), got range "
+                f"[{int(segment_ids.min())}, {int(segment_ids.max())}]"
+            )
+    counts = np.bincount(segment_ids, minlength=num_segments)
+    is_sorted = segment_ids.size == 0 or bool(
+        np.all(segment_ids[1:] >= segment_ids[:-1])
+    )
+    return segment_ids, counts, is_sorted
+
+
+def _segment_reduce(ufunc, values: np.ndarray, counts: np.ndarray, fill: float):
+    """``ufunc.reduceat`` over contiguous (sorted-id) segments.
+
+    Empty segments receive ``fill`` — ``reduceat`` cannot represent them
+    (a repeated index returns the element, not the identity), so the
+    reduction runs over the non-empty segments only and is scattered back.
+    """
+    num_segments = len(counts)
+    out = np.full((num_segments,) + values.shape[1:], fill, dtype=values.dtype)
+    nonempty = counts > 0
+    if values.size and nonempty.any():
+        starts = np.concatenate(([0], np.cumsum(counts[:-1])))
+        out[nonempty] = ufunc.reduceat(values, starts[nonempty], axis=0)
+    return out
+
+
+@profiled_op("graph.segment.sum")
 def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
-    """Sum rows of ``values`` grouped by ``segment_ids`` (graph readout)."""
+    """Sum rows of ``values`` grouped by ``segment_ids`` (graph readout).
+
+    Sorted ``segment_ids`` (block-diagonal batches) take a vectorised
+    ``np.add.reduceat`` path; unsorted ids (e.g. GAT's per-destination
+    softmax) fall back to ``np.add.at``.  Backward is a gather either way.
+    """
     values = ensure_tensor(values)
-    segment_ids = np.asarray(segment_ids)
-    out = np.zeros((num_segments,) + values.data.shape[1:], dtype=values.data.dtype)
-    np.add.at(out, segment_ids, values.data)
+    segment_ids, counts, is_sorted = _segment_ids_and_counts(segment_ids, num_segments)
+    if is_sorted:
+        out = _segment_reduce(np.add, values.data, counts, 0.0)
+    else:
+        out = np.zeros((num_segments,) + values.data.shape[1:], dtype=values.data.dtype)
+        np.add.at(out, segment_ids, values.data)
 
     def backward(grad: np.ndarray) -> None:
         if values.requires_grad:
@@ -93,26 +140,55 @@ def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> T
     return Tensor._make(out, (values,), backward)
 
 
+@profiled_op("graph.segment.mean")
 def segment_mean(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
-    """Mean of rows of ``values`` grouped by ``segment_ids``."""
-    counts = np.bincount(np.asarray(segment_ids), minlength=num_segments).astype(float)
-    counts = np.maximum(counts, 1.0)
-    summed = segment_sum(values, segment_ids, num_segments)
-    return summed * Tensor(1.0 / counts[:, None] if summed.ndim == 2 else 1.0 / counts)
+    """Mean of rows of ``values`` grouped by ``segment_ids``.
 
-
-@profiled_op("graph.segment_max")
-def segment_max(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
-    """Row-wise max of ``values`` grouped by ``segment_ids``."""
+    A single fused autograd node: the division by segment size is folded
+    into both the forward buffer and the backward gather, instead of the
+    separate sum and scale nodes the composite formulation builds.  Empty
+    segments yield zero rows.
+    """
     values = ensure_tensor(values)
-    segment_ids = np.asarray(segment_ids)
-    out = np.full((num_segments,) + values.data.shape[1:], -np.inf, dtype=values.data.dtype)
-    np.maximum.at(out, segment_ids, values.data)
+    segment_ids, counts, is_sorted = _segment_ids_and_counts(segment_ids, num_segments)
+    inv_counts = 1.0 / np.maximum(counts, 1).astype(values.data.dtype)
+    if is_sorted:
+        out = _segment_reduce(np.add, values.data, counts, 0.0)
+    else:
+        out = np.zeros((num_segments,) + values.data.shape[1:], dtype=values.data.dtype)
+        np.add.at(out, segment_ids, values.data)
+    out *= inv_counts.reshape((num_segments,) + (1,) * (out.ndim - 1))
+
+    def backward(grad: np.ndarray) -> None:
+        if values.requires_grad:
+            scale = inv_counts[segment_ids].reshape(
+                (len(segment_ids),) + (1,) * (grad.ndim - 1)
+            )
+            values._accumulate(grad[segment_ids] * scale)
+
+    return Tensor._make(out, (values,), backward)
+
+
+@profiled_op("graph.segment.max")
+def segment_max(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Row-wise max of ``values`` grouped by ``segment_ids``.
+
+    Empty segments yield ``-inf`` rows.  Gradient is routed to every
+    element attaining its segment's maximum.
+    """
+    values = ensure_tensor(values)
+    segment_ids, counts, is_sorted = _segment_ids_and_counts(segment_ids, num_segments)
+    if is_sorted:
+        out = _segment_reduce(np.maximum, values.data, counts, -np.inf)
+    else:
+        out = np.full(
+            (num_segments,) + values.data.shape[1:], -np.inf, dtype=values.data.dtype
+        )
+        np.maximum.at(out, segment_ids, values.data)
 
     def backward(grad: np.ndarray) -> None:
         if not values.requires_grad:
             return
-        # Route gradient to the (first) element achieving the max.
         mask = values.data == out[segment_ids]
         values._accumulate(grad[segment_ids] * mask)
 

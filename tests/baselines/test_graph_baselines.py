@@ -58,6 +58,32 @@ class TestGraphSSLContract:
         method.fit_graphs(dataset, seed=0)
         assert set(method._view_losses) == set(AUGMENTATIONS)
 
+    @pytest.mark.parametrize(
+        "method",
+        [
+            InfoGraph(hidden_dim=16, epochs=3, batch_size=8),
+            GraphCL(hidden_dim=16, epochs=3, batch_size=8),
+            InfoGCL(hidden_dim=16, epochs=3, batch_size=8),
+        ],
+        ids=lambda m: m.name,
+    )
+    def test_mini_batch_training(self, dataset, method):
+        """batch_size partitions the dataset yet embedding rows still line
+        up with dataset order."""
+        result = method.fit_graphs(dataset, seed=0)
+        assert result.embeddings.shape[0] == len(dataset)
+        assert np.isfinite(result.embeddings).all()
+        assert len(result.loss_history) == 3
+
+    def test_full_batch_equals_explicit_dataset_size(self, dataset):
+        """batch_size == len(dataset) is the same single-batch schedule as
+        the default, so training is identical."""
+        a = InfoGraph(hidden_dim=16, epochs=3).fit_graphs(dataset, seed=1)
+        b = InfoGraph(hidden_dim=16, epochs=3, batch_size=len(dataset)).fit_graphs(
+            dataset, seed=1
+        )
+        np.testing.assert_allclose(a.embeddings, b.embeddings)
+
 
 class TestAugmentBatch:
     @pytest.mark.parametrize("kind", AUGMENTATIONS)

@@ -79,6 +79,41 @@ class TestTableRunners:
         )
         assert table.get("GCMAE", "mutag-like") is not None
 
+    def test_table7_oom_on_later_seed_voids_cell(self, monkeypatch):
+        """An OOM on any seed marks the whole cell OOM — earlier seeds'
+        scores must not be reported as a partial mean."""
+        from repro.experiments import graph_classification as gc_module
+
+        class FlakyMethod:
+            calls = 0
+
+            def fit_graphs(self, dataset, seed=0):
+                type(self).calls += 1
+                if seed > 0:
+                    raise MemoryError("simulated OOM on the second seed")
+                import numpy as np
+                from repro.core.base import EmbeddingResult
+                rng = np.random.default_rng(seed)
+                return EmbeddingResult(
+                    rng.normal(size=(len(dataset), 4)), 0.0, [1.0]
+                )
+
+            name = "Flaky"
+
+        monkeypatch.setattr(
+            gc_module, "graph_ssl_methods", lambda profile: {"Flaky": FlakyMethod}
+        )
+        two_seeds = Profile(
+            name="micro2", hidden_dim=16, epochs=2, gcmae_epochs=2,
+            num_seeds=2, graph_epochs=2, include_reddit=False,
+        )
+        table = run_table7(
+            profile=two_seeds, datasets=["mutag-like"], methods=["Flaky"]
+        )
+        assert FlakyMethod.calls == 2  # first seed scored, second OOMed
+        assert table.get("Flaky", "mutag-like") is None
+        assert table.missing[("Flaky", "mutag-like")] == "OOM"
+
     def test_table8(self):
         table = run_table8(profile=MICRO, datasets=["cora-like"])
         for row in VARIANT_ROWS:

@@ -1,0 +1,286 @@
+"""Tests for the block-diagonal batching subsystem (repro.graph.batch).
+
+The load-bearing property: encoding a :class:`GraphBatch` is *the same
+function* as encoding each member graph separately — forwards, readouts and
+parameter gradients must all agree.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.gnn.encoder import GNNEncoder
+from repro.gnn.readout import batch_readout, graph_readout
+from repro.graph import Graph, GraphDataset
+from repro.graph.batch import BatchLoader, GraphBatch, block_diag_csr
+from repro.graph.sparse import adjacency_from_edges
+from repro.nn import Tensor, functional as F
+
+from tests.gradcheck import check_gradients
+
+RNG = np.random.default_rng(7)
+
+
+def random_graph(num_nodes, num_features=3, seed=0):
+    rng = np.random.default_rng(seed)
+    if num_nodes == 1:
+        adjacency = sp.csr_matrix((1, 1))
+    else:
+        edges = np.array(
+            [(i, (i + 1) % num_nodes) for i in range(num_nodes)], dtype=np.int64
+        )
+        adjacency = adjacency_from_edges(edges, num_nodes)
+    return Graph(
+        adjacency=adjacency,
+        features=rng.normal(size=(num_nodes, num_features)),
+        labels=np.arange(num_nodes) % 2,
+        name=f"g{seed}",
+    )
+
+
+def toy_dataset(sizes=(4, 1, 6, 3, 5), num_features=3):
+    graphs = [random_graph(n, num_features, seed=i) for i, n in enumerate(sizes)]
+    return GraphDataset(
+        graphs=graphs, labels=np.arange(len(graphs)) % 2, name="toy-set"
+    )
+
+
+class TestBlockDiagCSR:
+    def test_matches_scipy_block_diag(self):
+        blocks = [
+            sp.random(n, n, density=0.4, random_state=i, format="csr")
+            for i, n in enumerate((3, 1, 5, 2))
+        ]
+        ours = block_diag_csr(blocks)
+        reference = sp.block_diag(blocks, format="csr")
+        assert (ours != reference).nnz == 0
+
+    def test_handles_zero_node_block(self):
+        blocks = [sp.identity(2, format="csr"), sp.csr_matrix((0, 0)),
+                  sp.identity(3, format="csr")]
+        out = block_diag_csr(blocks)
+        assert out.shape == (5, 5)
+        np.testing.assert_allclose(out.toarray(), np.eye(5))
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            block_diag_csr([])
+
+
+class TestGraphBatch:
+    def test_from_graphs_fields(self):
+        dataset = toy_dataset()
+        batch = GraphBatch.from_graphs(dataset.graphs, labels=dataset.labels)
+        assert batch.num_graphs == 5
+        assert batch.num_nodes == sum(g.num_nodes for g in dataset.graphs)
+        assert batch.num_features == 3
+        np.testing.assert_array_equal(batch.node_counts, [4, 1, 6, 3, 5])
+        np.testing.assert_array_equal(batch.graph_offsets, [0, 4, 5, 11, 14, 19])
+        # node_to_graph is sorted by construction, and graph_ids aliases it.
+        assert (np.diff(batch.node_to_graph) >= 0).all()
+        assert batch.graph_ids is batch.node_to_graph
+        np.testing.assert_array_equal(
+            batch.node_to_graph, np.repeat(np.arange(5), batch.node_counts)
+        )
+        np.testing.assert_array_equal(batch.graph_labels, dataset.labels)
+
+    def test_adjacency_is_block_diagonal_union(self):
+        dataset = toy_dataset()
+        batch = GraphBatch.from_graphs(dataset.graphs)
+        reference = sp.block_diag([g.adjacency for g in dataset.graphs], format="csr")
+        assert (batch.adjacency != reference).nnz == 0
+        np.testing.assert_allclose(
+            batch.features, np.concatenate([g.features for g in dataset.graphs])
+        )
+
+    def test_rejects_mismatched_feature_widths(self):
+        graphs = [random_graph(3, num_features=3), random_graph(3, num_features=4)]
+        with pytest.raises(ValueError):
+            GraphBatch.from_graphs(graphs)
+
+    def test_rejects_label_count_mismatch(self):
+        with pytest.raises(ValueError):
+            GraphBatch.from_graphs([random_graph(3)], labels=[0, 1])
+
+    def test_num_graphs_counts_trailing_empty_graphs(self):
+        # Built directly (from_graphs never produces empty members): two real
+        # graphs followed by an empty one.
+        batch = GraphBatch(
+            adjacency=sp.identity(5, format="csr"),
+            features=np.ones((5, 2)),
+            node_to_graph=np.array([0, 0, 0, 1, 1]),
+            node_counts=np.array([3, 2, 0]),
+        )
+        assert batch.num_graphs == 3
+        pooled = batch_readout(Tensor(np.ones((5, 2))), batch, mode="sum")
+        np.testing.assert_allclose(pooled.data, [[3, 3], [2, 2], [0, 0]])
+
+    def test_rejects_inconsistent_node_counts(self):
+        with pytest.raises(ValueError):
+            GraphBatch(
+                adjacency=sp.identity(4, format="csr"),
+                features=np.ones((4, 1)),
+                node_to_graph=np.array([0, 0, 1, 1]),
+                node_counts=np.array([2, 1]),
+            )
+
+    def test_normalized_adjacency_is_cached(self):
+        batch = GraphBatch.from_graphs(toy_dataset().graphs)
+        first = batch.normalized_adjacency()
+        assert batch.normalized_adjacency() is first
+
+    def test_as_graph_preserves_structure(self):
+        batch = GraphBatch.from_graphs(toy_dataset().graphs)
+        merged = batch.as_graph()
+        assert merged.num_nodes == batch.num_nodes
+        assert (merged.adjacency != batch.adjacency).nnz == 0
+
+
+class TestBatchLoader:
+    def test_partitions_in_dataset_order(self):
+        loader = BatchLoader(toy_dataset(), batch_size=2)
+        assert len(loader) == 3
+        assert [b.num_graphs for b in loader] == [2, 2, 1]
+        assert loader.num_graphs == 5
+        np.testing.assert_array_equal(
+            [b.num_nodes for b in loader], [5, 9, 5]
+        )
+
+    def test_none_batch_size_is_one_full_batch(self):
+        loader = BatchLoader(toy_dataset(), batch_size=None)
+        assert len(loader) == 1
+        assert loader.batches[0].num_graphs == 5
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchLoader(toy_dataset(), batch_size=0)
+
+    def test_epoch_reuses_the_same_batch_objects(self):
+        loader = BatchLoader(toy_dataset(), batch_size=2)
+        built = set(map(id, loader.batches))
+        for _ in range(3):
+            assert set(map(id, loader.epoch(np.random.default_rng(0)))) == built
+
+    def test_epoch_shuffles_order_only(self):
+        loader = BatchLoader(toy_dataset(sizes=tuple(range(2, 14))), batch_size=1)
+        fixed = [b.name for b in loader]
+        rng = np.random.default_rng(3)
+        orders = [tuple(b.name for b in loader.epoch(rng)) for _ in range(8)]
+        assert len(set(orders)) > 1  # the visit order varies...
+        for order in orders:  # ...but each epoch sees every batch exactly once
+            assert sorted(order) == sorted(fixed)
+
+    def test_dataset_loader_shortcut(self):
+        dataset = toy_dataset()
+        loader = dataset.loader(batch_size=3)
+        assert isinstance(loader, BatchLoader)
+        assert [b.num_graphs for b in loader] == [3, 2]
+
+
+class TestBatchedEquivalence:
+    """Batched forward/backward == per-graph forwards, summed."""
+
+    @pytest.mark.parametrize("conv_type", ["gin", "gcn"])
+    def test_embeddings_match_per_graph_forwards(self, conv_type):
+        dataset = toy_dataset()
+        batch = GraphBatch.from_graphs(dataset.graphs)
+        encoder = GNNEncoder(3, 8, 8, conv_type=conv_type,
+                             rng=np.random.default_rng(0))
+        encoder.eval()
+        batched = encoder.forward_batch(batch).data
+        per_graph = np.concatenate(
+            [encoder(g.adjacency, Tensor(g.features)).data for g in dataset.graphs]
+        )
+        np.testing.assert_allclose(batched, per_graph, rtol=1e-10, atol=1e-12)
+
+    @pytest.mark.parametrize("mode", ["mean", "sum", "max", "meanmax"])
+    def test_batched_readout_matches_per_graph(self, mode):
+        dataset = toy_dataset()
+        batch = GraphBatch.from_graphs(dataset.graphs)
+        nodes = RNG.normal(size=(batch.num_nodes, 4))
+        batched = batch_readout(Tensor(nodes), batch, mode=mode).data
+        offsets = batch.graph_offsets
+        per_graph = np.concatenate([
+            graph_readout(
+                Tensor(nodes[offsets[i]:offsets[i + 1]]),
+                np.zeros(int(batch.node_counts[i]), dtype=np.int64), 1, mode,
+            ).data
+            for i in range(batch.num_graphs)
+        ])
+        np.testing.assert_allclose(batched, per_graph, rtol=1e-12, atol=1e-12)
+
+    def test_parameter_gradients_match_per_graph_backwards(self):
+        dataset = toy_dataset()
+        batch = GraphBatch.from_graphs(dataset.graphs)
+
+        def build():
+            return GNNEncoder(3, 8, 8, conv_type="gin", rng=np.random.default_rng(0))
+
+        weights = Tensor(RNG.normal(size=(batch.num_graphs, 8)))
+
+        batched_encoder = build()
+        pooled = batch_readout(batched_encoder.forward_batch(batch), batch, "mean")
+        (pooled * weights).sum().backward()
+
+        per_graph_encoder = build()
+        offsets = batch.graph_offsets
+        total = None
+        for i, graph in enumerate(dataset.graphs):
+            nodes = per_graph_encoder(graph.adjacency, Tensor(graph.features))
+            pooled_i = graph_readout(
+                nodes, np.zeros(graph.num_nodes, dtype=np.int64), 1, "mean"
+            )
+            term = (pooled_i * weights[i]).sum()
+            total = term if total is None else total + term
+        total.backward()
+
+        batched_params = batched_encoder.parameters()
+        per_graph_params = per_graph_encoder.parameters()
+        assert len(batched_params) == len(per_graph_params) > 0
+        for p_batched, p_single in zip(batched_params, per_graph_params):
+            np.testing.assert_allclose(
+                p_batched.grad, p_single.grad, rtol=1e-10, atol=1e-12
+            )
+
+
+class TestSegmentGradchecks:
+    """Gradchecks over ragged segments, including empty and single-node ones."""
+
+    RAGGED_IDS = np.array([0, 0, 0, 1, 3, 3])  # segments 2 and 4 empty, 1 single
+    NUM_SEGMENTS = 5
+
+    def test_segment_sum_ragged_with_empty_segments(self):
+        check_gradients(
+            lambda x: F.segment_sum(x, self.RAGGED_IDS, self.NUM_SEGMENTS),
+            [RNG.normal(size=(6, 3))],
+        )
+
+    def test_segment_mean_ragged_with_empty_segments(self):
+        check_gradients(
+            lambda x: F.segment_mean(x, self.RAGGED_IDS, self.NUM_SEGMENTS),
+            [RNG.normal(size=(6, 3))],
+        )
+
+    def test_segment_max_ragged(self):
+        # No empty segments here: -inf outputs have no usable finite
+        # differences.  Well-separated values keep the argmax stable.
+        ids = np.array([0, 0, 1, 2, 2, 2])
+        values = np.linspace(-1.0, 1.0, 18).reshape(6, 3)
+        check_gradients(lambda x: F.segment_max(x, ids, 3), [values])
+
+    def test_empty_segment_forward_values(self):
+        values = Tensor(np.ones((2, 2)))
+        ids = np.array([0, 2])
+        np.testing.assert_allclose(
+            F.segment_sum(values, ids, 3).data, [[1, 1], [0, 0], [1, 1]]
+        )
+        np.testing.assert_allclose(
+            F.segment_mean(values, ids, 3).data, [[1, 1], [0, 0], [1, 1]]
+        )
+        out = F.segment_max(values, ids, 3).data
+        assert np.isneginf(out[1]).all()
+
+    def test_single_node_graph_mean_equals_node(self):
+        values = RNG.normal(size=(1, 4))
+        out = F.segment_mean(Tensor(values), np.array([0]), 1)
+        np.testing.assert_allclose(out.data, values)

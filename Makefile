@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: ci test lint perf bench-gc bench
+.PHONY: ci test lint perf bench-gc bench runs-demo
 
 ci:
 	scripts/ci.sh
@@ -21,3 +21,6 @@ bench-gc:
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks -q
+
+runs-demo:
+	$(PYTHON) scripts/runs_demo.py runs

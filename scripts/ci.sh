@@ -34,4 +34,7 @@ echo "== perf smoke (node sparse path + graph-classification batching) =="
 REPRO_PERF_REPORT_ONLY="$REPORT_ONLY" \
     PYTHONPATH=src python -m pytest benchmarks/test_perf_regression.py -q -s
 
+echo "== telemetry sample run (runs/<id>/, schema-validated) =="
+python scripts/runs_demo.py runs
+
 echo "== ci.sh: all stages passed =="

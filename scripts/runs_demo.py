@@ -1,0 +1,57 @@
+"""Produce a sample telemetry run under ``runs/`` and render it back.
+
+This is the ``make runs-demo`` entry point and what CI uploads as the
+``telemetry-sample-run`` artifact: a short profiled GCMAE train recorded
+through :func:`repro.obs.telemetry_run`, then re-read from disk with the
+same code paths ``repro runs list`` / ``repro runs show`` use.  Every event
+and the manifest are validated against the documented schema on the way
+out, so the artifact doubles as an end-to-end schema check.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import GCMAEConfig  # noqa: E402
+from repro.core.trainer import train_gcmae  # noqa: E402
+from repro.graph.datasets import load_node_dataset  # noqa: E402
+from repro.nn.profiler import profile  # noqa: E402
+from repro.obs import (  # noqa: E402
+    find_run,
+    list_runs,
+    render_list,
+    render_show,
+    telemetry_run,
+    trace_span,
+    validate_event,
+    validate_manifest,
+)
+
+
+def main(root: str = "runs") -> None:
+    config = GCMAEConfig(
+        conv_type="gcn", heads=1, hidden_dim=32, embed_dim=32, epochs=8
+    )
+    graph = load_node_dataset("cora-like", seed=0)
+    with profile():
+        with telemetry_run(
+            root, method="GCMAE", dataset="cora-like", seed=0, config=config
+        ) as recorder:
+            with trace_span("demo/GCMAE/cora-like"):
+                train_gcmae(graph, config, seed=0)
+    run_dir = Path(root) / recorder.run_id
+
+    validate_manifest(json.loads((run_dir / "manifest.json").read_text()))
+    for line in (run_dir / "events.jsonl").read_text().splitlines():
+        validate_event(json.loads(line))
+
+    print(f"wrote {run_dir}/ (manifest.json + events.jsonl, schema-valid)\n")
+    print(render_list(list_runs(root)))
+    print()
+    print(render_show(find_run(root, recorder.run_id)))
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:])

@@ -24,6 +24,7 @@ from ..eval.clustering import KMeans
 from ..gnn.encoder import GNNEncoder
 from ..graph.data import Graph
 from ..nn import Adam, Linear, MLP, Tensor, functional as F, no_grad
+from ..obs.hooks import emit_epoch
 
 
 def _smoothed_features(graph: Graph, power: int) -> np.ndarray:
@@ -119,6 +120,7 @@ class GCVGE:
                 loss.backward()
                 optimizer.step()
                 losses.append(loss.item())
+                emit_epoch(self.name, epoch, losses[-1], model=backbone, optimizer=optimizer)
         backbone.eval()
         with no_grad():
             mu, _ = encode(train=False)
@@ -156,7 +158,7 @@ class SCGC:
         edges = graph.edges(directed=False)
         losses = []
         with Stopwatch() as timer:
-            for _ in range(self.epochs):
+            for epoch in range(self.epochs):
                 optimizer.zero_grad()
                 z1 = F.l2_normalize(encoder_a(Tensor(
                     smoothed + rng.normal(scale=self.noise_scale, size=smoothed.shape)
@@ -173,6 +175,12 @@ class SCGC:
                 loss.backward()
                 optimizer.step()
                 losses.append(loss.item())
+                emit_epoch(
+                    self.name, epoch, losses[-1],
+                    parts={"alignment": alignment.item(), "neighbor": neighbor.item(),
+                           "separation": separation.item()},
+                    optimizer=optimizer,
+                )
         with no_grad():
             embeddings = (
                 F.l2_normalize(encoder_a(Tensor(smoothed)))
@@ -213,7 +221,7 @@ class GCC:
         losses = []
         with Stopwatch() as timer:
             assignments = KMeans(k).fit(embeddings, rng).assignments
-            for _ in range(self.iterations):
+            for iteration in range(self.iterations):
                 centroids = np.stack([
                     embeddings[assignments == c].mean(axis=0)
                     if np.any(assignments == c)
@@ -230,4 +238,5 @@ class GCC:
                 distances = ((embeddings[:, None, :] - centroids[None]) ** 2).sum(axis=2)
                 assignments = distances.argmin(axis=1)
                 losses.append(float(distances.min(axis=1).mean()))
+                emit_epoch(self.name, iteration, losses[-1])
         return EmbeddingResult(embeddings.copy(), timer.seconds, losses)

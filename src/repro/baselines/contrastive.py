@@ -33,6 +33,7 @@ from ..graph.data import Graph
 from ..nn import Adam, MLP, Tensor, functional as F, no_grad
 from ..nn.init import xavier_uniform
 from ..nn.module import Module, Parameter
+from ..obs.hooks import emit_epoch
 
 
 class _BilinearDiscriminator(Module):
@@ -77,7 +78,7 @@ class DGI:
         x = graph.features
         losses = []
         with Stopwatch() as timer:
-            for _ in range(self.epochs):
+            for epoch in range(self.epochs):
                 encoder.train()
                 optimizer.zero_grad()
                 positive = encoder(graph.adjacency, Tensor(x))
@@ -93,6 +94,7 @@ class DGI:
                 loss.backward()
                 optimizer.step()
                 losses.append(loss.item())
+                emit_epoch(self.name, epoch, losses[-1], optimizer=optimizer)
         encoder.eval()
         with no_grad():
             embeddings = encoder(graph.adjacency, Tensor(x)).data.copy()
@@ -142,7 +144,7 @@ class GRACE:
         )
         losses = []
         with Stopwatch() as timer:
-            for _ in range(self.epochs):
+            for epoch in range(self.epochs):
                 encoder.train()
                 optimizer.zero_grad()
                 adj1 = drop_edges(graph.adjacency, self.edge_drop[0], rng)
@@ -155,6 +157,7 @@ class GRACE:
                 loss.backward()
                 optimizer.step()
                 losses.append(loss.item())
+                emit_epoch(self.name, epoch, losses[-1], optimizer=optimizer)
         encoder.eval()
         with no_grad():
             embeddings = encoder(graph.adjacency, Tensor(graph.features)).data.copy()
@@ -210,7 +213,7 @@ class MVGRL:
         zeros = Tensor(np.zeros(graph.num_nodes))
         losses = []
         with Stopwatch() as timer:
-            for _ in range(self.epochs):
+            for epoch in range(self.epochs):
                 optimizer.zero_grad()
                 h_a = encoder_a(graph.adjacency, Tensor(x))
                 h_d = encoder_d(diffusion, Tensor(x))
@@ -229,6 +232,7 @@ class MVGRL:
                 loss.backward()
                 optimizer.step()
                 losses.append(loss.item())
+                emit_epoch(self.name, epoch, losses[-1], optimizer=optimizer)
         encoder_a.eval()
         encoder_d.eval()
         with no_grad():
@@ -282,7 +286,7 @@ class CCASSG:
         identity = Tensor(np.eye(self.hidden_dim))
         losses = []
         with Stopwatch() as timer:
-            for _ in range(self.epochs):
+            for epoch in range(self.epochs):
                 encoder.train()
                 optimizer.zero_grad()
                 adj1 = drop_edges(graph.adjacency, self.edge_drop, rng)
@@ -299,6 +303,7 @@ class CCASSG:
                 loss.backward()
                 optimizer.step()
                 losses.append(loss.item())
+                emit_epoch(self.name, epoch, losses[-1], model=encoder, optimizer=optimizer)
         encoder.eval()
         with no_grad():
             embeddings = encoder(graph.adjacency, Tensor(graph.features)).data.copy()

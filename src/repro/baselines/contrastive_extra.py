@@ -25,6 +25,7 @@ from ..graph.data import Graph
 from ..graph.sparse import to_csr
 from ..nn import Adam, MLP, Tensor, functional as F, no_grad
 from ..nn.module import Module
+from ..obs.hooks import emit_epoch
 
 
 class BGRL:
@@ -78,7 +79,7 @@ class BGRL:
         )
         losses = []
         with Stopwatch() as timer:
-            for _ in range(self.epochs):
+            for epoch in range(self.epochs):
                 online.train()
                 optimizer.zero_grad()
                 adj1 = drop_edges(graph.adjacency, self.edge_drop[0], rng)
@@ -102,6 +103,7 @@ class BGRL:
                 optimizer.step()
                 self._ema_update(online, target)
                 losses.append(loss.item())
+                emit_epoch(self.name, epoch, losses[-1], model=online, optimizer=optimizer)
         online.eval()
         with no_grad():
             embeddings = online(graph.adjacency, Tensor(graph.features)).data.copy()
@@ -195,7 +197,7 @@ class GCA:
         )
         losses = []
         with Stopwatch() as timer:
-            for _ in range(self.epochs):
+            for epoch in range(self.epochs):
                 encoder.train()
                 optimizer.zero_grad()
                 adj1 = self._adaptive_edge_drop(graph.adjacency, self.edge_drop[0], rng)
@@ -208,6 +210,7 @@ class GCA:
                 loss.backward()
                 optimizer.step()
                 losses.append(loss.item())
+                emit_epoch(self.name, epoch, losses[-1], model=encoder, optimizer=optimizer)
         encoder.eval()
         with no_grad():
             embeddings = encoder(graph.adjacency, Tensor(graph.features)).data.copy()

@@ -38,6 +38,7 @@ from ..graph.data import GraphDataset
 from ..nn import Adam, MLP, Tensor, functional as F, no_grad
 from ..nn.init import xavier_uniform
 from ..nn.module import Module, Parameter
+from ..obs.hooks import emit_epoch
 
 
 def _nt_xent(a: Tensor, b: Tensor, temperature: float) -> Tensor:
@@ -175,6 +176,7 @@ class GraphCL(_GraphContrastiveBase):
                     step_losses.append(loss.item())
                 epoch_loss = float(np.mean(step_losses))
                 losses.append(epoch_loss)
+                emit_epoch(self.name, epoch, epoch_loss, model=encoder, optimizer=optimizer)
                 self._after_epoch(pair, epoch_loss)
         embeddings = self._graph_embeddings(encoder, loader)
         return EmbeddingResult(embeddings, timer.seconds, losses)
@@ -238,7 +240,7 @@ class InfoGraph(_GraphContrastiveBase):
         targets = {id(batch): self._ownership_targets(batch) for batch in loader}
         losses = []
         with Stopwatch() as timer:
-            for _ in range(self.epochs):
+            for epoch in range(self.epochs):
                 encoder.train()
                 step_losses = []
                 for batch in loader.epoch(rng):
@@ -251,6 +253,7 @@ class InfoGraph(_GraphContrastiveBase):
                     optimizer.step()
                     step_losses.append(loss.item())
                 losses.append(float(np.mean(step_losses)))
+                emit_epoch(self.name, epoch, losses[-1], model=encoder, optimizer=optimizer)
         embeddings = self._graph_embeddings(encoder, loader)
         return EmbeddingResult(embeddings, timer.seconds, losses)
 
@@ -301,6 +304,7 @@ class InfoGCL(_GraphContrastiveBase):
                     step_losses.append(loss.item())
                 epoch_loss = float(np.mean(step_losses))
                 losses.append(epoch_loss)
+                emit_epoch(self.name, epoch, epoch_loss, model=encoder, optimizer=optimizer)
                 previous = self._view_losses.get(view, epoch_loss)
                 self._view_losses[view] = 0.7 * previous + 0.3 * epoch_loss
         embeddings = self._graph_embeddings(encoder, loader)

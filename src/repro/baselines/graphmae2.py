@@ -23,6 +23,7 @@ from ..gnn.encoder import GNNEncoder, _build_conv
 from ..graph.augment import mask_node_features
 from ..graph.data import Graph
 from ..nn import Adam, MLP, Tensor, functional as F, no_grad
+from ..obs.hooks import emit_epoch
 
 
 class GraphMAE2:
@@ -78,7 +79,7 @@ class GraphMAE2:
         operand = encoder.structure(graph.adjacency)
         losses = []
         with Stopwatch() as timer:
-            for _ in range(self.epochs):
+            for epoch in range(self.epochs):
                 encoder.train()
                 optimizer.zero_grad()
                 masked = mask_node_features(graph.features, self.mask_rate, rng)
@@ -114,6 +115,12 @@ class GraphMAE2:
                 loss.backward()
                 optimizer.step()
                 losses.append(loss.item())
+                emit_epoch(
+                    self.name, epoch, losses[-1],
+                    parts={"reconstruction": reconstruction.item() / self.num_remask_views,
+                           "latent": latent.item()},
+                    model=encoder, optimizer=optimizer,
+                )
         encoder.eval()
         with no_grad():
             embeddings = encoder(graph.adjacency, Tensor(graph.features)).data.copy()

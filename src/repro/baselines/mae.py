@@ -26,6 +26,7 @@ from ..graph.augment import mask_node_features
 from ..graph.data import Graph
 from ..graph.sparse import adjacency_from_edges
 from ..nn import Adam, Linear, MLP, Tensor, concatenate, functional as F, no_grad
+from ..obs.hooks import emit_epoch
 
 
 class GraphMAE:
@@ -81,7 +82,7 @@ class GraphMAE:
         )
         losses = []
         with Stopwatch() as timer:
-            for _ in range(self.epochs):
+            for epoch in range(self.epochs):
                 encoder.train()
                 optimizer.zero_grad()
                 masked = mask_node_features(graph.features, self.mask_rate, rng)
@@ -93,6 +94,7 @@ class GraphMAE:
                 loss.backward()
                 optimizer.step()
                 losses.append(loss.item())
+                emit_epoch(self.name, epoch, losses[-1], model=encoder, optimizer=optimizer)
         encoder.eval()
         with no_grad():
             embeddings = encoder(graph.adjacency, Tensor(graph.features)).data.copy()
@@ -145,7 +147,7 @@ class MaskGAE:
         degree_target = Tensor(_degree_targets(graph.adjacency)[:, None])
         losses = []
         with Stopwatch() as timer:
-            for _ in range(self.epochs):
+            for epoch in range(self.epochs):
                 encoder.train()
                 optimizer.zero_grad()
                 mask = rng.random(len(edges)) < self.edge_mask_rate
@@ -169,6 +171,12 @@ class MaskGAE:
                 loss.backward()
                 optimizer.step()
                 losses.append(loss.item())
+                emit_epoch(
+                    self.name, epoch, losses[-1],
+                    parts={"reconstruction": reconstruction.item(),
+                           "degree": degree_loss.item()},
+                    model=encoder, optimizer=optimizer,
+                )
         encoder.eval()
         with no_grad():
             embeddings = encoder(graph.adjacency, Tensor(graph.features)).data.copy()
@@ -222,7 +230,7 @@ class S2GAE:
             return decoder(concatenate(crossed, axis=1))
 
         with Stopwatch() as timer:
-            for _ in range(self.epochs):
+            for epoch in range(self.epochs):
                 encoder.train()
                 optimizer.zero_grad()
                 mask = rng.random(len(edges)) < self.edge_mask_rate
@@ -243,6 +251,7 @@ class S2GAE:
                 loss.backward()
                 optimizer.step()
                 losses.append(loss.item())
+                emit_epoch(self.name, epoch, losses[-1], model=encoder, optimizer=optimizer)
         encoder.eval()
         with no_grad():
             layer_outputs = encoder.layer_outputs(graph.adjacency, Tensor(graph.features))
@@ -277,7 +286,7 @@ class S2GAE:
             return decoder(concatenate(crossed, axis=1))
 
         with Stopwatch() as timer:
-            for _ in range(self.epochs):
+            for epoch in range(self.epochs):
                 encoder.train()
                 step_losses = []
                 for batch in loader.epoch(rng):
@@ -304,6 +313,7 @@ class S2GAE:
                     optimizer.step()
                     step_losses.append(loss.item())
                 losses.append(float(np.mean(step_losses)) if step_losses else 0.0)
+                emit_epoch(self.name, epoch, losses[-1], model=encoder, optimizer=optimizer)
         encoder.eval()
         outputs = []
         with no_grad():
@@ -361,7 +371,7 @@ class SeeGera:
         edges = graph.edges(directed=False)
         losses = []
         with Stopwatch() as timer:
-            for _ in range(self.epochs):
+            for epoch in range(self.epochs):
                 backbone.train()
                 optimizer.zero_grad()
                 masked = mask_node_features(graph.features, self.feature_mask_rate, rng)
@@ -389,6 +399,12 @@ class SeeGera:
                 loss.backward()
                 optimizer.step()
                 losses.append(loss.item())
+                emit_epoch(
+                    self.name, epoch, losses[-1],
+                    parts={"link": link_loss.item(), "feature": feature_loss.item(),
+                           "kl": kl.item()},
+                    model=backbone, optimizer=optimizer,
+                )
         backbone.eval()
         with no_grad():
             h = F.relu(backbone(graph.adjacency, Tensor(graph.features)))

@@ -16,6 +16,7 @@ from ..eval.metrics import accuracy
 from ..gnn.encoder import GNNEncoder
 from ..graph.data import Graph
 from ..nn import Adam, Tensor, functional as F, no_grad
+from ..obs.hooks import emit_epoch
 
 
 @dataclass
@@ -99,6 +100,11 @@ class SupervisedGNN:
                 with no_grad():
                     predictions = model(graph.adjacency, x).data.argmax(axis=1)
                 val_accuracy = accuracy(predictions[val_idx], graph.labels[val_idx])
+                emit_epoch(
+                    self.name, epoch, loss.item(),
+                    parts={"val_accuracy": val_accuracy},
+                    model=model, optimizer=optimizer,
+                )
                 if val_accuracy > best_val:
                     best_val = val_accuracy
                     best_state = model.state_dict()

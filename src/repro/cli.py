@@ -8,11 +8,17 @@ Commands
 ``table``      — regenerate one of the paper's tables (1, 4-10).
 ``figure``     — regenerate one of the paper's figures (1, 4, 5, 6).
 ``report``     — run everything and write EXPERIMENTS.md.
+``runs``       — list / show / diff persisted telemetry runs.
+
+``pretrain``, ``evaluate`` and ``table`` accept ``--telemetry-dir DIR`` to
+persist a full run record (``manifest.json`` + ``events.jsonl``) under
+``DIR/<run_id>/``; ``repro runs show <run_id>`` renders it back.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 from typing import List, Optional
 
 import numpy as np
@@ -32,6 +38,10 @@ def _build_parser() -> argparse.ArgumentParser:
     pretrain.add_argument("dataset", help="dataset name, e.g. cora-like")
     pretrain.add_argument("--seed", type=int, default=0)
     pretrain.add_argument("--output", default=None, help="output .npz path")
+    pretrain.add_argument(
+        "--telemetry-dir", default=None,
+        help="persist a run record under DIR/<run_id>/",
+    )
 
     evaluate = sub.add_parser("evaluate", help="pretrain + evaluate on a task")
     evaluate.add_argument("method")
@@ -42,16 +52,52 @@ def _build_parser() -> argparse.ArgumentParser:
         default="classification",
     )
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument(
+        "--telemetry-dir", default=None,
+        help="persist a run record under DIR/<run_id>/",
+    )
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=[1, 4, 5, 6, 7, 8, 9, 10])
+    table.add_argument(
+        "--telemetry-dir", default=None,
+        help="persist a run record under DIR/<run_id>/",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=[1, 4, 5, 6])
 
     report = sub.add_parser("report", help="write EXPERIMENTS.md from all runs")
     report.add_argument("--output", default=None)
+
+    runs = sub.add_parser("runs", help="inspect persisted telemetry runs")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="list runs under a directory")
+    runs_list.add_argument("--root", default="runs", help="runs directory")
+    runs_show = runs_sub.add_parser(
+        "show", help="render one run: curves, grad norms, spans"
+    )
+    runs_show.add_argument("run_id", help="run id (or unique prefix)")
+    runs_show.add_argument("--root", default="runs", help="runs directory")
+    runs_diff = runs_sub.add_parser(
+        "diff", help="compare two runs' configs and outcomes"
+    )
+    runs_diff.add_argument("run_a", help="baseline run id (or unique prefix)")
+    runs_diff.add_argument("run_b", help="candidate run id (or unique prefix)")
+    runs_diff.add_argument("--root", default="runs", help="runs directory")
     return parser
+
+
+def _telemetry(args, method: str, dataset: str, seed: int = 0, config=None):
+    """A ``telemetry_run`` for ``--telemetry-dir``, or a no-op context."""
+    directory = getattr(args, "telemetry_dir", None)
+    if not directory:
+        return contextlib.nullcontext()
+    from .obs import telemetry_run
+
+    return telemetry_run(
+        directory, method=method, dataset=dataset, seed=seed, config=config
+    )
 
 
 def _get_method(name: str, profile):
@@ -84,7 +130,13 @@ def _cmd_pretrain(args) -> None:
     graph = load_node_dataset(args.dataset, seed=args.seed)
     method = _get_method(args.method, profile)
     print(f"pretraining {args.method} on {args.dataset} (profile {profile.name}) ...")
-    result = method.fit(graph, seed=args.seed)
+    with _telemetry(
+        args, args.method, args.dataset, args.seed,
+        config=getattr(method, "config", method),
+    ) as recorder:
+        result = method.fit(graph, seed=args.seed)
+    if recorder is not None:
+        print(f"telemetry: {args.telemetry_dir}/{recorder.run_id}/")
     output = args.output or f"{args.method}-{args.dataset}-{args.seed}.npz"
     np.savez_compressed(output, embeddings=result.embeddings)
     print(
@@ -100,17 +152,23 @@ def _cmd_evaluate(args) -> None:
     profile = current_profile()
     graph = load_node_dataset(args.dataset, seed=args.seed)
     method = _get_method(args.method, profile)
+    telemetry = _telemetry(
+        args, args.method, args.dataset, args.seed,
+        config=getattr(method, "config", method),
+    )
 
     if args.task == "linkpred":
         from .eval import evaluate_link_prediction
 
         split = split_edges(graph, seed=args.seed)
-        result = method.fit(split.train_graph, seed=args.seed)
+        with telemetry:
+            result = method.fit(split.train_graph, seed=args.seed)
         scores = evaluate_link_prediction(result.embeddings, split, seed=args.seed)
         print(f"{args.method} on {args.dataset}: AUC={scores.auc:.4f} AP={scores.ap:.4f}")
         return
 
-    result = method.fit(graph, seed=args.seed)
+    with telemetry:
+        result = method.fit(graph, seed=args.seed)
     if args.task == "classification":
         from .eval import evaluate_probe
 
@@ -128,16 +186,29 @@ def _cmd_evaluate(args) -> None:
         print(f"{args.method} on {args.dataset}: NMI={scores.nmi:.4f} ARI={scores.ari:.4f}")
 
 
-def _cmd_table(number: int) -> None:
+def _cmd_table(args) -> None:
     from . import experiments as ex
 
-    if number == 1:
-        table = ex.run_table1(
-            ex.run_table4(), ex.run_table5(), ex.run_table6(), ex.run_table7()
-        )
-    else:
-        table = getattr(ex, f"run_table{number}")()
+    number = args.number
+    with _telemetry(args, f"table{number}", "all"):
+        if number == 1:
+            table = ex.run_table1(
+                ex.run_table4(), ex.run_table5(), ex.run_table6(), ex.run_table7()
+            )
+        else:
+            table = getattr(ex, f"run_table{number}")()
     print(table.to_text())
+
+
+def _cmd_runs(args) -> None:
+    from .obs import find_run, list_runs, render_diff, render_list, render_show
+
+    if args.runs_command == "list":
+        print(render_list(list_runs(args.root)))
+    elif args.runs_command == "show":
+        print(render_show(find_run(args.root, args.run_id)))
+    elif args.runs_command == "diff":
+        print(render_diff(find_run(args.root, args.run_a), find_run(args.root, args.run_b)))
 
 
 def _cmd_figure(number: int) -> None:
@@ -165,11 +236,13 @@ def main(argv: Optional[List[str]] = None) -> None:
     elif args.command == "evaluate":
         _cmd_evaluate(args)
     elif args.command == "table":
-        _cmd_table(args.number)
+        _cmd_table(args)
     elif args.command == "figure":
         _cmd_figure(args.number)
     elif args.command == "report":
         _cmd_report(args)
+    elif args.command == "runs":
+        _cmd_runs(args)
 
 
 if __name__ == "__main__":

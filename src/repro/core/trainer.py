@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -18,9 +18,19 @@ from ..graph.augment import random_subgraph_nodes
 from ..graph.data import Graph, GraphDataset
 from ..nn.optim import Adam
 from ..nn.profiler import active_session
+from ..obs.hooks import CallbackHook, EpochHook, emit_epoch
 from .base import EmbeddingResult, Stopwatch
 from .config import GCMAEConfig
 from .gcmae import GCMAE, LossParts
+
+
+def _parts_dict(parts: LossParts) -> dict:
+    return {
+        "sce": parts.sce,
+        "contrastive": parts.contrastive,
+        "structure": parts.structure,
+        "discrimination": parts.discrimination,
+    }
 
 
 @dataclass
@@ -45,6 +55,7 @@ def train_gcmae(
     config: Optional[GCMAEConfig] = None,
     seed: int = 0,
     epoch_callback=None,
+    hooks: Sequence[EpochHook] = (),
 ) -> TrainResult:
     """Pretrain GCMAE on one graph following Algorithm 1.
 
@@ -57,10 +68,19 @@ def train_gcmae(
     seed:
         Seeds weight init, augmentations, and subgraph sampling.
     epoch_callback:
-        Optional ``callback(epoch, model)`` hook, used by the Figure 4
-        similarity probe.
+        Legacy ``callback(epoch, model)`` hook, wrapped in
+        :class:`~repro.obs.hooks.CallbackHook` for back compatibility.
+        Prefer ``hooks``.
+    hooks:
+        :class:`~repro.obs.hooks.EpochHook` instances receiving one
+        :class:`~repro.obs.hooks.EpochEvent` per epoch, in addition to any
+        ambient telemetry (an active :func:`repro.obs.record` /
+        :func:`repro.obs.telemetry_run` recorder).
     """
     config = config if config is not None else GCMAEConfig()
+    hooks = tuple(hooks)
+    if epoch_callback is not None:
+        hooks += (CallbackHook(epoch_callback),)
     rng = np.random.default_rng(seed)
     model = GCMAE(graph.num_features, config, rng=rng)
     optimizer = Adam(
@@ -94,8 +114,11 @@ def train_gcmae(
             result.epoch_seconds.append(epoch_elapsed)
             if session is not None:
                 session.mark_epoch(epoch_elapsed)
-            if epoch_callback is not None:
-                epoch_callback(epoch, model)
+            emit_epoch(
+                "GCMAE", epoch, parts.total,
+                parts=_parts_dict(parts), seconds=epoch_elapsed,
+                model=model, optimizer=optimizer, extra_hooks=hooks,
+            )
     result.train_seconds = timer.seconds
     return result
 
@@ -104,6 +127,7 @@ def train_gcmae_graphs(
     dataset: GraphDataset,
     config: Optional[GCMAEConfig] = None,
     seed: int = 0,
+    hooks: Sequence[EpochHook] = (),
 ) -> TrainResult:
     """Pretrain GCMAE on a multi-graph dataset (Table 7 protocol).
 
@@ -115,6 +139,7 @@ def train_gcmae_graphs(
     warm in the derived-matrix cache; only the visit order is reshuffled.
     """
     config = config if config is not None else GCMAEConfig()
+    hooks = tuple(hooks)
     rng = np.random.default_rng(seed)
     loader = dataset.loader(
         batch_size=config.graph_batch_size if config.graph_batch_size > 0 else None
@@ -145,6 +170,11 @@ def train_gcmae_graphs(
             result.epoch_seconds.append(epoch_elapsed)
             if session is not None:
                 session.mark_epoch(epoch_elapsed)
+            emit_epoch(
+                "GCMAE", epoch, parts.total,
+                parts=_parts_dict(parts), seconds=epoch_elapsed,
+                model=model, optimizer=optimizer, extra_hooks=hooks,
+            )
     result.train_seconds = timer.seconds
     return result
 

@@ -25,6 +25,7 @@ from ..core.trainer import train_gcmae
 from ..eval.classification import evaluate_probe
 from ..graph.datasets import load_node_dataset
 from ..nn import profiler as nn_profiler
+from ..obs.spans import trace_span
 from .cache import cached_fit
 from .node_classification import fit_node_method
 from .profiles import Profile, current_profile
@@ -81,11 +82,13 @@ def run_table9(
             if method_name == "GCMAE (sage)":
                 key = f"t9-gcmae-sage-{dataset_name}-{seed}-{profile.name}"
                 config = _sage_minibatch_config(profile)
-                result = cached_fit(
-                    key, lambda: GCMAEMethod(config).fit(graph, seed=seed)
-                )
+                with trace_span(f"table9/{method_name}/{dataset_name}/seed{seed}"):
+                    result = cached_fit(
+                        key, lambda: GCMAEMethod(config).fit(graph, seed=seed)
+                    )
             else:
-                result = fit_node_method(method_name, dataset_name, seed, profile)
+                with trace_span(f"table9/{method_name}/{dataset_name}/seed{seed}"):
+                    result = fit_node_method(method_name, dataset_name, seed, profile)
             probe_start = time.perf_counter()
             evaluate_probe(
                 result.embeddings, graph.labels, graph.train_mask, graph.test_mask
@@ -123,7 +126,8 @@ def profile_gcmae_components(
     )
     graph = load_node_dataset(dataset_name, seed=seed)
     with nn_profiler.profile() as prof:
-        train_gcmae(graph, config, seed=seed)
+        with trace_span(f"table9/components/{dataset_name}"):
+            train_gcmae(graph, config, seed=seed)
     breakdown = {name: 0.0 for name, _ in COMPONENT_GROUPS}
     breakdown[OTHER_COMPONENT] = 0.0
     for stat in prof.op_stats(group_backward=True):

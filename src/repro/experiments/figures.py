@@ -24,6 +24,7 @@ from ..eval.tsne import TSNE
 from ..graph.data import Graph
 from ..graph.datasets import load_node_dataset
 from ..graph.sparse import k_hop_neighbors
+from ..obs.hooks import LambdaHook
 from .cache import cached_fit
 from .profiles import Profile, current_profile
 from .registry import gcmae_config
@@ -144,12 +145,14 @@ def run_figure4(
         ),
     }
     for name, variant_config in variants.items():
-        def callback(epoch: int, model, _name=name) -> None:
-            if epoch % probe_every == 0 or epoch == variant_config.epochs - 1:
-                embeddings = model.embed(graph.adjacency, graph.features)
-                figure.add_point(_name, epoch, _mean_distant_similarity(embeddings, pairs))
+        def probe(event, _name=name, _config=variant_config) -> None:
+            if event.epoch % probe_every == 0 or event.epoch == _config.epochs - 1:
+                embeddings = event.model.embed(graph.adjacency, graph.features)
+                figure.add_point(
+                    _name, event.epoch, _mean_distant_similarity(embeddings, pairs)
+                )
 
-        train_gcmae(graph, variant_config, seed=seed, epoch_callback=callback)
+        train_gcmae(graph, variant_config, seed=seed, hooks=(LambdaHook(probe),))
 
     final_gcmae = max(figure.series["GCMAE"].items())[1]
     final_mae = max(figure.series["GraphMAE"].items())[1]

@@ -6,6 +6,8 @@ from typing import List, Optional
 
 from ..eval.classification import cross_validated_probe
 from ..graph.datasets import load_graph_dataset
+from ..obs.hooks import emit_counter
+from ..obs.spans import trace_span
 from .cache import cached_fit
 from .profiles import Profile, current_profile
 from .registry import graph_ssl_methods, graph_task_datasets
@@ -40,15 +42,22 @@ def run_table7(
                 dataset = load_graph_dataset(dataset_name, seed=seed)
                 key = f"gc-{method_name}-{dataset_name}-{seed}-{profile.name}"
                 try:
-                    result = cached_fit(
-                        key,
-                        lambda: factories[method_name]().fit_graphs(dataset, seed=seed),
-                    )
+                    with trace_span(f"table7/{method_name}/{dataset_name}/seed{seed}"):
+                        result = cached_fit(
+                            key,
+                            lambda: factories[method_name]().fit_graphs(dataset, seed=seed),
+                        )
                 except MemoryError:
                     # MVGRL's dense diffusion exceeds its size gate on the
                     # larger batches — the paper's Table 7 "OOM" cells.  An
                     # OOM on *any* seed voids the cell: a mean over the
                     # surviving seeds would silently misreport the method.
+                    # The counter makes every voided cell auditable from the
+                    # persisted run, not just from the rendered table.
+                    emit_counter(
+                        "table7.oom", method=method_name,
+                        dataset=dataset_name, seed=seed,
+                    )
                     oom = True
                     break
                 mean_accuracy, _ = cross_validated_probe(

@@ -8,6 +8,7 @@ from typing import List, Optional
 from ..core.base import EmbeddingResult
 from ..eval.classification import evaluate_probe
 from ..graph.datasets import load_node_dataset
+from ..obs.spans import trace_span
 from .cache import cached_fit
 from .profiles import Profile, current_profile
 from .registry import (
@@ -39,9 +40,10 @@ def fit_node_method(
     """Pretrain one SSL method on one dataset (cached across tables)."""
     factories = node_ssl_methods(profile)
     key = f"{method_name}-{dataset_name}-{seed}-{profile.name}"
-    return cached_fit(
-        key, lambda: factories[method_name]().fit(load_node_dataset(dataset_name, seed=seed), seed=seed)
-    )
+    with trace_span(f"table4/{method_name}/{dataset_name}/seed{seed}"):
+        return cached_fit(
+            key, lambda: factories[method_name]().fit(load_node_dataset(dataset_name, seed=seed), seed=seed)
+        )
 
 
 def run_table4(

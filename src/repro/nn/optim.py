@@ -111,6 +111,29 @@ class Adam(Optimizer):
             np.maximum(denominator, np.finfo(param.data.dtype).tiny, out=denominator)
             param.data -= self.lr * m_hat / denominator
 
+    def update_to_param_ratio(self) -> float:
+        """Mean ``||update|| / ||param||`` implied by the current Adam state.
+
+        A standard training-health signal (collected per epoch by the run
+        telemetry in :mod:`repro.obs`): around ``1e-3`` is a healthy step
+        size, much larger means instability, near zero means the run has
+        stalled.  Returns ``0.0`` before the first :meth:`step`.
+        """
+        if self._step == 0:
+            return 0.0
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        ratios = []
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            param_norm = float(np.linalg.norm(param.data))
+            if param_norm < 1e-12:
+                continue
+            denominator = np.sqrt(v / bias2) + self.eps
+            np.maximum(denominator, np.finfo(param.data.dtype).tiny, out=denominator)
+            update_norm = float(np.linalg.norm(self.lr * (m / bias1) / denominator))
+            ratios.append(update_norm / param_norm)
+        return float(np.mean(ratios)) if ratios else 0.0
+
 
 class CosineAnnealingLR:
     """Cosine learning-rate schedule from ``base_lr`` down to ``min_lr``."""

@@ -186,10 +186,21 @@ class ProfilerSession:
         }
 
     def export_json(self, path: str) -> None:
-        """Write :meth:`to_dict` to ``path`` (used for ``BENCH_*.json``)."""
-        with open(path, "w") as handle:
+        """Write :meth:`to_dict` to ``path`` (used for ``BENCH_*.json``).
+
+        Parent directories are created and the file lands via
+        write-then-rename, so an interrupted CI run never leaves a
+        truncated artifact for the next reader.
+        """
+        import os
+
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        partial = f"{path}.tmp"
+        with open(partial, "w") as handle:
             json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
+        os.replace(partial, path)
 
 
 class profile:

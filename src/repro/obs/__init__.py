@@ -1,0 +1,90 @@
+"""Run telemetry: structured metrics, span tracing, and persisted runs.
+
+The observability layer answers "what happened inside run X" after the
+process is gone.  Three cooperating pieces (see ``docs/OBSERVABILITY.md``):
+
+* :class:`MetricsRecorder` — a thread-local collector (installed with
+  :class:`record` or :func:`telemetry_run`) of counters, gauges, per-epoch
+  time series, and spans.  Every training loop in the repository reports
+  into it through the shared :class:`EpochHook` protocol via
+  :func:`emit_epoch`; when no recorder (or other hook) is active the emit
+  path is a no-op costing one thread-local read.
+* :func:`trace_span` — nested spans that compose with
+  :func:`repro.nn.profiler.profile` and attribute per-op time to named
+  regions (``table7/seed0/GCMAE``).
+* :class:`RunWriter` / :func:`telemetry_run` — stream events to an
+  append-only ``events.jsonl`` plus an atomically-written ``manifest.json``
+  under ``runs/<run_id>/``; ``repro runs list|show|diff`` reads them back.
+"""
+
+from .hooks import (
+    CallbackHook,
+    EpochEvent,
+    EpochHook,
+    LambdaHook,
+    active_hooks,
+    emit_counter,
+    emit_epoch,
+    emit_gauge,
+    gradient_norms,
+    use_hooks,
+)
+from .inspect import (
+    Run,
+    find_run,
+    list_runs,
+    load_run,
+    render_diff,
+    render_list,
+    render_show,
+    sparkline,
+)
+from .recorder import EpochRecord, MetricsRecorder, active_recorder, record
+from .schema import (
+    EVENT_SCHEMAS,
+    MANIFEST_SCHEMA,
+    SCHEMA_VERSION,
+    SchemaError,
+    validate_event,
+    validate_manifest,
+)
+from .spans import SpanRecord, current_span, trace_span
+from .writer import RunWriter, config_dict, make_run_id, telemetry_run
+
+__all__ = [
+    "CallbackHook",
+    "EVENT_SCHEMAS",
+    "EpochEvent",
+    "EpochHook",
+    "EpochRecord",
+    "LambdaHook",
+    "MANIFEST_SCHEMA",
+    "MetricsRecorder",
+    "Run",
+    "RunWriter",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "SpanRecord",
+    "active_hooks",
+    "active_recorder",
+    "config_dict",
+    "current_span",
+    "emit_counter",
+    "emit_epoch",
+    "emit_gauge",
+    "find_run",
+    "gradient_norms",
+    "list_runs",
+    "load_run",
+    "make_run_id",
+    "record",
+    "render_diff",
+    "render_list",
+    "render_show",
+    "sparkline",
+    "telemetry_run",
+    "trace_span",
+    "use_hooks",
+    "validate_event",
+    "validate_manifest",
+]

@@ -1,0 +1,272 @@
+"""Read persisted runs back and render them for ``repro runs ...``.
+
+Everything here works from the on-disk artefacts alone (``manifest.json`` +
+``events.jsonl``), so a run remains fully inspectable long after the
+process that produced it is gone — loss-part curves, per-epoch grad norms,
+and span-attributed op breakdowns included.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass
+class Run:
+    """One loaded run: its manifest plus parsed event lists."""
+
+    directory: Path
+    manifest: Dict[str, object]
+    epochs: List[dict] = field(default_factory=list)
+    spans: List[dict] = field(default_factory=list)
+    counters: List[dict] = field(default_factory=list)
+    gauges: List[dict] = field(default_factory=list)
+
+    @property
+    def run_id(self) -> str:
+        return str(self.manifest.get("run_id", self.directory.name))
+
+    def epoch_series(self, key: str = "loss") -> List[float]:
+        """Per-epoch values of ``loss``, ``epoch_seconds``, or a part name."""
+        if key in ("loss", "epoch_seconds"):
+            return [float(row[key]) for row in self.epochs]
+        return [float(row.get("parts", {}).get(key, float("nan"))) for row in self.epochs]
+
+    def part_names(self) -> List[str]:
+        names: List[str] = []
+        for row in self.epochs:
+            for name in row.get("parts", {}):
+                if name not in names:
+                    names.append(name)
+        return names
+
+
+def load_run(path: str | Path) -> Run:
+    """Load one run directory (tolerating a missing/partial event file)."""
+    directory = Path(path)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no manifest.json under {directory}")
+    run = Run(directory=directory, manifest=json.loads(manifest_path.read_text()))
+    events_path = directory / "events.jsonl"
+    if events_path.exists():
+        with open(events_path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # a line truncated by a crash; keep the rest
+                bucket = {
+                    "epoch": run.epochs,
+                    "span": run.spans,
+                    "counter": run.counters,
+                    "gauge": run.gauges,
+                }.get(event.get("type"))
+                if bucket is not None:
+                    bucket.append(event)
+    return run
+
+
+def list_runs(root: str | Path) -> List[Run]:
+    """All runs under ``root``, oldest first."""
+    directory = Path(root)
+    if not directory.exists():
+        return []
+    runs = []
+    for child in sorted(directory.iterdir()):
+        if (child / "manifest.json").exists():
+            runs.append(load_run(child))
+    return runs
+
+
+def find_run(root: str | Path, run_id: str) -> Run:
+    """Load the run whose id equals — or uniquely starts with — ``run_id``."""
+    exact = Path(root) / run_id
+    if (exact / "manifest.json").exists():
+        return load_run(exact)
+    matches = [r for r in list_runs(root) if r.run_id.startswith(run_id)]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise FileNotFoundError(f"no run matching {run_id!r} under {root}")
+    raise ValueError(
+        f"ambiguous run id {run_id!r}: matches "
+        + ", ".join(r.run_id for r in matches)
+    )
+
+
+def sparkline(values: List[float], width: int = 40) -> str:
+    """A fixed-width unicode sparkline of a numeric series."""
+    finite = [v for v in values if v == v]  # drop NaNs
+    if not finite:
+        return ""
+    if len(values) > width:
+        # Bucket-mean downsample to the display width.
+        step = len(values) / width
+        values = [
+            sum(values[int(i * step): max(int((i + 1) * step), int(i * step) + 1)])
+            / max(int((i + 1) * step) - int(i * step), 1)
+            for i in range(width)
+        ]
+    low, high = min(finite), max(finite)
+    span = high - low
+    chars = []
+    for value in values:
+        if value != value:
+            chars.append(" ")
+            continue
+        level = 0 if span <= 0 else int((value - low) / span * (len(_SPARK_CHARS) - 1))
+        chars.append(_SPARK_CHARS[level])
+    return "".join(chars)
+
+
+def _fmt_bytes(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(value) < 1024.0 or unit == "GB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024.0
+    return f"{value:.1f}GB"
+
+
+def render_list(runs: List[Run]) -> str:
+    """The ``repro runs list`` table."""
+    if not runs:
+        return "no runs found"
+    header = f"{'run id':<44} {'method':<12} {'dataset':<14} {'status':<7} {'epochs':>6} {'wall s':>8}"
+    lines = [header, "-" * len(header)]
+    for run in runs:
+        summary = run.manifest.get("summary", {}) or {}
+        epochs = summary.get("epochs", len(run.epochs))
+        wall = summary.get("wall_seconds")
+        wall_text = f"{wall:>8.2f}" if isinstance(wall, (int, float)) else f"{'-':>8}"
+        lines.append(
+            f"{run.run_id:<44} {str(run.manifest.get('method', '?')):<12} "
+            f"{str(run.manifest.get('dataset', '?')):<14} "
+            f"{str(run.manifest.get('status', '?')):<7} {epochs:>6} {wall_text}"
+        )
+    return "\n".join(lines)
+
+
+def _series_block(run: Run, key: str, label: str) -> List[str]:
+    series = run.epoch_series(key)
+    finite = [v for v in series if v == v]
+    if not finite:
+        return []
+    return [
+        f"  {label:<16} {sparkline(series)}  "
+        f"first {finite[0]:.4f}  last {finite[-1]:.4f}  min {min(finite):.4f}"
+    ]
+
+
+def render_show(run: Run, span_limit: int = 12, op_limit: int = 6) -> str:
+    """The ``repro runs show`` report: curves, grad norms, span breakdown."""
+    m = run.manifest
+    lines = [
+        f"run {run.run_id}",
+        f"  method {m.get('method')}  dataset {m.get('dataset')}  "
+        f"seed {m.get('seed')}  status {m.get('status')}",
+        f"  started {m.get('started_at')}  ended {m.get('ended_at')}  "
+        f"version {m.get('package_version')}",
+    ]
+    if m.get("error"):
+        lines.append(f"  error: {m['error']}")
+
+    if run.epochs:
+        lines.append("")
+        lines.append(f"loss curves ({len(run.epochs)} epochs):")
+        lines.extend(_series_block(run, "loss", "total"))
+        for part in run.part_names():
+            lines.extend(_series_block(run, part, part))
+        lines.extend(_series_block(run, "epoch_seconds", "epoch seconds"))
+
+        last = run.epochs[-1]
+        norms = last.get("grad_norms", {})
+        if norms:
+            lines.append("")
+            lines.append("grad norms (last epoch, per parameter group):")
+            for group, value in sorted(norms.items()):
+                lines.append(f"  {group:<24} {value:.4e}")
+        if last.get("update_ratio") is not None:
+            lines.append(f"  adam update/param ratio  {last['update_ratio']:.3e}")
+        peak = None
+        for gauge in run.gauges:
+            if gauge.get("name") == "peak_epoch_bytes":
+                peak = gauge.get("value")
+        if peak is not None:
+            lines.append(f"  peak bytes touched/epoch {_fmt_bytes(peak)}")
+
+    if run.spans:
+        lines.append("")
+        lines.append("spans (wall seconds; op-attributed when profiled):")
+        for span in run.spans[:span_limit]:
+            indent = "  " * (int(span.get("depth", 0)) + 1)
+            lines.append(f"{indent}{span['name']}: {span['seconds']:.3f}s")
+            ops = sorted(
+                span.get("ops", {}).items(), key=lambda kv: kv[1], reverse=True
+            )
+            for op, seconds in ops[:op_limit]:
+                lines.append(f"{indent}  {op:<32} {seconds:.4f}s")
+        if len(run.spans) > span_limit:
+            lines.append(f"  ... {len(run.spans) - span_limit} more spans")
+
+    counters = {}
+    for event in run.counters:
+        counters[event["name"]] = counters.get(event["name"], 0.0) + event["value"]
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:<24} {value:g}")
+    return "\n".join(lines)
+
+
+def render_diff(a: Run, b: Run) -> str:
+    """The ``repro runs diff`` report: config, status, and outcome deltas."""
+    lines = [f"diff {a.run_id} -> {b.run_id}"]
+    for key in ("method", "dataset", "seed", "status", "package_version"):
+        va, vb = a.manifest.get(key), b.manifest.get(key)
+        marker = " " if va == vb else "*"
+        lines.append(f"{marker} {key:<18} {va!r:<28} {vb!r}")
+
+    config_a = a.manifest.get("config", {}) or {}
+    config_b = b.manifest.get("config", {}) or {}
+    changed = [
+        key for key in sorted(set(config_a) | set(config_b))
+        if config_a.get(key) != config_b.get(key)
+    ]
+    lines.append("")
+    if changed:
+        lines.append("config differences:")
+        for key in changed:
+            lines.append(
+                f"* {key:<18} {config_a.get(key, '<absent>')!r:<28} "
+                f"{config_b.get(key, '<absent>')!r}"
+            )
+    else:
+        lines.append("configs identical")
+
+    loss_a, loss_b = a.epoch_series("loss"), b.epoch_series("loss")
+    if loss_a and loss_b:
+        lines.append("")
+        lines.append(
+            f"final loss         {loss_a[-1]:<28.4f} {loss_b[-1]:.4f} "
+            f"(delta {loss_b[-1] - loss_a[-1]:+.4f})"
+        )
+        seconds_a = sum(a.epoch_series("epoch_seconds"))
+        seconds_b = sum(b.epoch_series("epoch_seconds"))
+        lines.append(
+            f"total epoch secs   {seconds_a:<28.2f} {seconds_b:.2f} "
+            f"(delta {seconds_b - seconds_a:+.2f})"
+        )
+        lines.append(f"epochs             {len(loss_a):<28} {len(loss_b)}")
+    return "\n".join(lines)

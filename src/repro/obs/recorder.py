@@ -1,0 +1,197 @@
+"""The thread-local :class:`MetricsRecorder` at the heart of run telemetry.
+
+A recorder is an :class:`~repro.obs.hooks.EpochHook` that aggregates
+counters, gauges, per-epoch time series (loss, loss parts, per-group grad
+norms, Adam update/param ratio, bytes touched, epoch wall time) and finished
+spans.  It is installed thread-locally — like the profiler — by
+:class:`record` or, for persisted runs, by :func:`repro.obs.telemetry_run`,
+which additionally streams every record to a
+:class:`~repro.obs.writer.RunWriter` as it happens::
+
+    with record() as rec:
+        train_gcmae(graph, config)
+    print(rec.epoch_series("loss"))
+
+Memory accounting rides on the profiler's ``_nbytes`` plumbing: when a
+:func:`repro.nn.profiler.profile` session spans the recorder, each epoch
+event carries the bytes touched since the previous epoch and the recorder
+keeps the high-water mark in the ``peak_epoch_bytes`` gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..nn.profiler import active_session
+from .hooks import EpochEvent, use_hooks
+from .spans import SpanRecord
+
+_tls = threading.local()
+
+
+def active_recorder() -> Optional["MetricsRecorder"]:
+    """The recorder of the current thread, or ``None`` when telemetry is off."""
+    return getattr(_tls, "recorder", None)
+
+
+@dataclass
+class EpochRecord:
+    """One aggregated epoch row of the recorder's time series."""
+
+    method: str
+    epoch: int
+    loss: float
+    parts: Dict[str, float] = field(default_factory=dict)
+    grad_norms: Dict[str, float] = field(default_factory=dict)
+    update_ratio: Optional[float] = None
+    epoch_seconds: float = 0.0
+    bytes_touched: Optional[int] = None
+
+
+class MetricsRecorder:
+    """Collects counters, gauges, epoch series, and spans for one run."""
+
+    wants_gradients = True
+
+    def __init__(self, writer=None) -> None:
+        self.writer = writer
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.epochs: List[EpochRecord] = []
+        self.spans: List[SpanRecord] = []
+        self._started = time.perf_counter()
+        self._last_epoch_time = self._started
+        self._last_bytes = self._profiled_bytes()
+
+    @staticmethod
+    def _profiled_bytes() -> Optional[int]:
+        session = active_session()
+        if session is None:
+            return None
+        return sum(stat.bytes_touched for stat in session.stats.values())
+
+    # ------------------------------------------------------------------
+    # EpochHook protocol
+    # ------------------------------------------------------------------
+    def on_epoch(self, event: EpochEvent) -> None:
+        now = time.perf_counter()
+        seconds = event.epoch_seconds
+        if seconds is None:
+            # The loop did not time itself: fall back to the inter-event
+            # clock (one training loop per thread, so this is the epoch).
+            seconds = now - self._last_epoch_time
+        self._last_epoch_time = now
+
+        bytes_touched: Optional[int] = None
+        total_bytes = self._profiled_bytes()
+        if total_bytes is not None:
+            previous = self._last_bytes if self._last_bytes is not None else 0
+            bytes_touched = max(total_bytes - previous, 0)
+            self._last_bytes = total_bytes
+            peak = self.gauges.get("peak_epoch_bytes", 0.0)
+            if bytes_touched > peak:
+                self.gauge("peak_epoch_bytes", float(bytes_touched))
+
+        record = EpochRecord(
+            method=event.method,
+            epoch=event.epoch,
+            loss=event.loss,
+            parts=dict(event.parts),
+            grad_norms=dict(event.grad_norms),
+            update_ratio=event.update_ratio,
+            epoch_seconds=float(seconds),
+            bytes_touched=bytes_touched,
+        )
+        self.epochs.append(record)
+        self.counter("epochs", 1.0)
+        if self.writer is not None:
+            self.writer.write_event(
+                "epoch",
+                method=record.method,
+                epoch=record.epoch,
+                loss=record.loss,
+                parts=record.parts,
+                grad_norms=record.grad_norms,
+                update_ratio=record.update_ratio,
+                epoch_seconds=record.epoch_seconds,
+                bytes_touched=record.bytes_touched,
+            )
+
+    # ------------------------------------------------------------------
+    # Counters / gauges / spans
+    # ------------------------------------------------------------------
+    def counter(self, name: str, value: float = 1.0, **tags: object) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + float(value)
+        if self.writer is not None and name != "epochs":  # epochs ride on rows
+            self.writer.write_event(
+                "counter", name=name, value=float(value), tags=tags or {}
+            )
+
+    def gauge(self, name: str, value: float, **tags: object) -> None:
+        self.gauges[name] = float(value)
+        if self.writer is not None:
+            self.writer.write_event(
+                "gauge", name=name, value=float(value), tags=tags or {}
+            )
+
+    def span(self, record: SpanRecord) -> None:
+        self.spans.append(record)
+        if self.writer is not None:
+            self.writer.write_event(
+                "span",
+                name=record.name,
+                seconds=record.seconds,
+                depth=record.depth,
+                ops=record.ops,
+                bytes_touched=record.bytes_touched,
+            )
+
+    # ------------------------------------------------------------------
+    # Reading back
+    # ------------------------------------------------------------------
+    def epoch_series(self, key: str = "loss", method: Optional[str] = None) -> List[float]:
+        """One per-epoch series: ``loss``, ``epoch_seconds``, or a part name."""
+        rows = [r for r in self.epochs if method is None or r.method == method]
+        if key in ("loss", "epoch_seconds"):
+            return [getattr(r, key) for r in rows]
+        return [r.parts.get(key, float("nan")) for r in rows]
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-ready aggregate view (what the manifest embeds on finish)."""
+        return {
+            "epochs": len(self.epochs),
+            "methods": sorted({r.method for r in self.epochs}),
+            "final_loss": self.epochs[-1].loss if self.epochs else None,
+            "total_epoch_seconds": sum(r.epoch_seconds for r in self.epochs),
+            "spans": len(self.spans),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "wall_seconds": time.perf_counter() - self._started,
+        }
+
+
+class record:
+    """Open a thread-local :class:`MetricsRecorder` (in-memory, no files).
+
+    The recorder is installed both as the active recorder (for spans,
+    counters, gauges) and on the hook stack (for epoch events), so one
+    ``with record() as rec:`` observes everything a persisted run would.
+    """
+
+    def __init__(self, writer=None) -> None:
+        self.recorder = MetricsRecorder(writer=writer)
+        self._hooks = use_hooks(self.recorder)
+        self._previous: Optional[MetricsRecorder] = None
+
+    def __enter__(self) -> MetricsRecorder:
+        self._previous = active_recorder()
+        _tls.recorder = self.recorder
+        self._hooks.__enter__()
+        return self.recorder
+
+    def __exit__(self, *exc_info) -> None:
+        self._hooks.__exit__(*exc_info)
+        _tls.recorder = self._previous

@@ -1,0 +1,114 @@
+"""Nested span tracing that composes with the op-level profiler.
+
+A span marks a named region of a run::
+
+    with trace_span("table7/seed0/GCMAE"):
+        method.fit_graphs(dataset, seed=0)
+
+Spans nest — the recorded name is the ``/``-joined path of the enclosing
+stack — and compose with :func:`repro.nn.profiler.profile`: when a profiler
+session is active, each span snapshots the session's per-op totals on entry
+and attributes the *delta* (seconds and bytes, forward+backward grouped) to
+itself on exit.  That is what lets ``repro runs show`` answer "which ops did
+the GCMAE cell of Table 7 spend its time in" after the process is gone.
+
+Like the profiler and the hook stack, the span stack is thread-local.  When
+no :class:`~repro.obs.recorder.MetricsRecorder` is active and no profiler
+session is open, entering a span costs two thread-local reads and a list
+append — cheap enough to leave on every experiment-runner cell.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..nn.profiler import active_session
+
+_tls = threading.local()
+
+
+@dataclass
+class SpanRecord:
+    """A finished span: its path, wall time, and attributed op stats."""
+
+    name: str
+    seconds: float
+    ops: Dict[str, float] = field(default_factory=dict)
+    bytes_touched: int = 0
+    depth: int = 0
+
+
+def span_stack() -> List[str]:
+    """The thread-local stack of open span names."""
+    stack = getattr(_tls, "spans", None)
+    if stack is None:
+        stack = _tls.spans = []
+    return stack
+
+
+def current_span() -> Optional[str]:
+    """The ``/``-joined path of the innermost open span, or ``None``."""
+    stack = getattr(_tls, "spans", None)
+    return "/".join(stack) if stack else None
+
+
+def _op_totals(session) -> Dict[str, Tuple[float, int]]:
+    """Snapshot ``{grouped op name: (seconds, bytes)}`` of a session."""
+    totals: Dict[str, Tuple[float, int]] = {}
+    for name, stat in session.stats.items():
+        key = name[: -len(".backward")] if name.endswith(".backward") else name
+        seconds, nbytes = totals.get(key, (0.0, 0))
+        totals[key] = (seconds + stat.seconds, nbytes + stat.bytes_touched)
+    return totals
+
+
+class trace_span:
+    """Context manager opening one named span on the thread-local stack."""
+
+    def __init__(self, name: str) -> None:
+        self.name = str(name)
+        self.record: Optional[SpanRecord] = None
+        self._start = 0.0
+        self._snapshot: Optional[Dict[str, Tuple[float, int]]] = None
+
+    def __enter__(self) -> "trace_span":
+        stack = span_stack()
+        stack.append(self.name)
+        self._depth = len(stack) - 1
+        session = active_session()
+        if session is not None:
+            self._snapshot = _op_totals(session)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        seconds = time.perf_counter() - self._start
+        stack = span_stack()
+        path = "/".join(stack)
+        stack.pop()
+        ops: Dict[str, float] = {}
+        bytes_touched = 0
+        session = active_session()
+        if session is not None and self._snapshot is not None:
+            before = self._snapshot
+            for name, (total_seconds, total_bytes) in _op_totals(session).items():
+                prior_seconds, prior_bytes = before.get(name, (0.0, 0))
+                delta = total_seconds - prior_seconds
+                if delta > 0.0:
+                    ops[name] = delta
+                bytes_touched += total_bytes - prior_bytes
+        self.record = SpanRecord(
+            name=path,
+            seconds=seconds,
+            ops=ops,
+            bytes_touched=max(bytes_touched, 0),
+            depth=self._depth,
+        )
+        from .recorder import active_recorder  # local import: no cycle at load
+
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.span(self.record)

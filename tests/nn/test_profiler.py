@@ -11,9 +11,59 @@ from repro.core.trainer import train_gcmae
 from repro.graph.datasets import load_node_dataset
 from repro.nn import Tensor, functional as F
 from repro.nn.layers import Linear
-from repro.nn.profiler import active_session, profile
+from repro.nn.profiler import OpStat, active_session, profile, profiled_op
 
 RNG = np.random.default_rng(0)
+
+
+class TestOpStat:
+    def test_merged_with_sums_every_field(self):
+        a = OpStat("tensor.matmul", calls=3, seconds=0.5, bytes_touched=100)
+        b = OpStat("tensor.matmul.backward", calls=2, seconds=0.25, bytes_touched=50)
+        merged = a.merged_with(b)
+        assert merged.name == "tensor.matmul"
+        assert merged.calls == 5
+        assert merged.seconds == 0.75
+        assert merged.bytes_touched == 150
+        # Originals are untouched (merged_with returns a new OpStat).
+        assert a.calls == 3 and b.calls == 2
+
+    def test_merged_with_rename(self):
+        a = OpStat("x.backward", calls=1, seconds=0.1)
+        merged = a.merged_with(OpStat("y"), name="x")
+        assert merged.name == "x"
+
+
+class TestProfiledOpDecorator:
+    def test_no_session_leaves_output_untouched(self):
+        class FakeTensor:
+            def __init__(self):
+                self.data = np.zeros(4)
+                self._backward = original
+
+        def original(grad):
+            return None
+
+        make = profiled_op("test.dummy")(lambda: FakeTensor())
+        out = make()  # no active session
+        assert out._backward is original
+
+    def test_session_wraps_backward_and_records(self):
+        class FakeTensor:
+            def __init__(self):
+                self.data = np.zeros(4)
+                self._backward = original
+
+        def original(grad):
+            return None
+
+        make = profiled_op("test.dummy")(lambda: FakeTensor())
+        with profile() as prof:
+            out = make()
+            assert out._backward is not original
+            out._backward(np.zeros(4))
+        assert prof.stats["test.dummy"].calls == 1
+        assert prof.stats["test.dummy.backward"].calls == 1
 
 
 class TestProfileSession:
@@ -77,6 +127,24 @@ class TestProfileSession:
             _ = a * a
         assert "tensor.add" in inner.stats and "tensor.add" not in outer.stats
         assert "tensor.mul" in outer.stats and "tensor.mul" not in inner.stats
+
+    def test_nested_profile_restores_outer_session(self):
+        with profile() as outer:
+            assert active_session() is outer
+            with profile() as inner:
+                assert active_session() is inner
+            assert active_session() is outer
+        assert active_session() is None
+
+    def test_export_json_creates_parent_dirs_atomically(self, tmp_path):
+        a = Tensor(RNG.normal(size=(4, 4)), requires_grad=True)
+        with profile() as prof:
+            (a @ a).sum().backward()
+        path = tmp_path / "deep" / "nested" / "BENCH_out.json"
+        prof.export_json(str(path))
+        assert path.exists()
+        assert not path.with_name("BENCH_out.json.tmp").exists()
+        assert "tensor.matmul" in {r["name"] for r in json.loads(path.read_text())["ops"]}
 
     def test_sessions_are_thread_local(self):
         a = Tensor(RNG.normal(size=(4, 4)))

@@ -1,0 +1,131 @@
+"""Tests for run inspection (`repro.obs.inspect`) and `repro runs ...`."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    emit_epoch,
+    find_run,
+    list_runs,
+    render_diff,
+    render_list,
+    render_show,
+    sparkline,
+    telemetry_run,
+    trace_span,
+)
+
+
+def _make_run(root, method="GCMAE", dataset="cora-like", seed=0, losses=(2.0, 1.0),
+              config=None, run_id=None):
+    with telemetry_run(
+        root, method=method, dataset=dataset, seed=seed, config=config,
+        run_id=run_id,
+    ) as rec:
+        for epoch, loss in enumerate(losses):
+            emit_epoch(method, epoch, loss, parts={"sce": loss / 2.0})
+        with trace_span(f"test/{method}"):
+            pass
+    return rec.run_id
+
+
+class TestLoadAndFind:
+    def test_list_runs_sorted_and_loaded(self, tmp_path):
+        _make_run(tmp_path, run_id="a-run")
+        _make_run(tmp_path, run_id="b-run")
+        runs = list_runs(tmp_path)
+        assert [r.run_id for r in runs] == ["a-run", "b-run"]
+        assert runs[0].epoch_series("loss") == [2.0, 1.0]
+        assert runs[0].epoch_series("sce") == [1.0, 0.5]
+        assert runs[0].part_names() == ["sce"]
+        assert len(runs[0].spans) == 1
+
+    def test_list_runs_missing_root(self, tmp_path):
+        assert list_runs(tmp_path / "absent") == []
+
+    def test_find_run_exact_and_prefix(self, tmp_path):
+        _make_run(tmp_path, run_id="alpha-run")
+        _make_run(tmp_path, run_id="beta-run")
+        assert find_run(tmp_path, "alpha-run").run_id == "alpha-run"
+        assert find_run(tmp_path, "beta").run_id == "beta-run"
+
+    def test_find_run_ambiguous_or_missing(self, tmp_path):
+        _make_run(tmp_path, run_id="run-1")
+        _make_run(tmp_path, run_id="run-2")
+        with pytest.raises(ValueError, match="ambiguous"):
+            find_run(tmp_path, "run-")
+        with pytest.raises(FileNotFoundError):
+            find_run(tmp_path, "nope")
+
+
+class TestRendering:
+    def test_sparkline_shapes(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0]) == "▁"
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(sparkline(list(range(100)), width=40)) == 40
+
+    def test_render_list_empty(self):
+        assert render_list([]) == "no runs found"
+
+    def test_render_show_has_curves_and_spans(self, tmp_path):
+        run_id = _make_run(tmp_path, losses=(3.0, 2.0, 1.0))
+        text = render_show(find_run(tmp_path, run_id))
+        assert f"run {run_id}" in text
+        assert "loss curves (3 epochs)" in text
+        assert "sce" in text
+        assert "test/GCMAE" in text
+        assert "status ok" in text
+
+    def test_render_diff_marks_changes(self, tmp_path):
+        a = _make_run(tmp_path, run_id="base", config={"lr": 0.001},
+                      losses=(2.0, 1.0))
+        b = _make_run(tmp_path, run_id="cand", config={"lr": 0.01},
+                      losses=(2.0, 0.5), seed=1)
+        text = render_diff(find_run(tmp_path, a), find_run(tmp_path, b))
+        assert "* seed" in text
+        assert "* lr" in text
+        assert "final loss" in text
+        assert "(delta -0.5000)" in text
+
+
+class TestRunsCLI:
+    def test_runs_list_and_show_and_diff(self, tmp_path, capsys):
+        _make_run(tmp_path, run_id="one")
+        _make_run(tmp_path, run_id="two")
+        main(["runs", "list", "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "one" in out and "two" in out
+        main(["runs", "show", "one", "--root", str(tmp_path)])
+        assert "loss curves" in capsys.readouterr().out
+        main(["runs", "diff", "one", "two", "--root", str(tmp_path)])
+        assert "diff one -> two" in capsys.readouterr().out
+
+    def test_pretrain_telemetry_dir(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments import registry
+
+        def tiny_methods(profile):
+            from repro.baselines import DGI
+            return {"DGI": lambda: DGI(hidden_dim=8, epochs=2)}
+
+        monkeypatch.setattr(registry, "node_ssl_methods", tiny_methods)
+        monkeypatch.setattr(
+            "repro.experiments.node_classification.node_ssl_methods", tiny_methods
+        )
+        runs_dir = tmp_path / "runs"
+        main([
+            "pretrain", "DGI", "cora-like",
+            "--output", str(tmp_path / "emb.npz"),
+            "--telemetry-dir", str(runs_dir),
+        ])
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        runs = list_runs(runs_dir)
+        assert len(runs) == 1
+        run = runs[0]
+        assert run.manifest["method"] == "DGI"
+        assert run.manifest["status"] == "ok"
+        # The DGI loop reports through the shared hook: 2 epoch events.
+        assert [e["epoch"] for e in run.epochs] == [0, 1]
+        assert run.manifest["config"]["epochs"] == 2

@@ -1,0 +1,134 @@
+"""Every training loop in the repository reports through the shared hook.
+
+This is the executable form of the telemetry contract: each Table 4/6/7
+method (and the supervised baselines) emits one ``EpochEvent`` per recorded
+loss entry, under its own display name, whenever a recorder is active.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CCASSG,
+    DGI,
+    GCC,
+    GCVGE,
+    GRACE,
+    GraphCL,
+    GraphMAE,
+    GraphMAE2,
+    InfoGCL,
+    InfoGraph,
+    JOAO,
+    MVGRL,
+    MaskGAE,
+    S2GAE,
+    SCGC,
+    SeeGera,
+    SupervisedGNN,
+)
+from repro.baselines.contrastive_extra import BGRL, GCA
+from repro.core import GCMAEConfig, GCMAEMethod
+from repro.graph.data import GraphDataset
+from repro.graph.datasets import load_graph_dataset
+from repro.graph.generators import (
+    CitationGraphSpec,
+    add_planted_splits,
+    make_citation_graph,
+)
+from repro.obs import record
+
+
+@pytest.fixture(scope="module")
+def graph():
+    spec = CitationGraphSpec(80, 16, 3, average_degree=4.0)
+    return add_planted_splits(make_citation_graph(spec, seed=0), seed=0)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    full = load_graph_dataset("imdb-b-like", seed=0)
+    return GraphDataset(full.graphs[:12], full.labels[:12], name="tiny-imdb")
+
+
+NODE_METHODS = [
+    DGI(hidden_dim=8, epochs=2),
+    GRACE(hidden_dim=8, projector_dim=8, epochs=2),
+    MVGRL(hidden_dim=8, epochs=2),
+    CCASSG(hidden_dim=8, epochs=2),
+    BGRL(hidden_dim=8, epochs=2),
+    GCA(hidden_dim=8, projector_dim=8, epochs=2),
+    GraphMAE(hidden_dim=8, heads=2, epochs=2),
+    GraphMAE2(hidden_dim=8, epochs=2),
+    MaskGAE(hidden_dim=8, epochs=2),
+    S2GAE(hidden_dim=8, epochs=2),
+    SeeGera(hidden_dim=8, latent_dim=8, epochs=2),
+    GCVGE(hidden_dim=8, latent_dim=8, epochs=2, pretrain_epochs=1),
+    SCGC(hidden_dim=8, epochs=2),
+    GCC(embed_dim=8, iterations=2),
+    GCMAEMethod(
+        GCMAEConfig(conv_type="gcn", heads=1, hidden_dim=8, embed_dim=8, epochs=2)
+    ),
+]
+
+GRAPH_METHODS = [
+    InfoGraph(hidden_dim=8, epochs=2),
+    GraphCL(hidden_dim=8, epochs=2),
+    JOAO(hidden_dim=8, epochs=2),
+    InfoGCL(hidden_dim=8, epochs=2),
+]
+
+
+class TestEveryLoopEmits:
+    @pytest.mark.parametrize("method", NODE_METHODS, ids=lambda m: m.name)
+    def test_node_method_emits_per_epoch(self, graph, method):
+        with record() as rec:
+            result = method.fit(graph, seed=0)
+        events = [e for e in rec.epochs if e.method == method.name]
+        assert len(events) == len(result.loss_history)
+        assert events, f"{method.name} emitted no epoch events"
+        assert [e.epoch for e in events] == list(range(len(events)))
+        np.testing.assert_allclose(
+            [e.loss for e in events], result.loss_history
+        )
+
+    @pytest.mark.parametrize("method", GRAPH_METHODS, ids=lambda m: m.name)
+    def test_graph_method_emits_per_epoch(self, dataset, method):
+        with record() as rec:
+            result = method.fit_graphs(dataset, seed=0)
+        events = [e for e in rec.epochs if e.method == method.name]
+        assert len(events) == len(result.loss_history)
+        np.testing.assert_allclose(
+            [e.loss for e in events], result.loss_history
+        )
+
+    def test_s2gae_fit_graphs_emits(self, dataset):
+        method = S2GAE(hidden_dim=8, epochs=2)
+        with record() as rec:
+            method.fit_graphs(dataset, seed=0)
+        assert len([e for e in rec.epochs if e.method == "S2GAE"]) == 2
+
+    def test_gcmae_fit_graphs_emits_parts(self, dataset):
+        config = GCMAEConfig(
+            conv_type="gin", heads=1, hidden_dim=8, embed_dim=8, epochs=2,
+            graph_batch_size=8,
+        )
+        with record() as rec:
+            GCMAEMethod(config).fit_graphs(dataset, seed=0)
+        events = [e for e in rec.epochs if e.method == "GCMAE"]
+        assert len(events) == 2
+        assert set(events[0].parts) == {
+            "sce", "contrastive", "structure", "discrimination"
+        }
+
+    def test_supervised_emits_val_accuracy(self, graph):
+        method = SupervisedGNN("gcn", epochs=2)
+        with record() as rec:
+            method.evaluate(graph, seed=0)
+        events = [e for e in rec.epochs if e.method == method.name]
+        assert len(events) == 2
+        assert "val_accuracy" in events[0].parts
+
+    def test_without_recorder_nothing_is_collected(self, graph):
+        # The emit path must stay a silent no-op when telemetry is off.
+        DGI(hidden_dim=8, epochs=1).fit(graph, seed=0)

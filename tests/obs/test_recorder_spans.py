@@ -1,0 +1,128 @@
+"""Tests for MetricsRecorder and span tracing (profiler composition)."""
+
+import numpy as np
+
+from repro.core.config import GCMAEConfig
+from repro.core.trainer import train_gcmae
+from repro.graph.datasets import load_node_dataset
+from repro.nn import Tensor
+from repro.nn.profiler import profile
+from repro.obs import (
+    active_recorder,
+    current_span,
+    record,
+    trace_span,
+)
+
+RNG = np.random.default_rng(0)
+
+TINY_CONFIG = GCMAEConfig(
+    conv_type="gcn",
+    heads=1,
+    hidden_dim=16,
+    embed_dim=16,
+    epochs=3,
+)
+
+
+class TestRecorder:
+    def test_inactive_outside_context(self):
+        assert active_recorder() is None
+        with record() as rec:
+            assert active_recorder() is rec
+        assert active_recorder() is None
+
+    def test_collects_gcmae_epochs(self):
+        graph = load_node_dataset("cora-like", seed=0)
+        with record() as rec:
+            result = train_gcmae(graph, TINY_CONFIG, seed=0)
+        assert len(rec.epochs) == 3
+        assert rec.counters["epochs"] == 3.0
+        assert rec.epoch_series("loss") == result.loss_history
+        # GCMAE reports every loss part and times its own epochs.
+        assert set(rec.epochs[0].parts) == {
+            "sce", "contrastive", "structure", "discrimination"
+        }
+        assert rec.epoch_series("epoch_seconds") == result.epoch_seconds
+        # The recorder asks for gradients, so norms and the Adam ratio land.
+        assert rec.epochs[-1].grad_norms
+        assert rec.epochs[-1].update_ratio > 0.0
+
+    def test_epoch_series_filters_by_method(self):
+        from repro.obs import emit_epoch
+
+        with record() as rec:
+            emit_epoch("A", 0, 1.0)
+            emit_epoch("B", 0, 2.0)
+            emit_epoch("A", 1, 0.5)
+        assert rec.epoch_series("loss", method="A") == [1.0, 0.5]
+        assert rec.summary()["methods"] == ["A", "B"]
+
+    def test_bytes_accounting_with_profiler(self):
+        graph = load_node_dataset("cora-like", seed=0)
+        with profile():
+            with record() as rec:
+                train_gcmae(graph, TINY_CONFIG, seed=0)
+        assert all(r.bytes_touched > 0 for r in rec.epochs)
+        assert rec.gauges["peak_epoch_bytes"] >= max(
+            r.bytes_touched for r in rec.epochs
+        )
+
+    def test_no_bytes_without_profiler(self):
+        with record() as rec:
+            from repro.obs import emit_epoch
+
+            emit_epoch("X", 0, 1.0)
+        assert rec.epochs[0].bytes_touched is None
+
+    def test_summary_shape(self):
+        with record() as rec:
+            from repro.obs import emit_epoch
+
+            emit_epoch("X", 0, 1.5)
+        summary = rec.summary()
+        assert summary["epochs"] == 1
+        assert summary["final_loss"] == 1.5
+        assert summary["wall_seconds"] >= 0.0
+
+
+class TestSpans:
+    def test_nested_paths_and_depths(self):
+        with record() as rec:
+            with trace_span("outer"):
+                assert current_span() == "outer"
+                with trace_span("inner"):
+                    assert current_span() == "outer/inner"
+            assert current_span() is None
+        names = {s.name: s for s in rec.spans}
+        assert set(names) == {"outer", "outer/inner"}
+        assert names["outer"].depth == 0
+        assert names["outer/inner"].depth == 1
+        # The inner span finishes first and cannot outlast the outer one.
+        assert names["outer"].seconds >= names["outer/inner"].seconds
+
+    def test_span_without_recorder_is_harmless(self):
+        with trace_span("lonely") as span:
+            pass
+        assert span.record.name == "lonely"
+
+    def test_ops_attributed_from_profiler_session(self):
+        a = Tensor(RNG.normal(size=(32, 32)), requires_grad=True)
+        with profile():
+            with record() as rec:
+                with trace_span("work"):
+                    (a @ a).sum().backward()
+                with trace_span("idle"):
+                    pass
+        spans = {s.name: s for s in rec.spans}
+        # Forward and backward seconds are folded into the forward name.
+        assert "tensor.matmul" in spans["work"].ops
+        assert spans["work"].bytes_touched > 0
+        assert spans["idle"].ops == {}
+
+    def test_ops_not_attributed_without_profiler(self):
+        a = Tensor(RNG.normal(size=(8, 8)))
+        with record() as rec:
+            with trace_span("work"):
+                _ = a @ a
+        assert rec.spans[0].ops == {}

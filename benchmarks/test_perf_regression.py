@@ -321,7 +321,7 @@ def test_profiled_graph_training_records_segment_ops():
 # the emit statement stubbed out entirely (the PR 2 baseline shape).
 
 def test_telemetry_disabled_is_zero_cost(monkeypatch):
-    from repro.core import trainer as trainer_module
+    from repro.engine import loop as loop_module
     from repro.obs.hooks import active_hooks, emit_epoch
 
     report_only = os.environ.get("REPRO_PERF_REPORT_ONLY", "") not in ("", "0")
@@ -348,7 +348,7 @@ def test_telemetry_disabled_is_zero_cost(monkeypatch):
     instrumented_seconds = min(seconds for seconds, _ in instrumented_runs)
     instrumented_result = instrumented_runs[0][1]
     monkeypatch.setattr(
-        trainer_module, "emit_epoch", lambda *args, **kwargs: None
+        loop_module, "emit_epoch", lambda *args, **kwargs: None
     )
     stubbed_runs = [_run_workload() for _ in range(3)]
     stubbed_seconds = min(seconds for seconds, _ in stubbed_runs)

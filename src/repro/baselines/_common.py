@@ -1,0 +1,41 @@
+"""Shared glue between baseline method classes and :mod:`repro.engine`.
+
+Every baseline implements the :class:`repro.engine.Method` protocol (its
+``build``/``loss_step``/``embed`` hooks) and keeps its public ``fit`` /
+``fit_graphs`` signature by delegating to :func:`engine_fit`, which runs
+one :class:`~repro.engine.TrainLoop` and assembles the repository-standard
+:class:`~repro.core.base.EmbeddingResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..core.base import EmbeddingResult
+from ..engine import EarlyStopping, LoopResult, Method, TrainLoop
+from ..obs.hooks import EpochHook
+
+
+def engine_fit(
+    method: Method,
+    data,
+    *,
+    seed: int = 0,
+    epochs: int,
+    early_stopping: Optional[EarlyStopping] = None,
+    hooks: Sequence[EpochHook] = (),
+) -> Tuple[EmbeddingResult, LoopResult]:
+    """Train ``method`` on ``data`` and embed with the trained weights.
+
+    ``train_seconds`` covers the loop only (embedding extraction has always
+    been outside the baselines' stopwatch).  Returns the result plus the
+    raw :class:`~repro.engine.LoopResult` for callers that need more than
+    embeddings (the supervised baseline reads ``best_metric``).
+    """
+    loop = TrainLoop(epochs, early_stopping=early_stopping)
+    outcome = loop.run(method, data, seed=seed, hooks=hooks)
+    embeddings = method.embed(outcome.state, data)
+    return (
+        EmbeddingResult(embeddings, outcome.train_seconds, outcome.loss_history),
+        outcome,
+    )

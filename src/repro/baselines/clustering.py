@@ -10,6 +10,10 @@ These methods bake a clustering objective into representation learning:
 * GCC    — efficient graph convolution for joint representation learning and
   clustering: alternate k-means assignments with a least-squares projection
   toward centroids over smoothed features (Fettal et al., 2022).
+
+GC-VGE and SCGC train through :class:`repro.engine.TrainLoop`; GCC is an
+alternating k-means/least-squares solver with no gradient optimizer, so it
+stays a plain iteration loop.
 """
 
 from __future__ import annotations
@@ -20,11 +24,13 @@ import numpy as np
 
 from ..core.base import EmbeddingResult, Stopwatch
 from ..core.losses import sample_nonedges
+from ..engine import Method, TrainState
 from ..eval.clustering import KMeans
 from ..gnn.encoder import GNNEncoder
 from ..graph.data import Graph
 from ..nn import Adam, Linear, MLP, Tensor, functional as F, no_grad
 from ..obs.hooks import emit_epoch
+from ._common import engine_fit
 
 
 def _smoothed_features(graph: Graph, power: int) -> np.ndarray:
@@ -36,7 +42,7 @@ def _smoothed_features(graph: Graph, power: int) -> np.ndarray:
     return np.asarray(smoothed)
 
 
-class GCVGE:
+class GCVGE(Method):
     """GC-VGE: variational graph embedding with DEC-style cluster sharpening."""
 
     name = "GC-VGE"
@@ -61,9 +67,7 @@ class GCVGE:
         self.kl_weight = kl_weight
         self.learning_rate = learning_rate
 
-    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
-        rng = np.random.default_rng(seed)
-        k = self.num_clusters or (graph.num_classes if graph.labels is not None else 8)
+    def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         backbone = GNNEncoder(
             graph.num_features, self.hidden_dim, self.hidden_dim,
             num_layers=1, conv_type="gcn", rng=rng,
@@ -74,60 +78,86 @@ class GCVGE:
             backbone.parameters() + mu_head.parameters() + logvar_head.parameters(),
             lr=self.learning_rate, weight_decay=1e-4,
         )
-        edges = graph.edges(directed=False)
-        centroids: Optional[np.ndarray] = None
-        losses = []
+        state = TrainState(
+            modules={
+                "backbone": backbone,
+                "mu_head": mu_head,
+                "logvar_head": logvar_head,
+            },
+            optimizer=optimizer,
+            rng=rng,
+            telemetry_model=backbone,
+        )
+        state.extras["edges"] = graph.edges(directed=False)
+        state.extras["centroids"] = None
+        return state
 
-        def encode(train: bool) -> tuple:
-            h = F.relu(backbone(graph.adjacency, Tensor(graph.features)))
-            return mu_head(h), logvar_head(h).clip(-6.0, 6.0)
+    def _encode(self, state: TrainState, graph: Graph) -> tuple:
+        h = F.relu(state.modules["backbone"](graph.adjacency, Tensor(graph.features)))
+        mu = state.modules["mu_head"](h)
+        logvar = state.modules["logvar_head"](h).clip(-6.0, 6.0)
+        return mu, logvar
 
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                backbone.train()
-                optimizer.zero_grad()
-                mu, logvar = encode(train=True)
-                noise = Tensor(rng.normal(size=(graph.num_nodes, self.latent_dim)))
-                z = mu + (logvar * 0.5).exp() * noise
+    def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
+        edges = state.extras["edges"]
+        rng = state.rng
+        k = self.num_clusters or (graph.num_classes if graph.labels is not None else 8)
+        mu, logvar = self._encode(state, graph)
+        noise = Tensor(rng.normal(size=(graph.num_nodes, self.latent_dim)))
+        z = mu + (logvar * 0.5).exp() * noise
 
-                negatives = sample_nonedges(graph.adjacency, len(edges), rng)
-                pos_logits = (z[edges[:, 0]] * z[edges[:, 1]]).sum(axis=1)
-                neg_logits = (z[negatives[:, 0]] * z[negatives[:, 1]]).sum(axis=1)
-                loss = F.binary_cross_entropy_with_logits(
-                    pos_logits, Tensor(np.ones(len(edges)))
-                ) + F.binary_cross_entropy_with_logits(
-                    neg_logits, Tensor(np.zeros(len(negatives)))
-                )
-                loss = loss + (((mu * mu) + logvar.exp() - logvar - 1.0) * 0.5).mean() * self.kl_weight
+        negatives = sample_nonedges(graph.adjacency, len(edges), rng)
+        pos_logits = (z[edges[:, 0]] * z[edges[:, 1]]).sum(axis=1)
+        neg_logits = (z[negatives[:, 0]] * z[negatives[:, 1]]).sum(axis=1)
+        loss = F.binary_cross_entropy_with_logits(
+            pos_logits, Tensor(np.ones(len(edges)))
+        ) + F.binary_cross_entropy_with_logits(
+            neg_logits, Tensor(np.zeros(len(negatives)))
+        )
+        loss = loss + (((mu * mu) + logvar.exp() - logvar - 1.0) * 0.5).mean() * self.kl_weight
 
-                if epoch == self.pretrain_epochs:
-                    with no_grad():
-                        centroids = KMeans(k).fit(mu.data, rng).centroids
-                if centroids is not None and epoch >= self.pretrain_epochs:
-                    # Student-t soft assignments sharpened toward their square
-                    # (the DEC target distribution).
-                    distance_sq = ((mu.data[:, None, :] - centroids[None]) ** 2).sum(axis=2)
-                    q = 1.0 / (1.0 + distance_sq)
-                    q /= q.sum(axis=1, keepdims=True)
-                    p = q ** 2 / q.sum(axis=0, keepdims=True)
-                    p /= p.sum(axis=1, keepdims=True)
-                    # KL(p || q(mu)), differentiable through mu.
-                    diff = mu.reshape(graph.num_nodes, 1, self.latent_dim) - Tensor(centroids[None])
-                    q_t = 1.0 / ((diff * diff).sum(axis=2) + 1.0)
-                    q_t = q_t / q_t.sum(axis=1, keepdims=True)
-                    cluster_loss = (Tensor(p) * (Tensor(np.log(p + 1e-12)) - q_t.log())).sum(axis=1).mean()
-                    loss = loss + cluster_loss * self.cluster_weight
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-                emit_epoch(self.name, epoch, losses[-1], model=backbone, optimizer=optimizer)
-        backbone.eval()
+        if epoch == self.pretrain_epochs:
+            with no_grad():
+                state.extras["centroids"] = KMeans(k).fit(mu.data, rng).centroids
+        centroids = state.extras["centroids"]
+        if centroids is not None and epoch >= self.pretrain_epochs:
+            # Student-t soft assignments sharpened toward their square
+            # (the DEC target distribution).
+            distance_sq = ((mu.data[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+            q = 1.0 / (1.0 + distance_sq)
+            q /= q.sum(axis=1, keepdims=True)
+            p = q ** 2 / q.sum(axis=0, keepdims=True)
+            p /= p.sum(axis=1, keepdims=True)
+            # KL(p || q(mu)), differentiable through mu.
+            diff = mu.reshape(graph.num_nodes, 1, self.latent_dim) - Tensor(centroids[None])
+            q_t = 1.0 / ((diff * diff).sum(axis=2) + 1.0)
+            q_t = q_t / q_t.sum(axis=1, keepdims=True)
+            cluster_loss = (Tensor(p) * (Tensor(np.log(p + 1e-12)) - q_t.log())).sum(axis=1).mean()
+            loss = loss + cluster_loss * self.cluster_weight
+        return loss, {}
+
+    def extra_state(self, state: TrainState) -> dict:
+        centroids = state.extras.get("centroids")
+        return {"centroids": centroids.tolist() if centroids is not None else None}
+
+    def load_extra_state(self, state: TrainState, payload: dict) -> None:
+        centroids = payload.get("centroids")
+        state.extras["centroids"] = (
+            np.asarray(centroids) if centroids is not None else None
+        )
+
+    def embed(self, state: TrainState, graph: Graph) -> np.ndarray:
+        state.modules["backbone"].eval()
         with no_grad():
-            mu, _ = encode(train=False)
-        return EmbeddingResult(mu.data.copy(), timer.seconds, losses)
+            mu, _ = self._encode(state, graph)
+        return mu.data.copy()
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        result, _ = engine_fit(self, graph, seed=seed, epochs=self.epochs)
+        return result
 
 
-class SCGC:
+class SCGC(Method):
     """SCGC: contrastive clustering over low-pass filtered features."""
 
     name = "SCGC"
@@ -146,8 +176,7 @@ class SCGC:
         self.epochs = epochs
         self.learning_rate = learning_rate
 
-    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
-        rng = np.random.default_rng(seed)
+    def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         smoothed = _smoothed_features(graph, self.filter_power)
         encoder_a = MLP(graph.num_features, [self.hidden_dim], self.hidden_dim, rng=rng)
         encoder_b = MLP(graph.num_features, [self.hidden_dim], self.hidden_dim, rng=rng)
@@ -155,38 +184,53 @@ class SCGC:
             encoder_a.parameters() + encoder_b.parameters(),
             lr=self.learning_rate, weight_decay=1e-4,
         )
-        edges = graph.edges(directed=False)
-        losses = []
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                optimizer.zero_grad()
-                z1 = F.l2_normalize(encoder_a(Tensor(
-                    smoothed + rng.normal(scale=self.noise_scale, size=smoothed.shape)
-                )))
-                z2 = F.l2_normalize(encoder_b(Tensor(
-                    smoothed + rng.normal(scale=self.noise_scale, size=smoothed.shape)
-                )))
-                alignment = ((z1 - z2) ** 2).sum(axis=1).mean()
-                # Neighbour contrast: adjacent nodes should agree across views.
-                neighbor = -(z1[edges[:, 0]] * z2[edges[:, 1]]).sum(axis=1).mean()
-                negatives = sample_nonedges(graph.adjacency, len(edges), rng)
-                separation = (z1[negatives[:, 0]] * z2[negatives[:, 1]]).sum(axis=1).mean()
-                loss = alignment + neighbor + separation
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-                emit_epoch(
-                    self.name, epoch, losses[-1],
-                    parts={"alignment": alignment.item(), "neighbor": neighbor.item(),
-                           "separation": separation.item()},
-                    optimizer=optimizer,
-                )
+        state = TrainState(
+            modules={"encoder_a": encoder_a, "encoder_b": encoder_b},
+            optimizer=optimizer,
+            rng=rng,
+        )
+        state.extras["smoothed"] = smoothed
+        state.extras["edges"] = graph.edges(directed=False)
+        return state
+
+    def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
+        encoder_a = state.modules["encoder_a"]
+        encoder_b = state.modules["encoder_b"]
+        smoothed = state.extras["smoothed"]
+        edges = state.extras["edges"]
+        rng = state.rng
+        z1 = F.l2_normalize(encoder_a(Tensor(
+            smoothed + rng.normal(scale=self.noise_scale, size=smoothed.shape)
+        )))
+        z2 = F.l2_normalize(encoder_b(Tensor(
+            smoothed + rng.normal(scale=self.noise_scale, size=smoothed.shape)
+        )))
+        alignment = ((z1 - z2) ** 2).sum(axis=1).mean()
+        # Neighbour contrast: adjacent nodes should agree across views.
+        neighbor = -(z1[edges[:, 0]] * z2[edges[:, 1]]).sum(axis=1).mean()
+        negatives = sample_nonedges(graph.adjacency, len(edges), rng)
+        separation = (z1[negatives[:, 0]] * z2[negatives[:, 1]]).sum(axis=1).mean()
+        loss = alignment + neighbor + separation
+        return loss, {
+            "alignment": alignment.item(),
+            "neighbor": neighbor.item(),
+            "separation": separation.item(),
+        }
+
+    def embed(self, state: TrainState, graph: Graph) -> np.ndarray:
+        encoder_a = state.modules["encoder_a"]
+        encoder_b = state.modules["encoder_b"]
+        smoothed = state.extras["smoothed"]
         with no_grad():
             embeddings = (
                 F.l2_normalize(encoder_a(Tensor(smoothed)))
                 + F.l2_normalize(encoder_b(Tensor(smoothed)))
             ).data / 2.0
-        return EmbeddingResult(embeddings.copy(), timer.seconds, losses)
+        return embeddings.copy()
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        result, _ = engine_fit(self, graph, seed=seed, epochs=self.epochs)
+        return result
 
 
 class GCC:

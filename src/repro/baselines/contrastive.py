@@ -13,6 +13,9 @@ substrate (see DESIGN.md for the substitution argument):
              of standardised view embeddings (Zhang et al., 2021).  Note its
              loss avoids the ``N x N`` similarity matrix, which is why it is
              the fastest method in the paper's Table 9.
+
+Training runs through :class:`repro.engine.TrainLoop`: each class provides
+``build``/``loss_step``/``embed`` and keeps its public ``fit`` signature.
 """
 
 from __future__ import annotations
@@ -20,8 +23,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.base import EmbeddingResult, Stopwatch
+from ..core.base import EmbeddingResult
 from ..core.losses import info_nce
+from ..engine import Method, TrainState
 from ..gnn.encoder import GNNEncoder
 from ..graph.augment import (
     diffusion_view,
@@ -33,7 +37,7 @@ from ..graph.data import Graph
 from ..nn import Adam, MLP, Tensor, functional as F, no_grad
 from ..nn.init import xavier_uniform
 from ..nn.module import Module, Parameter
-from ..obs.hooks import emit_epoch
+from ._common import engine_fit
 
 
 class _BilinearDiscriminator(Module):
@@ -47,7 +51,7 @@ class _BilinearDiscriminator(Module):
         return (nodes @ self.weight) @ summary
 
 
-class DGI:
+class DGI(Method):
     """Deep Graph Infomax."""
 
     name = "DGI"
@@ -66,42 +70,50 @@ class DGI:
         self.learning_rate = learning_rate
         self.weight_decay = weight_decay
 
-    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
-        rng = np.random.default_rng(seed)
+    def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder = GNNEncoder(
             graph.num_features, self.hidden_dim, self.hidden_dim,
             num_layers=self.num_layers, conv_type="gcn", rng=rng,
         )
         discriminator = _BilinearDiscriminator(self.hidden_dim, rng)
-        parameters = encoder.parameters() + discriminator.parameters()
-        optimizer = Adam(parameters, lr=self.learning_rate, weight_decay=self.weight_decay)
+        optimizer = Adam(
+            encoder.parameters() + discriminator.parameters(),
+            lr=self.learning_rate, weight_decay=self.weight_decay,
+        )
+        return TrainState(
+            modules={"encoder": encoder, "discriminator": discriminator},
+            optimizer=optimizer,
+            rng=rng,
+        )
+
+    def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
+        encoder = state.modules["encoder"]
+        discriminator = state.modules["discriminator"]
         x = graph.features
-        losses = []
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                encoder.train()
-                optimizer.zero_grad()
-                positive = encoder(graph.adjacency, Tensor(x))
-                corrupted = encoder(graph.adjacency, Tensor(shuffle_features(x, rng)))
-                summary = positive.mean(axis=0).sigmoid()
-                pos_logits = discriminator(positive, summary)
-                neg_logits = discriminator(corrupted, summary)
-                loss = F.binary_cross_entropy_with_logits(
-                    pos_logits, Tensor(np.ones(graph.num_nodes))
-                ) + F.binary_cross_entropy_with_logits(
-                    neg_logits, Tensor(np.zeros(graph.num_nodes))
-                )
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-                emit_epoch(self.name, epoch, losses[-1], optimizer=optimizer)
+        positive = encoder(graph.adjacency, Tensor(x))
+        corrupted = encoder(graph.adjacency, Tensor(shuffle_features(x, state.rng)))
+        summary = positive.mean(axis=0).sigmoid()
+        pos_logits = discriminator(positive, summary)
+        neg_logits = discriminator(corrupted, summary)
+        loss = F.binary_cross_entropy_with_logits(
+            pos_logits, Tensor(np.ones(graph.num_nodes))
+        ) + F.binary_cross_entropy_with_logits(
+            neg_logits, Tensor(np.zeros(graph.num_nodes))
+        )
+        return loss, {}
+
+    def embed(self, state: TrainState, graph: Graph) -> np.ndarray:
+        encoder = state.modules["encoder"]
         encoder.eval()
         with no_grad():
-            embeddings = encoder(graph.adjacency, Tensor(x)).data.copy()
-        return EmbeddingResult(embeddings, timer.seconds, losses)
+            return encoder(graph.adjacency, Tensor(graph.features)).data.copy()
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        result, _ = engine_fit(self, graph, seed=seed, epochs=self.epochs)
+        return result
 
 
-class GRACE:
+class GRACE(Method):
     """GRACE: graph contrastive learning with two corrupted views."""
 
     name = "GRACE"
@@ -128,8 +140,7 @@ class GRACE:
         self.learning_rate = learning_rate
         self.weight_decay = weight_decay
 
-    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
-        rng = np.random.default_rng(seed)
+    def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder = GNNEncoder(
             graph.num_features, self.hidden_dim, self.hidden_dim,
             num_layers=self.num_layers, conv_type="gcn", rng=rng,
@@ -142,29 +153,36 @@ class GRACE:
             encoder.parameters() + projector.parameters(),
             lr=self.learning_rate, weight_decay=self.weight_decay,
         )
-        losses = []
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                encoder.train()
-                optimizer.zero_grad()
-                adj1 = drop_edges(graph.adjacency, self.edge_drop[0], rng)
-                adj2 = drop_edges(graph.adjacency, self.edge_drop[1], rng)
-                x1 = mask_feature_dimensions(graph.features, self.feature_mask[0], rng)
-                x2 = mask_feature_dimensions(graph.features, self.feature_mask[1], rng)
-                z1 = projector(encoder(adj1, Tensor(x1)))
-                z2 = projector(encoder(adj2, Tensor(x2)))
-                loss = info_nce(z1, z2, temperature=self.temperature)
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-                emit_epoch(self.name, epoch, losses[-1], optimizer=optimizer)
+        return TrainState(
+            modules={"encoder": encoder, "projector": projector},
+            optimizer=optimizer,
+            rng=rng,
+        )
+
+    def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
+        encoder = state.modules["encoder"]
+        projector = state.modules["projector"]
+        rng = state.rng
+        adj1 = drop_edges(graph.adjacency, self.edge_drop[0], rng)
+        adj2 = drop_edges(graph.adjacency, self.edge_drop[1], rng)
+        x1 = mask_feature_dimensions(graph.features, self.feature_mask[0], rng)
+        x2 = mask_feature_dimensions(graph.features, self.feature_mask[1], rng)
+        z1 = projector(encoder(adj1, Tensor(x1)))
+        z2 = projector(encoder(adj2, Tensor(x2)))
+        return info_nce(z1, z2, temperature=self.temperature), {}
+
+    def embed(self, state: TrainState, graph: Graph) -> np.ndarray:
+        encoder = state.modules["encoder"]
         encoder.eval()
         with no_grad():
-            embeddings = encoder(graph.adjacency, Tensor(graph.features)).data.copy()
-        return EmbeddingResult(embeddings, timer.seconds, losses)
+            return encoder(graph.adjacency, Tensor(graph.features)).data.copy()
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        result, _ = engine_fit(self, graph, seed=seed, epochs=self.epochs)
+        return result
 
 
-class MVGRL:
+class MVGRL(Method):
     """MVGRL: contrasting the adjacency view against a PPR diffusion view."""
 
     name = "MVGRL"
@@ -187,13 +205,7 @@ class MVGRL:
         # mirror that with an explicit size gate.
         self.max_nodes = max_nodes
 
-    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
-        if graph.num_nodes > self.max_nodes:
-            raise MemoryError(
-                f"MVGRL materialises a dense {graph.num_nodes}^2 diffusion matrix; "
-                f"refusing above {self.max_nodes} nodes (the paper reports OOM on Reddit)"
-            )
-        rng = np.random.default_rng(seed)
+    def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder_a = GNNEncoder(
             graph.num_features, self.hidden_dim, self.hidden_dim,
             num_layers=1, conv_type="gcn", rng=rng,
@@ -207,42 +219,68 @@ class MVGRL:
             encoder_a.parameters() + encoder_d.parameters() + discriminator.parameters(),
             lr=self.learning_rate, weight_decay=0.0,
         )
-        diffusion = diffusion_view(graph, self.diffusion_alpha, self.diffusion_top_k)
+        state = TrainState(
+            modules={
+                "encoder_a": encoder_a,
+                "encoder_d": encoder_d,
+                "discriminator": discriminator,
+            },
+            optimizer=optimizer,
+            rng=rng,
+        )
+        state.extras["diffusion"] = diffusion_view(
+            graph, self.diffusion_alpha, self.diffusion_top_k
+        )
+        state.extras["ones"] = Tensor(np.ones(graph.num_nodes))
+        state.extras["zeros"] = Tensor(np.zeros(graph.num_nodes))
+        return state
+
+    def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
+        encoder_a = state.modules["encoder_a"]
+        encoder_d = state.modules["encoder_d"]
+        discriminator = state.modules["discriminator"]
+        diffusion = state.extras["diffusion"]
+        ones, zeros = state.extras["ones"], state.extras["zeros"]
         x = graph.features
-        ones = Tensor(np.ones(graph.num_nodes))
-        zeros = Tensor(np.zeros(graph.num_nodes))
-        losses = []
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                optimizer.zero_grad()
-                h_a = encoder_a(graph.adjacency, Tensor(x))
-                h_d = encoder_d(diffusion, Tensor(x))
-                corrupted = shuffle_features(x, rng)
-                h_a_neg = encoder_a(graph.adjacency, Tensor(corrupted))
-                h_d_neg = encoder_d(diffusion, Tensor(corrupted))
-                summary_a = h_a.mean(axis=0).sigmoid()
-                summary_d = h_d.mean(axis=0).sigmoid()
-                # Cross-view MI: nodes of one view vs the summary of the other.
-                loss = (
-                    F.binary_cross_entropy_with_logits(discriminator(h_a, summary_d), ones)
-                    + F.binary_cross_entropy_with_logits(discriminator(h_d, summary_a), ones)
-                    + F.binary_cross_entropy_with_logits(discriminator(h_a_neg, summary_d), zeros)
-                    + F.binary_cross_entropy_with_logits(discriminator(h_d_neg, summary_a), zeros)
-                )
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-                emit_epoch(self.name, epoch, losses[-1], optimizer=optimizer)
+        h_a = encoder_a(graph.adjacency, Tensor(x))
+        h_d = encoder_d(diffusion, Tensor(x))
+        corrupted = shuffle_features(x, state.rng)
+        h_a_neg = encoder_a(graph.adjacency, Tensor(corrupted))
+        h_d_neg = encoder_d(diffusion, Tensor(corrupted))
+        summary_a = h_a.mean(axis=0).sigmoid()
+        summary_d = h_d.mean(axis=0).sigmoid()
+        # Cross-view MI: nodes of one view vs the summary of the other.
+        loss = (
+            F.binary_cross_entropy_with_logits(discriminator(h_a, summary_d), ones)
+            + F.binary_cross_entropy_with_logits(discriminator(h_d, summary_a), ones)
+            + F.binary_cross_entropy_with_logits(discriminator(h_a_neg, summary_d), zeros)
+            + F.binary_cross_entropy_with_logits(discriminator(h_d_neg, summary_a), zeros)
+        )
+        return loss, {}
+
+    def embed(self, state: TrainState, graph: Graph) -> np.ndarray:
+        encoder_a = state.modules["encoder_a"]
+        encoder_d = state.modules["encoder_d"]
+        diffusion = state.extras["diffusion"]
         encoder_a.eval()
         encoder_d.eval()
         with no_grad():
-            embeddings = (
+            x = graph.features
+            return (
                 encoder_a(graph.adjacency, Tensor(x)) + encoder_d(diffusion, Tensor(x))
             ).data.copy()
-        return EmbeddingResult(embeddings, timer.seconds, losses)
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        if graph.num_nodes > self.max_nodes:
+            raise MemoryError(
+                f"MVGRL materialises a dense {graph.num_nodes}^2 diffusion matrix; "
+                f"refusing above {self.max_nodes} nodes (the paper reports OOM on Reddit)"
+            )
+        result, _ = engine_fit(self, graph, seed=seed, epochs=self.epochs)
+        return result
 
 
-class CCASSG:
+class CCASSG(Method):
     """CCA-SSG: invariance plus decorrelation over standardised embeddings."""
 
     name = "CCA-SSG"
@@ -274,8 +312,7 @@ class CCASSG:
         n = z.shape[0]
         return centered / (scale * float(np.sqrt(n)))
 
-    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
-        rng = np.random.default_rng(seed)
+    def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder = GNNEncoder(
             graph.num_features, self.hidden_dim, self.hidden_dim,
             num_layers=self.num_layers, conv_type="gcn", rng=rng,
@@ -283,28 +320,37 @@ class CCASSG:
         optimizer = Adam(
             encoder.parameters(), lr=self.learning_rate, weight_decay=self.weight_decay
         )
-        identity = Tensor(np.eye(self.hidden_dim))
-        losses = []
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                encoder.train()
-                optimizer.zero_grad()
-                adj1 = drop_edges(graph.adjacency, self.edge_drop, rng)
-                adj2 = drop_edges(graph.adjacency, self.edge_drop, rng)
-                x1 = mask_feature_dimensions(graph.features, self.feature_mask, rng)
-                x2 = mask_feature_dimensions(graph.features, self.feature_mask, rng)
-                z1 = self._standardize(encoder(adj1, Tensor(x1)))
-                z2 = self._standardize(encoder(adj2, Tensor(x2)))
-                invariance = ((z1 - z2) ** 2).sum()
-                c1 = z1.T @ z1 - identity
-                c2 = z2.T @ z2 - identity
-                decorrelation = (c1 * c1).sum() + (c2 * c2).sum()
-                loss = invariance + decorrelation * self.lam
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-                emit_epoch(self.name, epoch, losses[-1], model=encoder, optimizer=optimizer)
+        state = TrainState(
+            modules={"encoder": encoder},
+            optimizer=optimizer,
+            rng=rng,
+            telemetry_model=encoder,
+        )
+        state.extras["identity"] = Tensor(np.eye(self.hidden_dim))
+        return state
+
+    def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
+        encoder = state.modules["encoder"]
+        identity = state.extras["identity"]
+        rng = state.rng
+        adj1 = drop_edges(graph.adjacency, self.edge_drop, rng)
+        adj2 = drop_edges(graph.adjacency, self.edge_drop, rng)
+        x1 = mask_feature_dimensions(graph.features, self.feature_mask, rng)
+        x2 = mask_feature_dimensions(graph.features, self.feature_mask, rng)
+        z1 = self._standardize(encoder(adj1, Tensor(x1)))
+        z2 = self._standardize(encoder(adj2, Tensor(x2)))
+        invariance = ((z1 - z2) ** 2).sum()
+        c1 = z1.T @ z1 - identity
+        c2 = z2.T @ z2 - identity
+        decorrelation = (c1 * c1).sum() + (c2 * c2).sum()
+        return invariance + decorrelation * self.lam, {}
+
+    def embed(self, state: TrainState, graph: Graph) -> np.ndarray:
+        encoder = state.modules["encoder"]
         encoder.eval()
         with no_grad():
-            embeddings = encoder(graph.adjacency, Tensor(graph.features)).data.copy()
-        return EmbeddingResult(embeddings, timer.seconds, losses)
+            return encoder(graph.adjacency, Tensor(graph.features)).data.copy()
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        result, _ = engine_fit(self, graph, seed=seed, epochs=self.epochs)
+        return result

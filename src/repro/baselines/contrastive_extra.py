@@ -9,6 +9,9 @@ tables, but they round out the contrastive family for extension studies:
 * GCA (Zhu et al., 2021) — GRACE with *adaptive* augmentation: edges and
   feature dimensions are dropped with probability inversely related to
   centrality, so important structure survives corruption.
+
+Both train through :class:`repro.engine.TrainLoop`; BGRL's EMA target
+update rides the loop's :meth:`~repro.engine.Method.after_step` hook.
 """
 
 from __future__ import annotations
@@ -18,17 +21,18 @@ from typing import Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from ..core.base import EmbeddingResult, Stopwatch
+from ..core.base import EmbeddingResult
 from ..core.losses import info_nce
+from ..engine import Method, TrainState
 from ..gnn.encoder import GNNEncoder
 from ..graph.data import Graph
 from ..graph.sparse import to_csr
 from ..nn import Adam, MLP, Tensor, functional as F, no_grad
 from ..nn.module import Module
-from ..obs.hooks import emit_epoch
+from ._common import engine_fit
 
 
-class BGRL:
+class BGRL(Method):
     """Bootstrapped graph latents: no negatives, EMA target network."""
 
     name = "BGRL"
@@ -59,10 +63,7 @@ class BGRL:
             target_param.data *= self.momentum
             target_param.data += (1.0 - self.momentum) * online_params[name].data
 
-    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
-        from ..graph.augment import drop_edges, mask_feature_dimensions
-
-        rng = np.random.default_rng(seed)
+    def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         online = GNNEncoder(
             graph.num_features, self.hidden_dim, self.hidden_dim,
             num_layers=self.num_layers, conv_type="gcn", rng=rng,
@@ -77,37 +78,51 @@ class BGRL:
             online.parameters() + predictor.parameters(),
             lr=self.learning_rate, weight_decay=self.weight_decay,
         )
-        losses = []
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                online.train()
-                optimizer.zero_grad()
-                adj1 = drop_edges(graph.adjacency, self.edge_drop[0], rng)
-                adj2 = drop_edges(graph.adjacency, self.edge_drop[1], rng)
-                x1 = mask_feature_dimensions(graph.features, self.feature_mask[0], rng)
-                x2 = mask_feature_dimensions(graph.features, self.feature_mask[1], rng)
+        return TrainState(
+            modules={"online": online, "target": target, "predictor": predictor},
+            optimizer=optimizer,
+            rng=rng,
+            telemetry_model=online,
+        )
 
-                prediction_1 = predictor(online(adj1, Tensor(x1)))
-                prediction_2 = predictor(online(adj2, Tensor(x2)))
-                with no_grad():
-                    target.eval()
-                    target_1 = target(adj1, Tensor(x1))
-                    target_2 = target(adj2, Tensor(x2))
-                # Cross-view cosine alignment: predict the *other* view's target.
-                loss = (
-                    2.0
-                    - F.cosine_similarity(prediction_1, Tensor(target_2.data)).mean()
-                    - F.cosine_similarity(prediction_2, Tensor(target_1.data)).mean()
-                )
-                loss.backward()
-                optimizer.step()
-                self._ema_update(online, target)
-                losses.append(loss.item())
-                emit_epoch(self.name, epoch, losses[-1], model=online, optimizer=optimizer)
+    def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
+        from ..graph.augment import drop_edges, mask_feature_dimensions
+
+        online = state.modules["online"]
+        target = state.modules["target"]
+        predictor = state.modules["predictor"]
+        rng = state.rng
+        adj1 = drop_edges(graph.adjacency, self.edge_drop[0], rng)
+        adj2 = drop_edges(graph.adjacency, self.edge_drop[1], rng)
+        x1 = mask_feature_dimensions(graph.features, self.feature_mask[0], rng)
+        x2 = mask_feature_dimensions(graph.features, self.feature_mask[1], rng)
+
+        prediction_1 = predictor(online(adj1, Tensor(x1)))
+        prediction_2 = predictor(online(adj2, Tensor(x2)))
+        with no_grad():
+            target.eval()
+            target_1 = target(adj1, Tensor(x1))
+            target_2 = target(adj2, Tensor(x2))
+        # Cross-view cosine alignment: predict the *other* view's target.
+        loss = (
+            2.0
+            - F.cosine_similarity(prediction_1, Tensor(target_2.data)).mean()
+            - F.cosine_similarity(prediction_2, Tensor(target_1.data)).mean()
+        )
+        return loss, {}
+
+    def after_step(self, state: TrainState, graph: Graph, epoch: int, payload) -> None:
+        self._ema_update(state.modules["online"], state.modules["target"])
+
+    def embed(self, state: TrainState, graph: Graph) -> np.ndarray:
+        online = state.modules["online"]
         online.eval()
         with no_grad():
-            embeddings = online(graph.adjacency, Tensor(graph.features)).data.copy()
-        return EmbeddingResult(embeddings, timer.seconds, losses)
+            return online(graph.adjacency, Tensor(graph.features)).data.copy()
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        result, _ = engine_fit(self, graph, seed=seed, epochs=self.epochs)
+        return result
 
 
 def degree_centrality_weights(adjacency: sp.csr_matrix) -> np.ndarray:
@@ -118,7 +133,7 @@ def degree_centrality_weights(adjacency: sp.csr_matrix) -> np.ndarray:
     return (log_degree[coo.row] + log_degree[coo.col]) / 2.0
 
 
-class GCA:
+class GCA(Method):
     """Graph contrastive learning with adaptive (centrality-aware) augmentation."""
 
     name = "GCA"
@@ -181,8 +196,7 @@ class GCA:
         keep = rng.random(features.shape[1]) >= probabilities
         return features * keep[None, :]
 
-    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
-        rng = np.random.default_rng(seed)
+    def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder = GNNEncoder(
             graph.num_features, self.hidden_dim, self.hidden_dim,
             num_layers=self.num_layers, conv_type="gcn", rng=rng,
@@ -195,23 +209,31 @@ class GCA:
             encoder.parameters() + projector.parameters(),
             lr=self.learning_rate, weight_decay=self.weight_decay,
         )
-        losses = []
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                encoder.train()
-                optimizer.zero_grad()
-                adj1 = self._adaptive_edge_drop(graph.adjacency, self.edge_drop[0], rng)
-                adj2 = self._adaptive_edge_drop(graph.adjacency, self.edge_drop[1], rng)
-                x1 = self._adaptive_feature_mask(graph.features, self.feature_mask[0], rng)
-                x2 = self._adaptive_feature_mask(graph.features, self.feature_mask[1], rng)
-                z1 = projector(encoder(adj1, Tensor(x1)))
-                z2 = projector(encoder(adj2, Tensor(x2)))
-                loss = info_nce(z1, z2, temperature=self.temperature)
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-                emit_epoch(self.name, epoch, losses[-1], model=encoder, optimizer=optimizer)
+        return TrainState(
+            modules={"encoder": encoder, "projector": projector},
+            optimizer=optimizer,
+            rng=rng,
+            telemetry_model=encoder,
+        )
+
+    def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
+        encoder = state.modules["encoder"]
+        projector = state.modules["projector"]
+        rng = state.rng
+        adj1 = self._adaptive_edge_drop(graph.adjacency, self.edge_drop[0], rng)
+        adj2 = self._adaptive_edge_drop(graph.adjacency, self.edge_drop[1], rng)
+        x1 = self._adaptive_feature_mask(graph.features, self.feature_mask[0], rng)
+        x2 = self._adaptive_feature_mask(graph.features, self.feature_mask[1], rng)
+        z1 = projector(encoder(adj1, Tensor(x1)))
+        z2 = projector(encoder(adj2, Tensor(x2)))
+        return info_nce(z1, z2, temperature=self.temperature), {}
+
+    def embed(self, state: TrainState, graph: Graph) -> np.ndarray:
+        encoder = state.modules["encoder"]
         encoder.eval()
         with no_grad():
-            embeddings = encoder(graph.adjacency, Tensor(graph.features)).data.copy()
-        return EmbeddingResult(embeddings, timer.seconds, losses)
+            return encoder(graph.adjacency, Tensor(graph.features)).data.copy()
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        result, _ = engine_fit(self, graph, seed=seed, epochs=self.epochs)
+        return result

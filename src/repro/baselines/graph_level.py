@@ -15,6 +15,11 @@ embedding per graph (Table 7 protocol).
   are chosen each epoch to be the pair with the *lowest* augmentation
   distortion that still separates graphs, approximated by contrasting an
   anchor (unaugmented) encoding with a light augmentation (Xu et al., 2021).
+
+All train through :class:`repro.engine.TrainLoop`; per-epoch augmentation
+choices happen in ``begin_epoch`` (before the loader permutation draw, as
+the original loops ordered it) and the JOAO/InfoGCL hardness updates ride
+``end_epoch``.
 """
 
 from __future__ import annotations
@@ -24,7 +29,8 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from ..core.base import EmbeddingResult, Stopwatch
+from ..core.base import EmbeddingResult
+from ..engine import Method, TrainState
 from ..gnn.encoder import GNNEncoder
 from ..gnn.readout import batch_readout
 from ..graph.augment import (
@@ -38,7 +44,7 @@ from ..graph.data import GraphDataset
 from ..nn import Adam, MLP, Tensor, functional as F, no_grad
 from ..nn.init import xavier_uniform
 from ..nn.module import Module, Parameter
-from ..obs.hooks import emit_epoch
+from ._common import engine_fit
 
 
 def _nt_xent(a: Tensor, b: Tensor, temperature: float) -> Tensor:
@@ -82,8 +88,8 @@ def _augment_batch(
     raise ValueError(f"unknown augmentation {kind!r}; use one of {AUGMENTATIONS}")
 
 
-class _GraphContrastiveBase:
-    """Shared machinery: GIN encoder + readout + projector + Adam loop.
+class _GraphContrastiveBase(Method):
+    """Shared machinery: GIN encoder + readout + projector + engine loop.
 
     All subclasses train on block-diagonal mini-batches of graphs: the
     dataset is partitioned once into reusable :class:`GraphBatch` objects
@@ -125,14 +131,22 @@ class _GraphContrastiveBase:
         projector = MLP(self.hidden_dim, [self.hidden_dim], self.hidden_dim, rng=rng)
         return encoder, projector
 
-    def _graph_embeddings(self, encoder, loader: BatchLoader) -> np.ndarray:
+    def steps(self, state: TrainState, dataset: GraphDataset, epoch: int):
+        yield from state.extras["loader"].epoch(state.rng)
+
+    def embed(self, state: TrainState, dataset: GraphDataset) -> np.ndarray:
+        encoder = state.modules["encoder"]
         encoder.eval()
         outputs = []
         with no_grad():
-            for batch in loader:  # dataset order, so rows line up with labels
+            for batch in state.extras["loader"]:  # dataset order: rows line up with labels
                 nodes = encoder.forward_batch(batch)
                 outputs.append(batch_readout(nodes, batch, self.readout).data)
         return np.concatenate(outputs, axis=0)
+
+    def fit_graphs(self, dataset: GraphDataset, seed: int = 0) -> EmbeddingResult:
+        result, _ = engine_fit(self, dataset, seed=seed, epochs=self.epochs)
+        return result
 
 
 class GraphCL(_GraphContrastiveBase):
@@ -150,36 +164,42 @@ class GraphCL(_GraphContrastiveBase):
     def _after_epoch(self, pair: Tuple[str, str], loss: float) -> None:
         """Hook for JOAO's augmentation-distribution update."""
 
-    def fit_graphs(self, dataset: GraphDataset, seed: int = 0) -> EmbeddingResult:
-        rng = np.random.default_rng(seed)
+    def build(self, dataset: GraphDataset, rng: np.random.Generator) -> TrainState:
         loader = self._loader(dataset)
         encoder, projector = self._build(dataset.graphs[0].num_features, rng)
         optimizer = Adam(
             encoder.parameters() + projector.parameters(),
             lr=self.learning_rate, weight_decay=self.weight_decay,
         )
-        losses = []
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                encoder.train()
-                pair = self._choose_pair(rng, epoch)
-                step_losses = []
-                for batch in loader.epoch(rng):
-                    optimizer.zero_grad()
-                    adj1, x1 = _augment_batch(batch, pair[0], self.augmentation_strength, rng)
-                    adj2, x2 = _augment_batch(batch, pair[1], self.augmentation_strength, rng)
-                    g1 = batch_readout(encoder(adj1, Tensor(x1)), batch, self.readout)
-                    g2 = batch_readout(encoder(adj2, Tensor(x2)), batch, self.readout)
-                    loss = _nt_xent(projector(g1), projector(g2), self.temperature)
-                    loss.backward()
-                    optimizer.step()
-                    step_losses.append(loss.item())
-                epoch_loss = float(np.mean(step_losses))
-                losses.append(epoch_loss)
-                emit_epoch(self.name, epoch, epoch_loss, model=encoder, optimizer=optimizer)
-                self._after_epoch(pair, epoch_loss)
-        embeddings = self._graph_embeddings(encoder, loader)
-        return EmbeddingResult(embeddings, timer.seconds, losses)
+        state = TrainState(
+            modules={"encoder": encoder, "projector": projector},
+            optimizer=optimizer,
+            rng=rng,
+            telemetry_model=encoder,
+        )
+        state.extras["loader"] = loader
+        return state
+
+    def begin_epoch(self, state: TrainState, dataset: GraphDataset, epoch: int) -> None:
+        super().begin_epoch(state, dataset, epoch)
+        # Pair choice draws from the rng *before* the loader permutation.
+        state.extras["pair"] = self._choose_pair(state.rng, epoch)
+
+    def loss_step(self, state: TrainState, dataset: GraphDataset, epoch: int, batch):
+        encoder = state.modules["encoder"]
+        projector = state.modules["projector"]
+        pair = state.extras["pair"]
+        rng = state.rng
+        adj1, x1 = _augment_batch(batch, pair[0], self.augmentation_strength, rng)
+        adj2, x2 = _augment_batch(batch, pair[1], self.augmentation_strength, rng)
+        g1 = batch_readout(encoder(adj1, Tensor(x1)), batch, self.readout)
+        g2 = batch_readout(encoder(adj2, Tensor(x2)), batch, self.readout)
+        return _nt_xent(projector(g1), projector(g2), self.temperature), {}
+
+    def end_epoch(
+        self, state: TrainState, dataset: GraphDataset, epoch: int, epoch_loss: float
+    ) -> None:
+        self._after_epoch(state.extras["pair"], epoch_loss)
 
 
 class JOAO(GraphCL):
@@ -205,6 +225,17 @@ class JOAO(GraphCL):
         previous = self._pair_losses.get(pair, loss)
         self._pair_losses[pair] = 0.7 * previous + 0.3 * loss
 
+    def extra_state(self, state: TrainState) -> dict:
+        return {
+            "pair_losses": {"|".join(pair): loss for pair, loss in self._pair_losses.items()}
+        }
+
+    def load_extra_state(self, state: TrainState, payload: dict) -> None:
+        self._pair_losses = {
+            tuple(key.split("|")): loss
+            for key, loss in payload.get("pair_losses", {}).items()
+        }
+
 
 class InfoGraph(_GraphContrastiveBase):
     """InfoGraph: node-vs-graph-summary mutual information across the batch."""
@@ -226,36 +257,40 @@ class InfoGraph(_GraphContrastiveBase):
         own_graph[np.arange(batch.num_nodes), batch.node_to_graph] = 1.0
         return Tensor(own_graph)
 
-    def fit_graphs(self, dataset: GraphDataset, seed: int = 0) -> EmbeddingResult:
-        rng = np.random.default_rng(seed)
+    def build(self, dataset: GraphDataset, rng: np.random.Generator) -> TrainState:
         loader = self._loader(dataset)
+        # _build also constructs (and discards) the projector so the weight
+        # init stream matches the other graph-level baselines.
         encoder, _ = self._build(dataset.graphs[0].num_features, rng)
         critic = self._Critic(self.hidden_dim, rng)
         optimizer = Adam(
             encoder.parameters() + critic.parameters(),
             lr=self.learning_rate, weight_decay=self.weight_decay,
         )
+        state = TrainState(
+            modules={"encoder": encoder, "critic": critic},
+            optimizer=optimizer,
+            rng=rng,
+            telemetry_model=encoder,
+        )
+        state.extras["loader"] = loader
         # The MI targets depend only on the fixed batch structure: build
         # them once per batch and reuse them every epoch.
-        targets = {id(batch): self._ownership_targets(batch) for batch in loader}
-        losses = []
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                encoder.train()
-                step_losses = []
-                for batch in loader.epoch(rng):
-                    optimizer.zero_grad()
-                    nodes = encoder.forward_batch(batch)
-                    graphs = batch_readout(nodes, batch, self.readout)
-                    logits = critic(nodes, graphs)
-                    loss = F.binary_cross_entropy_with_logits(logits, targets[id(batch)])
-                    loss.backward()
-                    optimizer.step()
-                    step_losses.append(loss.item())
-                losses.append(float(np.mean(step_losses)))
-                emit_epoch(self.name, epoch, losses[-1], model=encoder, optimizer=optimizer)
-        embeddings = self._graph_embeddings(encoder, loader)
-        return EmbeddingResult(embeddings, timer.seconds, losses)
+        state.extras["targets"] = {
+            id(batch): self._ownership_targets(batch) for batch in loader
+        }
+        return state
+
+    def loss_step(self, state: TrainState, dataset: GraphDataset, epoch: int, batch):
+        encoder = state.modules["encoder"]
+        critic = state.modules["critic"]
+        nodes = encoder.forward_batch(batch)
+        graphs = batch_readout(nodes, batch, self.readout)
+        logits = critic(nodes, graphs)
+        loss = F.binary_cross_entropy_with_logits(
+            logits, state.extras["targets"][id(batch)]
+        )
+        return loss, {}
 
 
 class InfoGCL(_GraphContrastiveBase):
@@ -279,36 +314,47 @@ class InfoGCL(_GraphContrastiveBase):
             return AUGMENTATIONS[epoch % len(AUGMENTATIONS)]
         return min(self._view_losses, key=self._view_losses.get)
 
-    def fit_graphs(self, dataset: GraphDataset, seed: int = 0) -> EmbeddingResult:
-        rng = np.random.default_rng(seed)
+    def build(self, dataset: GraphDataset, rng: np.random.Generator) -> TrainState:
         loader = self._loader(dataset)
         encoder, projector = self._build(dataset.graphs[0].num_features, rng)
         optimizer = Adam(
             encoder.parameters() + projector.parameters(),
             lr=self.learning_rate, weight_decay=self.weight_decay,
         )
-        losses = []
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                encoder.train()
-                view = self._choose_view(rng, epoch)
-                step_losses = []
-                for batch in loader.epoch(rng):
-                    optimizer.zero_grad()
-                    adj2, x2 = _augment_batch(batch, view, self.augmentation_strength, rng)
-                    g1 = batch_readout(encoder.forward_batch(batch), batch, self.readout)
-                    g2 = batch_readout(encoder(adj2, Tensor(x2)), batch, self.readout)
-                    loss = _nt_xent(projector(g1), projector(g2), self.temperature)
-                    loss.backward()
-                    optimizer.step()
-                    step_losses.append(loss.item())
-                epoch_loss = float(np.mean(step_losses))
-                losses.append(epoch_loss)
-                emit_epoch(self.name, epoch, epoch_loss, model=encoder, optimizer=optimizer)
-                previous = self._view_losses.get(view, epoch_loss)
-                self._view_losses[view] = 0.7 * previous + 0.3 * epoch_loss
-        embeddings = self._graph_embeddings(encoder, loader)
-        return EmbeddingResult(embeddings, timer.seconds, losses)
+        state = TrainState(
+            modules={"encoder": encoder, "projector": projector},
+            optimizer=optimizer,
+            rng=rng,
+            telemetry_model=encoder,
+        )
+        state.extras["loader"] = loader
+        return state
+
+    def begin_epoch(self, state: TrainState, dataset: GraphDataset, epoch: int) -> None:
+        super().begin_epoch(state, dataset, epoch)
+        state.extras["view"] = self._choose_view(state.rng, epoch)
+
+    def loss_step(self, state: TrainState, dataset: GraphDataset, epoch: int, batch):
+        encoder = state.modules["encoder"]
+        projector = state.modules["projector"]
+        view = state.extras["view"]
+        adj2, x2 = _augment_batch(batch, view, self.augmentation_strength, state.rng)
+        g1 = batch_readout(encoder.forward_batch(batch), batch, self.readout)
+        g2 = batch_readout(encoder(adj2, Tensor(x2)), batch, self.readout)
+        return _nt_xent(projector(g1), projector(g2), self.temperature), {}
+
+    def end_epoch(
+        self, state: TrainState, dataset: GraphDataset, epoch: int, epoch_loss: float
+    ) -> None:
+        view = state.extras["view"]
+        previous = self._view_losses.get(view, epoch_loss)
+        self._view_losses[view] = 0.7 * previous + 0.3 * epoch_loss
+
+    def extra_state(self, state: TrainState) -> dict:
+        return {"view_losses": dict(self._view_losses)}
+
+    def load_extra_state(self, state: TrainState, payload: dict) -> None:
+        self._view_losses = dict(payload.get("view_losses", {}))
 
 
 class GraphLevelWrapper:

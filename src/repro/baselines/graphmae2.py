@@ -17,16 +17,17 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.base import EmbeddingResult, Stopwatch
+from ..core.base import EmbeddingResult
 from ..core.losses import sce_loss
+from ..engine import Method, TrainState
 from ..gnn.encoder import GNNEncoder, _build_conv
 from ..graph.augment import mask_node_features
 from ..graph.data import Graph
 from ..nn import Adam, MLP, Tensor, functional as F, no_grad
-from ..obs.hooks import emit_epoch
+from ._common import engine_fit
 
 
-class GraphMAE2:
+class GraphMAE2(Method):
     """GraphMAE2: multi-view re-mask decoding plus latent regularisation."""
 
     name = "GraphMAE2"
@@ -59,8 +60,7 @@ class GraphMAE2:
         self.weight_decay = weight_decay
         self.conv_type = conv_type
 
-    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
-        rng = np.random.default_rng(seed)
+    def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder = GNNEncoder(
             graph.num_features, self.hidden_dim, self.hidden_dim,
             num_layers=self.num_layers, conv_type=self.conv_type,
@@ -76,52 +76,65 @@ class GraphMAE2:
             encoder.parameters() + decoder.parameters() + latent_predictor.parameters(),
             lr=self.learning_rate, weight_decay=self.weight_decay,
         )
-        operand = encoder.structure(graph.adjacency)
-        losses = []
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                encoder.train()
-                optimizer.zero_grad()
-                masked = mask_node_features(graph.features, self.mask_rate, rng)
-                h = encoder(graph.adjacency, Tensor(masked.features))
+        state = TrainState(
+            modules={
+                "encoder": encoder,
+                "decoder": decoder,
+                "latent_predictor": latent_predictor,
+            },
+            optimizer=optimizer,
+            rng=rng,
+            telemetry_model=encoder,
+        )
+        state.extras["operand"] = encoder.structure(graph.adjacency)
+        return state
 
-                # (1) multi-view re-mask decoding.
-                reconstruction: Optional[Tensor] = None
-                for _view in range(self.num_remask_views):
-                    keep = (rng.random((graph.num_nodes, 1)) >= self.remask_rate)
-                    keep = keep.astype(float)
-                    keep[masked.masked_nodes] = 0.0
-                    z = decoder(operand, h * Tensor(keep))
-                    view_loss = sce_loss(
-                        z, Tensor(graph.features), masked.masked_nodes, self.gamma
-                    )
-                    reconstruction = (
-                        view_loss if reconstruction is None else reconstruction + view_loss
-                    )
-                loss = reconstruction * (1.0 / self.num_remask_views)
+    def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
+        encoder = state.modules["encoder"]
+        decoder = state.modules["decoder"]
+        latent_predictor = state.modules["latent_predictor"]
+        operand = state.extras["operand"]
+        rng = state.rng
+        masked = mask_node_features(graph.features, self.mask_rate, rng)
+        h = encoder(graph.adjacency, Tensor(masked.features))
 
-                # (2) latent target prediction against the unmasked pass.
-                with no_grad():
-                    encoder.eval()
-                    target = encoder(graph.adjacency, Tensor(graph.features)).data
-                    encoder.train()
-                predicted = latent_predictor(h)
-                latent = (
-                    1.0
-                    - F.cosine_similarity(predicted, Tensor(target)).mean()
-                )
-                loss = loss + latent * self.latent_weight
+        # (1) multi-view re-mask decoding.
+        reconstruction: Optional[Tensor] = None
+        for _view in range(self.num_remask_views):
+            keep = (rng.random((graph.num_nodes, 1)) >= self.remask_rate)
+            keep = keep.astype(float)
+            keep[masked.masked_nodes] = 0.0
+            z = decoder(operand, h * Tensor(keep))
+            view_loss = sce_loss(
+                z, Tensor(graph.features), masked.masked_nodes, self.gamma
+            )
+            reconstruction = (
+                view_loss if reconstruction is None else reconstruction + view_loss
+            )
+        loss = reconstruction * (1.0 / self.num_remask_views)
 
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-                emit_epoch(
-                    self.name, epoch, losses[-1],
-                    parts={"reconstruction": reconstruction.item() / self.num_remask_views,
-                           "latent": latent.item()},
-                    model=encoder, optimizer=optimizer,
-                )
+        # (2) latent target prediction against the unmasked pass.
+        with no_grad():
+            encoder.eval()
+            target = encoder(graph.adjacency, Tensor(graph.features)).data
+            encoder.train()
+        predicted = latent_predictor(h)
+        latent = (
+            1.0
+            - F.cosine_similarity(predicted, Tensor(target)).mean()
+        )
+        loss = loss + latent * self.latent_weight
+        return loss, {
+            "reconstruction": reconstruction.item() / self.num_remask_views,
+            "latent": latent.item(),
+        }
+
+    def embed(self, state: TrainState, graph: Graph) -> np.ndarray:
+        encoder = state.modules["encoder"]
         encoder.eval()
         with no_grad():
-            embeddings = encoder(graph.adjacency, Tensor(graph.features)).data.copy()
-        return EmbeddingResult(embeddings, timer.seconds, losses)
+            return encoder(graph.adjacency, Tensor(graph.features)).data.copy()
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        result, _ = engine_fit(self, graph, seed=seed, epochs=self.epochs)
+        return result

@@ -10,6 +10,10 @@
   representations of *all* encoder layers (Tan et al., 2023).
 * SeeGera  — variational autoencoder reconstructing links *and* features
   with structure/feature masking (Li et al., 2023).
+
+All four train through :class:`repro.engine.TrainLoop`; S2GAE's
+graph-level protocol uses a private method adapter so the class can serve
+both the node- and graph-level tables.
 """
 
 from __future__ import annotations
@@ -18,18 +22,19 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from ..core.base import EmbeddingResult, Stopwatch
+from ..core.base import EmbeddingResult
 from ..core.losses import sample_nonedges, sce_loss
+from ..engine import Method, TrainState
 from ..gnn.conv import GATConv
 from ..gnn.encoder import GNNEncoder
 from ..graph.augment import mask_node_features
 from ..graph.data import Graph
 from ..graph.sparse import adjacency_from_edges
 from ..nn import Adam, Linear, MLP, Tensor, concatenate, functional as F, no_grad
-from ..obs.hooks import emit_epoch
+from ._common import engine_fit
 
 
-class GraphMAE:
+class GraphMAE(Method):
     """GraphMAE: masked feature reconstruction with a GAT backbone."""
 
     name = "GraphMAE"
@@ -56,8 +61,7 @@ class GraphMAE:
         self.weight_decay = weight_decay
         self.conv_type = conv_type
 
-    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
-        rng = np.random.default_rng(seed)
+    def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder = GNNEncoder(
             graph.num_features, self.hidden_dim, self.hidden_dim,
             num_layers=self.num_layers, conv_type=self.conv_type,
@@ -76,29 +80,38 @@ class GraphMAE:
             encoder.parameters() + decoder.parameters(),
             lr=self.learning_rate, weight_decay=self.weight_decay,
         )
-        decoder_operand = (
+        state = TrainState(
+            modules={"encoder": encoder, "decoder": decoder},
+            optimizer=optimizer,
+            rng=rng,
+            telemetry_model=encoder,
+        )
+        state.extras["decoder_operand"] = (
             graph.adjacency if self.conv_type in ("gat", "gin")
             else encoder.structure(graph.adjacency)
         )
-        losses = []
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                encoder.train()
-                optimizer.zero_grad()
-                masked = mask_node_features(graph.features, self.mask_rate, rng)
-                h = encoder(graph.adjacency, Tensor(masked.features))
-                keep = np.ones((graph.num_nodes, 1))
-                keep[masked.masked_nodes] = 0.0  # GraphMAE's re-mask
-                z = decoder(decoder_operand, h * Tensor(keep))
-                loss = sce_loss(z, Tensor(graph.features), masked.masked_nodes, self.gamma)
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-                emit_epoch(self.name, epoch, losses[-1], model=encoder, optimizer=optimizer)
+        return state
+
+    def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
+        encoder = state.modules["encoder"]
+        decoder = state.modules["decoder"]
+        masked = mask_node_features(graph.features, self.mask_rate, state.rng)
+        h = encoder(graph.adjacency, Tensor(masked.features))
+        keep = np.ones((graph.num_nodes, 1))
+        keep[masked.masked_nodes] = 0.0  # GraphMAE's re-mask
+        z = decoder(state.extras["decoder_operand"], h * Tensor(keep))
+        loss = sce_loss(z, Tensor(graph.features), masked.masked_nodes, self.gamma)
+        return loss, {}
+
+    def embed(self, state: TrainState, graph: Graph) -> np.ndarray:
+        encoder = state.modules["encoder"]
         encoder.eval()
         with no_grad():
-            embeddings = encoder(graph.adjacency, Tensor(graph.features)).data.copy()
-        return EmbeddingResult(embeddings, timer.seconds, losses)
+            return encoder(graph.adjacency, Tensor(graph.features)).data.copy()
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        result, _ = engine_fit(self, graph, seed=seed, epochs=self.epochs)
+        return result
 
 
 def _degree_targets(adjacency: sp.csr_matrix) -> np.ndarray:
@@ -106,7 +119,7 @@ def _degree_targets(adjacency: sp.csr_matrix) -> np.ndarray:
     return np.log1p(degrees)
 
 
-class MaskGAE:
+class MaskGAE(Method):
     """MaskGAE: masked-edge reconstruction plus degree regression."""
 
     name = "MaskGAE"
@@ -131,8 +144,7 @@ class MaskGAE:
         self.weight_decay = weight_decay
         self.degree_weight = degree_weight
 
-    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
-        rng = np.random.default_rng(seed)
+    def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder = GNNEncoder(
             graph.num_features, self.hidden_dim, self.hidden_dim,
             num_layers=self.num_layers, conv_type=self.conv_type, rng=rng,
@@ -143,47 +155,61 @@ class MaskGAE:
             encoder.parameters() + edge_decoder.parameters() + degree_head.parameters(),
             lr=self.learning_rate, weight_decay=self.weight_decay,
         )
-        edges = graph.edges(directed=False)
-        degree_target = Tensor(_degree_targets(graph.adjacency)[:, None])
-        losses = []
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                encoder.train()
-                optimizer.zero_grad()
-                mask = rng.random(len(edges)) < self.edge_mask_rate
-                if not mask.any():
-                    mask[rng.integers(len(edges))] = True
-                masked_edges = edges[mask]
-                visible = adjacency_from_edges(edges[~mask], graph.num_nodes) \
-                    if (~mask).any() else sp.csr_matrix((graph.num_nodes, graph.num_nodes))
-                h = encoder(visible, Tensor(graph.features))
+        state = TrainState(
+            modules={
+                "encoder": encoder,
+                "edge_decoder": edge_decoder,
+                "degree_head": degree_head,
+            },
+            optimizer=optimizer,
+            rng=rng,
+            telemetry_model=encoder,
+        )
+        state.extras["edges"] = graph.edges(directed=False)
+        state.extras["degree_target"] = Tensor(_degree_targets(graph.adjacency)[:, None])
+        return state
 
-                negatives = sample_nonedges(graph.adjacency, len(masked_edges), rng)
-                pos_logits = edge_decoder(h[masked_edges[:, 0]] * h[masked_edges[:, 1]])
-                neg_logits = edge_decoder(h[negatives[:, 0]] * h[negatives[:, 1]])
-                reconstruction = F.binary_cross_entropy_with_logits(
-                    pos_logits, Tensor(np.ones((len(masked_edges), 1)))
-                ) + F.binary_cross_entropy_with_logits(
-                    neg_logits, Tensor(np.zeros((len(negatives), 1)))
-                )
-                degree_loss = F.mse_loss(degree_head(h), degree_target)
-                loss = reconstruction + degree_loss * self.degree_weight
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-                emit_epoch(
-                    self.name, epoch, losses[-1],
-                    parts={"reconstruction": reconstruction.item(),
-                           "degree": degree_loss.item()},
-                    model=encoder, optimizer=optimizer,
-                )
+    def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
+        encoder = state.modules["encoder"]
+        edge_decoder = state.modules["edge_decoder"]
+        degree_head = state.modules["degree_head"]
+        edges = state.extras["edges"]
+        rng = state.rng
+        mask = rng.random(len(edges)) < self.edge_mask_rate
+        if not mask.any():
+            mask[rng.integers(len(edges))] = True
+        masked_edges = edges[mask]
+        visible = adjacency_from_edges(edges[~mask], graph.num_nodes) \
+            if (~mask).any() else sp.csr_matrix((graph.num_nodes, graph.num_nodes))
+        h = encoder(visible, Tensor(graph.features))
+
+        negatives = sample_nonedges(graph.adjacency, len(masked_edges), rng)
+        pos_logits = edge_decoder(h[masked_edges[:, 0]] * h[masked_edges[:, 1]])
+        neg_logits = edge_decoder(h[negatives[:, 0]] * h[negatives[:, 1]])
+        reconstruction = F.binary_cross_entropy_with_logits(
+            pos_logits, Tensor(np.ones((len(masked_edges), 1)))
+        ) + F.binary_cross_entropy_with_logits(
+            neg_logits, Tensor(np.zeros((len(negatives), 1)))
+        )
+        degree_loss = F.mse_loss(degree_head(h), state.extras["degree_target"])
+        loss = reconstruction + degree_loss * self.degree_weight
+        return loss, {
+            "reconstruction": reconstruction.item(),
+            "degree": degree_loss.item(),
+        }
+
+    def embed(self, state: TrainState, graph: Graph) -> np.ndarray:
+        encoder = state.modules["encoder"]
         encoder.eval()
         with no_grad():
-            embeddings = encoder(graph.adjacency, Tensor(graph.features)).data.copy()
-        return EmbeddingResult(embeddings, timer.seconds, losses)
+            return encoder(graph.adjacency, Tensor(graph.features)).data.copy()
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        result, _ = engine_fit(self, graph, seed=seed, epochs=self.epochs)
+        return result
 
 
-class S2GAE:
+class S2GAE(Method):
     """S2GAE: masked-edge prediction from cross-correlated layer outputs."""
 
     name = "S2GAE"
@@ -208,10 +234,9 @@ class S2GAE:
         # (None = whole dataset in one batch).
         self.batch_size = batch_size
 
-    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
-        rng = np.random.default_rng(seed)
+    def _build_modules(self, num_features: int, rng: np.random.Generator):
         encoder = GNNEncoder(
-            graph.num_features, self.hidden_dim, self.hidden_dim,
+            num_features, self.hidden_dim, self.hidden_dim,
             num_layers=self.num_layers, conv_type="gcn", rng=rng,
         )
         # Cross-correlation decoder: concatenated per-layer Hadamard products.
@@ -222,110 +247,128 @@ class S2GAE:
             encoder.parameters() + decoder.parameters(),
             lr=self.learning_rate, weight_decay=self.weight_decay,
         )
-        edges = graph.edges(directed=False)
-        losses = []
+        return encoder, decoder, optimizer
 
-        def edge_scores(layer_outputs, pairs):
-            crossed = [h[pairs[:, 0]] * h[pairs[:, 1]] for h in layer_outputs]
-            return decoder(concatenate(crossed, axis=1))
+    @staticmethod
+    def _edge_scores(decoder, layer_outputs, pairs):
+        crossed = [h[pairs[:, 0]] * h[pairs[:, 1]] for h in layer_outputs]
+        return decoder(concatenate(crossed, axis=1))
 
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                encoder.train()
-                optimizer.zero_grad()
-                mask = rng.random(len(edges)) < self.edge_mask_rate
-                if not mask.any():
-                    mask[rng.integers(len(edges))] = True
-                masked_edges = edges[mask]
-                visible = adjacency_from_edges(edges[~mask], graph.num_nodes) \
-                    if (~mask).any() else sp.csr_matrix((graph.num_nodes, graph.num_nodes))
-                layer_outputs = encoder.layer_outputs(visible, Tensor(graph.features))
-                negatives = sample_nonedges(graph.adjacency, len(masked_edges), rng)
-                loss = F.binary_cross_entropy_with_logits(
-                    edge_scores(layer_outputs, masked_edges),
-                    Tensor(np.ones((len(masked_edges), 1))),
-                ) + F.binary_cross_entropy_with_logits(
-                    edge_scores(layer_outputs, negatives),
-                    Tensor(np.zeros((len(negatives), 1))),
-                )
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-                emit_epoch(self.name, epoch, losses[-1], model=encoder, optimizer=optimizer)
+    def _masked_edge_loss(self, state: TrainState, edges, adjacency, features, num_nodes):
+        encoder = state.modules["encoder"]
+        decoder = state.modules["decoder"]
+        rng = state.rng
+        mask = rng.random(len(edges)) < self.edge_mask_rate
+        if not mask.any():
+            mask[rng.integers(len(edges))] = True
+        masked_edges = edges[mask]
+        visible = adjacency_from_edges(edges[~mask], num_nodes) \
+            if (~mask).any() else sp.csr_matrix((num_nodes, num_nodes))
+        layer_outputs = encoder.layer_outputs(visible, Tensor(features))
+        negatives = sample_nonedges(adjacency, len(masked_edges), rng)
+        return F.binary_cross_entropy_with_logits(
+            self._edge_scores(decoder, layer_outputs, masked_edges),
+            Tensor(np.ones((len(masked_edges), 1))),
+        ) + F.binary_cross_entropy_with_logits(
+            self._edge_scores(decoder, layer_outputs, negatives),
+            Tensor(np.zeros((len(negatives), 1))),
+        )
+
+    def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
+        encoder, decoder, optimizer = self._build_modules(graph.num_features, rng)
+        state = TrainState(
+            modules={"encoder": encoder, "decoder": decoder},
+            optimizer=optimizer,
+            rng=rng,
+            telemetry_model=encoder,
+        )
+        state.extras["edges"] = graph.edges(directed=False)
+        return state
+
+    def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
+        loss = self._masked_edge_loss(
+            state, state.extras["edges"], graph.adjacency, graph.features,
+            graph.num_nodes,
+        )
+        return loss, {}
+
+    def embed(self, state: TrainState, graph: Graph) -> np.ndarray:
+        encoder = state.modules["encoder"]
         encoder.eval()
         with no_grad():
             layer_outputs = encoder.layer_outputs(graph.adjacency, Tensor(graph.features))
-            embeddings = np.concatenate([h.data for h in layer_outputs], axis=1)
-        return EmbeddingResult(embeddings, timer.seconds, losses)
+            return np.concatenate([h.data for h in layer_outputs], axis=1)
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        result, _ = engine_fit(self, graph, seed=seed, epochs=self.epochs)
+        return result
 
     def fit_graphs(self, dataset, seed: int = 0) -> EmbeddingResult:
         """Graph-level protocol (Table 7): masked-edge pretraining over
         block-diagonal mini-batches, then mean/max pooling per graph."""
-        from ..gnn.readout import batch_readout
+        method = _S2GAEGraphsMethod(self)
+        result, _ = engine_fit(method, dataset, seed=seed, epochs=self.epochs)
+        return result
+
+
+class _S2GAEGraphsMethod(Method):
+    """S2GAE over block-diagonal graph mini-batches (Table 7)."""
+
+    name = "S2GAE"
+
+    def __init__(self, owner: S2GAE) -> None:
+        self.owner = owner
+
+    def build(self, dataset, rng: np.random.Generator) -> TrainState:
         from ..graph.batch import BatchLoader
 
-        rng = np.random.default_rng(seed)
-        loader = BatchLoader(dataset, batch_size=self.batch_size)
-        encoder = GNNEncoder(
-            dataset.graphs[0].num_features, self.hidden_dim, self.hidden_dim,
-            num_layers=self.num_layers, conv_type="gcn", rng=rng,
+        owner = self.owner
+        loader = BatchLoader(dataset, batch_size=owner.batch_size)
+        encoder, decoder, optimizer = owner._build_modules(
+            dataset.graphs[0].num_features, rng
         )
-        decoder = MLP(
-            self.hidden_dim * self.num_layers, [self.hidden_dim], 1, rng=rng
+        state = TrainState(
+            modules={"encoder": encoder, "decoder": decoder},
+            optimizer=optimizer,
+            rng=rng,
+            telemetry_model=encoder,
         )
-        optimizer = Adam(
-            encoder.parameters() + decoder.parameters(),
-            lr=self.learning_rate, weight_decay=self.weight_decay,
-        )
+        state.extras["loader"] = loader
         # Edge lists depend only on the fixed batch structure; extract once.
-        batch_edges = {id(b): b.as_graph().edges(directed=False) for b in loader}
-        losses = []
+        state.extras["batch_edges"] = {
+            id(b): b.as_graph().edges(directed=False) for b in loader
+        }
+        return state
 
-        def edge_scores(layer_outputs, pairs):
-            crossed = [h[pairs[:, 0]] * h[pairs[:, 1]] for h in layer_outputs]
-            return decoder(concatenate(crossed, axis=1))
+    def steps(self, state: TrainState, dataset, epoch: int):
+        batch_edges = state.extras["batch_edges"]
+        for batch in state.extras["loader"].epoch(state.rng):
+            if len(batch_edges[id(batch)]) == 0:
+                continue  # zero-edge batches contribute no step
+            yield batch
 
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                encoder.train()
-                step_losses = []
-                for batch in loader.epoch(rng):
-                    edges = batch_edges[id(batch)]
-                    if len(edges) == 0:
-                        continue
-                    optimizer.zero_grad()
-                    mask = rng.random(len(edges)) < self.edge_mask_rate
-                    if not mask.any():
-                        mask[rng.integers(len(edges))] = True
-                    masked_edges = edges[mask]
-                    visible = adjacency_from_edges(edges[~mask], batch.num_nodes) \
-                        if (~mask).any() else sp.csr_matrix((batch.num_nodes, batch.num_nodes))
-                    layer_outputs = encoder.layer_outputs(visible, Tensor(batch.features))
-                    negatives = sample_nonedges(batch.adjacency, len(masked_edges), rng)
-                    loss = F.binary_cross_entropy_with_logits(
-                        edge_scores(layer_outputs, masked_edges),
-                        Tensor(np.ones((len(masked_edges), 1))),
-                    ) + F.binary_cross_entropy_with_logits(
-                        edge_scores(layer_outputs, negatives),
-                        Tensor(np.zeros((len(negatives), 1))),
-                    )
-                    loss.backward()
-                    optimizer.step()
-                    step_losses.append(loss.item())
-                losses.append(float(np.mean(step_losses)) if step_losses else 0.0)
-                emit_epoch(self.name, epoch, losses[-1], model=encoder, optimizer=optimizer)
+    def loss_step(self, state: TrainState, dataset, epoch: int, batch):
+        edges = state.extras["batch_edges"][id(batch)]
+        loss = self.owner._masked_edge_loss(
+            state, edges, batch.adjacency, batch.features, batch.num_nodes
+        )
+        return loss, {}
+
+    def embed(self, state: TrainState, dataset) -> np.ndarray:
+        from ..gnn.readout import batch_readout
+
+        encoder = state.modules["encoder"]
         encoder.eval()
         outputs = []
         with no_grad():
-            for batch in loader:  # dataset order, so rows line up with labels
+            for batch in state.extras["loader"]:  # dataset order: rows line up with labels
                 layer_outputs = encoder.layer_outputs(batch.adjacency, Tensor(batch.features))
                 stacked = concatenate(layer_outputs, axis=1)
                 outputs.append(batch_readout(stacked, batch, mode="meanmax").data)
-        embeddings = np.concatenate(outputs, axis=0)
-        return EmbeddingResult(embeddings, timer.seconds, losses)
+        return np.concatenate(outputs, axis=0)
 
 
-class SeeGera:
+class SeeGera(Method):
     """SeeGera-style variational AE over links and features, with masking."""
 
     name = "SeeGera"
@@ -352,10 +395,7 @@ class SeeGera:
         self.learning_rate = learning_rate
         self.weight_decay = weight_decay
 
-    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
-        from ..graph.augment import drop_edges
-
-        rng = np.random.default_rng(seed)
+    def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         backbone = GNNEncoder(
             graph.num_features, self.hidden_dim, self.hidden_dim,
             num_layers=1, conv_type="gcn", rng=rng,
@@ -368,45 +408,65 @@ class SeeGera:
             + feature_decoder.parameters(),
             lr=self.learning_rate, weight_decay=self.weight_decay,
         )
-        edges = graph.edges(directed=False)
-        losses = []
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                backbone.train()
-                optimizer.zero_grad()
-                masked = mask_node_features(graph.features, self.feature_mask_rate, rng)
-                visible_adj = drop_edges(graph.adjacency, self.edge_mask_rate, rng)
-                h = F.relu(backbone(visible_adj, Tensor(masked.features)))
-                mu = mu_head(h)
-                logvar = logvar_head(h).clip(-6.0, 6.0)
-                noise = Tensor(rng.normal(size=(graph.num_nodes, self.latent_dim)))
-                z = mu + (logvar * 0.5).exp() * noise
+        state = TrainState(
+            modules={
+                "backbone": backbone,
+                "mu_head": mu_head,
+                "logvar_head": logvar_head,
+                "feature_decoder": feature_decoder,
+            },
+            optimizer=optimizer,
+            rng=rng,
+            telemetry_model=backbone,
+        )
+        state.extras["edges"] = graph.edges(directed=False)
+        return state
 
-                negatives = sample_nonedges(graph.adjacency, len(edges), rng)
-                pos_logits = (z[edges[:, 0]] * z[edges[:, 1]]).sum(axis=1)
-                neg_logits = (z[negatives[:, 0]] * z[negatives[:, 1]]).sum(axis=1)
-                link_loss = F.binary_cross_entropy_with_logits(
-                    pos_logits, Tensor(np.ones(len(edges)))
-                ) + F.binary_cross_entropy_with_logits(
-                    neg_logits, Tensor(np.zeros(len(negatives)))
-                )
-                feature_loss = sce_loss(
-                    feature_decoder(z), Tensor(graph.features),
-                    np.arange(graph.num_nodes), gamma=1.0,
-                )
-                kl = (((mu * mu) + logvar.exp() - logvar - 1.0) * 0.5).mean()
-                loss = link_loss + feature_loss * self.feature_weight + kl * self.kl_weight
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-                emit_epoch(
-                    self.name, epoch, losses[-1],
-                    parts={"link": link_loss.item(), "feature": feature_loss.item(),
-                           "kl": kl.item()},
-                    model=backbone, optimizer=optimizer,
-                )
+    def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
+        from ..graph.augment import drop_edges
+
+        backbone = state.modules["backbone"]
+        mu_head = state.modules["mu_head"]
+        logvar_head = state.modules["logvar_head"]
+        feature_decoder = state.modules["feature_decoder"]
+        edges = state.extras["edges"]
+        rng = state.rng
+        masked = mask_node_features(graph.features, self.feature_mask_rate, rng)
+        visible_adj = drop_edges(graph.adjacency, self.edge_mask_rate, rng)
+        h = F.relu(backbone(visible_adj, Tensor(masked.features)))
+        mu = mu_head(h)
+        logvar = logvar_head(h).clip(-6.0, 6.0)
+        noise = Tensor(rng.normal(size=(graph.num_nodes, self.latent_dim)))
+        z = mu + (logvar * 0.5).exp() * noise
+
+        negatives = sample_nonedges(graph.adjacency, len(edges), rng)
+        pos_logits = (z[edges[:, 0]] * z[edges[:, 1]]).sum(axis=1)
+        neg_logits = (z[negatives[:, 0]] * z[negatives[:, 1]]).sum(axis=1)
+        link_loss = F.binary_cross_entropy_with_logits(
+            pos_logits, Tensor(np.ones(len(edges)))
+        ) + F.binary_cross_entropy_with_logits(
+            neg_logits, Tensor(np.zeros(len(negatives)))
+        )
+        feature_loss = sce_loss(
+            feature_decoder(z), Tensor(graph.features),
+            np.arange(graph.num_nodes), gamma=1.0,
+        )
+        kl = (((mu * mu) + logvar.exp() - logvar - 1.0) * 0.5).mean()
+        loss = link_loss + feature_loss * self.feature_weight + kl * self.kl_weight
+        return loss, {
+            "link": link_loss.item(),
+            "feature": feature_loss.item(),
+            "kl": kl.item(),
+        }
+
+    def embed(self, state: TrainState, graph: Graph) -> np.ndarray:
+        backbone = state.modules["backbone"]
+        mu_head = state.modules["mu_head"]
         backbone.eval()
         with no_grad():
             h = F.relu(backbone(graph.adjacency, Tensor(graph.features)))
-            embeddings = mu_head(h).data.copy()
-        return EmbeddingResult(embeddings, timer.seconds, losses)
+            return mu_head(h).data.copy()
+
+    def fit(self, graph: Graph, seed: int = 0) -> EmbeddingResult:
+        result, _ = engine_fit(self, graph, seed=seed, epochs=self.epochs)
+        return result

@@ -2,21 +2,25 @@
 
 Unlike the SSL methods these consume labels directly; they exist to anchor
 the comparison, as in the paper where they are the weakest rows of Table 4.
+
+The bespoke val-accuracy plateau logic this file used to carry is now the
+generic :class:`repro.engine.EarlyStopping` (``monitor="val_accuracy"``,
+``mode="max"``, ``restore_best=True``); training runs through
+:class:`repro.engine.TrainLoop` like every other method.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from ..core.base import Stopwatch
+from ..engine import EarlyStopping, Method, TrainLoop, TrainState
 from ..eval.metrics import accuracy
 from ..gnn.encoder import GNNEncoder
 from ..graph.data import Graph
 from ..nn import Adam, Tensor, functional as F, no_grad
-from ..obs.hooks import emit_epoch
 
 
 @dataclass
@@ -29,7 +33,7 @@ class SupervisedResult:
     epochs_run: int
 
 
-class SupervisedGNN:
+class SupervisedGNN(Method):
     """A GNN classifier trained with cross-entropy and early stopping.
 
     ``conv_type="gcn"`` gives the GCN baseline, ``conv_type="gat"`` the GAT
@@ -60,11 +64,7 @@ class SupervisedGNN:
         self.heads = heads
         self.name = name if name is not None else conv_type.upper()
 
-    def evaluate(self, graph: Graph, seed: int = 0) -> SupervisedResult:
-        """Train on ``graph.train_mask``, early-stop on val, score on test."""
-        if graph.labels is None or graph.train_mask is None:
-            raise ValueError("supervised training needs labels and split masks")
-        rng = np.random.default_rng(seed)
+    def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         model = GNNEncoder(
             in_features=graph.num_features,
             hidden_features=self.hidden_dim,
@@ -78,51 +78,71 @@ class SupervisedGNN:
         optimizer = Adam(
             model.parameters(), lr=self.learning_rate, weight_decay=self.weight_decay
         )
-        x = Tensor(graph.features)
-        train_idx = np.nonzero(graph.train_mask)[0]
-        val_idx = np.nonzero(graph.val_mask)[0] if graph.val_mask is not None else train_idx
+        state = TrainState(
+            modules={"model": model},
+            optimizer=optimizer,
+            rng=rng,
+            telemetry_model=model,
+        )
+        state.extras["x"] = Tensor(graph.features)
+        state.extras["train_idx"] = np.nonzero(graph.train_mask)[0]
+        state.extras["val_idx"] = (
+            np.nonzero(graph.val_mask)[0]
+            if graph.val_mask is not None
+            else state.extras["train_idx"]
+        )
+        return state
 
-        best_val = -1.0
-        best_state = model.state_dict()
-        stall = 0
-        epochs_run = 0
-        with Stopwatch() as timer:
-            for epoch in range(self.epochs):
-                epochs_run = epoch + 1
-                model.train()
-                optimizer.zero_grad()
-                logits = model(graph.adjacency, x)
-                loss = F.cross_entropy(logits[train_idx], graph.labels[train_idx])
-                loss.backward()
-                optimizer.step()
+    def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
+        model = state.modules["model"]
+        train_idx = state.extras["train_idx"]
+        logits = model(graph.adjacency, state.extras["x"])
+        return F.cross_entropy(logits[train_idx], graph.labels[train_idx]), {}
 
-                model.eval()
-                with no_grad():
-                    predictions = model(graph.adjacency, x).data.argmax(axis=1)
-                val_accuracy = accuracy(predictions[val_idx], graph.labels[val_idx])
-                emit_epoch(
-                    self.name, epoch, loss.item(),
-                    parts={"val_accuracy": val_accuracy},
-                    model=model, optimizer=optimizer,
-                )
-                if val_accuracy > best_val:
-                    best_val = val_accuracy
-                    best_state = model.state_dict()
-                    stall = 0
-                else:
-                    stall += 1
-                    if stall >= self.patience:
-                        break
-        model.load_state_dict(best_state)
+    def epoch_metrics(
+        self, state: TrainState, graph: Graph, epoch: int, epoch_loss: float
+    ) -> Dict[str, float]:
+        model = state.modules["model"]
         model.eval()
         with no_grad():
-            predictions = model(graph.adjacency, x).data.argmax(axis=1)
+            predictions = model(graph.adjacency, state.extras["x"]).data.argmax(axis=1)
+        val_idx = state.extras["val_idx"]
+        return {"val_accuracy": accuracy(predictions[val_idx], graph.labels[val_idx])}
+
+    def embed(self, state: TrainState, graph: Graph) -> np.ndarray:
+        model = state.modules["model"]
+        model.eval()
+        with no_grad():
+            return model(graph.adjacency, state.extras["x"]).data.copy()
+
+    def evaluate(self, graph: Graph, seed: int = 0) -> SupervisedResult:
+        """Train on ``graph.train_mask``, early-stop on val, score on test."""
+        if graph.labels is None or graph.train_mask is None:
+            raise ValueError("supervised training needs labels and split masks")
+        loop = TrainLoop(
+            self.epochs,
+            early_stopping=EarlyStopping(
+                patience=self.patience,
+                monitor="val_accuracy",
+                mode="max",
+                restore_best=True,
+            ),
+        )
+        outcome = loop.run(self, graph, seed=seed)
+        model = outcome.state.modules["model"]
+        model.eval()
+        with no_grad():
+            predictions = model(
+                graph.adjacency, outcome.state.extras["x"]
+            ).data.argmax(axis=1)
         test_accuracy = accuracy(
             predictions[graph.test_mask], graph.labels[graph.test_mask]
         )
         return SupervisedResult(
             test_accuracy=test_accuracy,
-            best_val_accuracy=best_val,
-            train_seconds=timer.seconds,
-            epochs_run=epochs_run,
+            best_val_accuracy=(
+                outcome.best_metric if outcome.best_metric is not None else -1.0
+            ),
+            train_seconds=outcome.train_seconds,
+            epochs_run=outcome.epochs_run,
         )

@@ -42,6 +42,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--telemetry-dir", default=None,
         help="persist a run record under DIR/<run_id>/",
     )
+    _add_checkpoint_arguments(pretrain)
 
     evaluate = sub.add_parser("evaluate", help="pretrain + evaluate on a task")
     evaluate.add_argument("method")
@@ -63,6 +64,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--telemetry-dir", default=None,
         help="persist a run record under DIR/<run_id>/",
     )
+    _add_checkpoint_arguments(table)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=[1, 4, 5, 6])
@@ -86,6 +88,37 @@ def _build_parser() -> argparse.ArgumentParser:
     runs_diff.add_argument("run_b", help="candidate run id (or unique prefix)")
     runs_diff.add_argument("--root", default="runs", help="runs directory")
     return parser
+
+
+def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-dir", default=None,
+        help="checkpoint every training loop under DIR (atomic .npz files)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint every N epochs (default 1)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume each loop from its checkpoint in --checkpoint-dir if present",
+    )
+
+
+def _checkpointing(args):
+    """An ambient ``engine.checkpointing`` context, or a no-op one."""
+    directory = getattr(args, "checkpoint_dir", None)
+    if not directory:
+        if getattr(args, "resume", False):
+            raise SystemExit("--resume requires --checkpoint-dir")
+        return contextlib.nullcontext()
+    from .engine import checkpointing
+
+    return checkpointing(
+        directory,
+        every=getattr(args, "checkpoint_every", 1),
+        resume=getattr(args, "resume", False),
+    )
 
 
 def _telemetry(args, method: str, dataset: str, seed: int = 0, config=None):
@@ -133,7 +166,7 @@ def _cmd_pretrain(args) -> None:
     with _telemetry(
         args, args.method, args.dataset, args.seed,
         config=getattr(method, "config", method),
-    ) as recorder:
+    ) as recorder, _checkpointing(args):
         result = method.fit(graph, seed=args.seed)
     if recorder is not None:
         print(f"telemetry: {args.telemetry_dir}/{recorder.run_id}/")
@@ -190,7 +223,7 @@ def _cmd_table(args) -> None:
     from . import experiments as ex
 
     number = args.number
-    with _telemetry(args, f"table{number}", "all"):
+    with _telemetry(args, f"table{number}", "all"), _checkpointing(args):
         if number == 1:
             table = ex.run_table1(
                 ex.run_table4(), ex.run_table5(), ex.run_table6(), ex.run_table7()

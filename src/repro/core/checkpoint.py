@@ -16,6 +16,7 @@ from typing import Union
 
 import numpy as np
 
+from ..engine.checkpoint import atomic_savez
 from .config import GCMAEConfig
 from .gcmae import GCMAE
 
@@ -24,8 +25,10 @@ _FEATURES_KEY = "__num_features__"
 
 
 def save_gcmae(model: GCMAE, path: Union[str, Path]) -> Path:
-    """Serialise a GCMAE model (weights + config) to ``path``."""
+    """Serialise a GCMAE model (weights + config) to ``path`` atomically."""
     path = Path(path)
+    if path.suffix != ".npz":  # match np.savez's bare-path behaviour
+        path = path.with_name(path.name + ".npz")
     state = model.state_dict()
     config_dict = dataclasses.asdict(model.config)
     # Tuples are not JSON-roundtrippable as tuples; normalise to lists.
@@ -34,8 +37,7 @@ def save_gcmae(model: GCMAE, path: Union[str, Path]) -> Path:
         json.dumps(config_dict).encode("utf-8"), dtype=np.uint8
     )
     payload[_FEATURES_KEY] = np.array([model.num_features], dtype=np.int64)
-    np.savez_compressed(path, **payload)
-    return path
+    return atomic_savez(path, **payload)
 
 
 def load_gcmae(path: Union[str, Path]) -> GCMAE:

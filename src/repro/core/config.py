@@ -47,6 +47,11 @@ class GCMAEConfig:
         single batch.
     projector_hidden:
         Width of the two-layer MLP projectors ``g1``/``g2`` (Eq. 13).
+    patience / min_delta:
+        Loss-plateau early stopping: stop after ``patience`` epochs without
+        the total loss improving by more than ``min_delta``.  ``patience=0``
+        (the default) disables early stopping, preserving the paper's
+        fixed-epoch protocol.
     """
 
     hidden_dim: int = 128
@@ -72,6 +77,8 @@ class GCMAEConfig:
     steps_per_epoch: int = 2
     graph_batch_size: int = 0
     projector_hidden: int = 64
+    patience: int = 0
+    min_delta: float = 0.0
     variance_eps: float = 1e-4
     structure_terms: Tuple[str, ...] = ("mse", "bce", "dist")
 
@@ -93,6 +100,10 @@ class GCMAEConfig:
             raise ValueError(
                 f"graph_batch_size must be >= 0, got {self.graph_batch_size}"
             )
+        if self.patience < 0:
+            raise ValueError(f"patience must be >= 0, got {self.patience}")
+        if self.min_delta < 0.0:
+            raise ValueError(f"min_delta must be >= 0, got {self.min_delta}")
         if not self.structure_terms or any(
             t not in ("mse", "bce", "dist") for t in self.structure_terms
         ):

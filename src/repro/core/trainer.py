@@ -1,25 +1,30 @@
-"""Training loop for GCMAE, with subgraph mini-batching for large graphs.
+"""Training entry points for GCMAE, built on :mod:`repro.engine`.
 
 Section 4.4 of the paper: reconstructing the entire adjacency is expensive on
 large graphs, so GCMAE samples subgraphs per training step (it shares
 GraphSAGE's mini-batch style with MaskGAE).  Graphs below
 ``config.subgraph_threshold`` nodes are trained full-batch.
+
+The epoch loop itself lives in :class:`repro.engine.TrainLoop`; this module
+contributes the GCMAE :class:`~repro.engine.Method` adapters and keeps the
+original ``train_gcmae`` / ``train_gcmae_graphs`` / :class:`TrainResult`
+public API intact.  Early stopping is config-gated (``config.patience``) and
+checkpoints follow any ambient :func:`repro.engine.checkpointing` policy.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..engine import EarlyStopping, Method, TrainLoop, TrainState
 from ..graph.augment import random_subgraph_nodes
 from ..graph.data import Graph, GraphDataset
 from ..nn.optim import Adam
-from ..nn.profiler import active_session
-from ..obs.hooks import CallbackHook, EpochHook, emit_epoch
-from .base import EmbeddingResult, Stopwatch
+from ..obs.hooks import CallbackHook, EpochHook
+from .base import EmbeddingResult
 from .config import GCMAEConfig
 from .gcmae import GCMAE, LossParts
 
@@ -48,6 +53,125 @@ class TrainResult:
     part_history: List[LossParts] = field(default_factory=list)
     train_seconds: float = 0.0
     epoch_seconds: List[float] = field(default_factory=list)
+
+
+class _GCMAENodeMethod(Method):
+    """GCMAE node-level pretraining (Algorithm 1) as an engine method."""
+
+    name = "GCMAE"
+
+    def __init__(self, config: GCMAEConfig) -> None:
+        self.config = config
+
+    def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
+        model = GCMAE(graph.num_features, self.config, rng=rng)
+        optimizer = Adam(
+            model.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        return TrainState(
+            modules={"model": model},
+            optimizer=optimizer,
+            rng=rng,
+            telemetry_model=model,
+        )
+
+    def steps(self, state: TrainState, graph: Graph, epoch: int):
+        if graph.num_nodes > self.config.subgraph_threshold:
+            for _ in range(self.config.steps_per_epoch):
+                nodes = random_subgraph_nodes(
+                    graph.num_nodes, self.config.subgraph_size, state.rng
+                )
+                yield graph.subgraph(nodes)
+        else:
+            yield None
+
+    def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
+        target = graph if payload is None else payload
+        model = state.modules["model"]
+        loss, parts = model.training_loss(target.adjacency, target.features, state.rng)
+        return loss, _parts_dict(parts)
+
+    def embed(self, state: TrainState, graph: Graph) -> np.ndarray:
+        return state.modules["model"].embed(graph.adjacency, graph.features)
+
+
+class _GCMAEGraphsMethod(Method):
+    """GCMAE over block-diagonal graph mini-batches (Table 7 protocol)."""
+
+    name = "GCMAE"
+
+    def __init__(self, config: GCMAEConfig) -> None:
+        self.config = config
+
+    def _loader(self, dataset: GraphDataset):
+        return dataset.loader(
+            batch_size=self.config.graph_batch_size
+            if self.config.graph_batch_size > 0 else None
+        )
+
+    def build(self, dataset: GraphDataset, rng: np.random.Generator) -> TrainState:
+        loader = self._loader(dataset)
+        model = GCMAE(dataset.graphs[0].num_features, self.config, rng=rng)
+        optimizer = Adam(
+            model.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        state = TrainState(
+            modules={"model": model},
+            optimizer=optimizer,
+            rng=rng,
+            telemetry_model=model,
+        )
+        # Batch objects are reused across epochs, so their normalised
+        # operands stay warm in the derived-matrix cache; only the visit
+        # order is reshuffled each epoch.
+        state.extras["loader"] = loader
+        return state
+
+    def steps(self, state: TrainState, dataset: GraphDataset, epoch: int):
+        yield from state.extras["loader"].epoch(state.rng)
+
+    def loss_step(self, state: TrainState, dataset: GraphDataset, epoch: int, batch):
+        model = state.modules["model"]
+        loss, parts = model.training_loss(batch.adjacency, batch.features, state.rng)
+        return loss, _parts_dict(parts)
+
+    def embed(self, state: TrainState, dataset: GraphDataset) -> np.ndarray:
+        from ..gnn.readout import batch_readout
+        from ..nn import no_grad
+        from ..nn.tensor import Tensor
+
+        model = state.modules["model"]
+        outputs = []
+        with no_grad():
+            for batch in self._loader(dataset):  # dataset order: rows line up with labels
+                node_embeddings = model.embed(batch.adjacency, batch.features)
+                outputs.append(
+                    batch_readout(Tensor(node_embeddings), batch, mode="meanmax").data
+                )
+        return np.concatenate(outputs, axis=0)
+
+
+def _early_stopping(config: GCMAEConfig) -> Optional[EarlyStopping]:
+    if config.patience > 0:
+        return EarlyStopping(patience=config.patience, min_delta=config.min_delta)
+    return None
+
+
+def _train_result(outcome) -> TrainResult:
+    return TrainResult(
+        model=outcome.state.modules["model"],
+        loss_history=list(outcome.loss_history),
+        part_history=[
+            LossParts(total=loss, **parts)
+            for loss, parts in zip(outcome.loss_history, outcome.parts_history)
+        ],
+        train_seconds=outcome.train_seconds,
+        epoch_seconds=list(outcome.epoch_seconds),
+    )
 
 
 def train_gcmae(
@@ -81,46 +205,9 @@ def train_gcmae(
     hooks = tuple(hooks)
     if epoch_callback is not None:
         hooks += (CallbackHook(epoch_callback),)
-    rng = np.random.default_rng(seed)
-    model = GCMAE(graph.num_features, config, rng=rng)
-    optimizer = Adam(
-        model.parameters(),
-        lr=config.learning_rate,
-        weight_decay=config.weight_decay,
-    )
-    use_subgraphs = graph.num_nodes > config.subgraph_threshold
-
-    result = TrainResult(model=model)
-    session = active_session()
-    with Stopwatch() as timer:
-        for epoch in range(config.epochs):
-            epoch_start = time.perf_counter()
-            model.train()
-            if use_subgraphs:
-                epoch_losses = []
-                for _ in range(config.steps_per_epoch):
-                    nodes = random_subgraph_nodes(
-                        graph.num_nodes, config.subgraph_size, rng
-                    )
-                    sub = graph.subgraph(nodes)
-                    parts = _train_step(model, optimizer, sub, rng)
-                    epoch_losses.append(parts)
-                parts = _mean_parts(epoch_losses)
-            else:
-                parts = _train_step(model, optimizer, graph, rng)
-            result.loss_history.append(parts.total)
-            result.part_history.append(parts)
-            epoch_elapsed = time.perf_counter() - epoch_start
-            result.epoch_seconds.append(epoch_elapsed)
-            if session is not None:
-                session.mark_epoch(epoch_elapsed)
-            emit_epoch(
-                "GCMAE", epoch, parts.total,
-                parts=_parts_dict(parts), seconds=epoch_elapsed,
-                model=model, optimizer=optimizer, extra_hooks=hooks,
-            )
-    result.train_seconds = timer.seconds
-    return result
+    loop = TrainLoop(config.epochs, early_stopping=_early_stopping(config))
+    outcome = loop.run(_GCMAENodeMethod(config), graph, seed=seed, hooks=hooks)
+    return _train_result(outcome)
 
 
 def train_gcmae_graphs(
@@ -134,67 +221,14 @@ def train_gcmae_graphs(
     The dataset is partitioned once into block-diagonal
     :class:`~repro.graph.batch.GraphBatch` objects of
     ``config.graph_batch_size`` graphs each (``0`` = the whole dataset as a
-    single batch) and every training step encodes one whole batch.  Batch
-    objects are reused across epochs, so their normalised operands stay
-    warm in the derived-matrix cache; only the visit order is reshuffled.
+    single batch) and every training step encodes one whole batch.
     """
     config = config if config is not None else GCMAEConfig()
-    hooks = tuple(hooks)
-    rng = np.random.default_rng(seed)
-    loader = dataset.loader(
-        batch_size=config.graph_batch_size if config.graph_batch_size > 0 else None
+    loop = TrainLoop(config.epochs, early_stopping=_early_stopping(config))
+    outcome = loop.run(
+        _GCMAEGraphsMethod(config), dataset, seed=seed, hooks=tuple(hooks)
     )
-    model = GCMAE(dataset.graphs[0].num_features, config, rng=rng)
-    optimizer = Adam(
-        model.parameters(),
-        lr=config.learning_rate,
-        weight_decay=config.weight_decay,
-    )
-    result = TrainResult(model=model)
-    session = active_session()
-    with Stopwatch() as timer:
-        for epoch in range(config.epochs):
-            epoch_start = time.perf_counter()
-            model.train()
-            epoch_parts = []
-            for batch in loader.epoch(rng):
-                optimizer.zero_grad()
-                loss, parts = model.training_loss(batch.adjacency, batch.features, rng)
-                loss.backward()
-                optimizer.step()
-                epoch_parts.append(parts)
-            parts = _mean_parts(epoch_parts)
-            result.loss_history.append(parts.total)
-            result.part_history.append(parts)
-            epoch_elapsed = time.perf_counter() - epoch_start
-            result.epoch_seconds.append(epoch_elapsed)
-            if session is not None:
-                session.mark_epoch(epoch_elapsed)
-            emit_epoch(
-                "GCMAE", epoch, parts.total,
-                parts=_parts_dict(parts), seconds=epoch_elapsed,
-                model=model, optimizer=optimizer, extra_hooks=hooks,
-            )
-    result.train_seconds = timer.seconds
-    return result
-
-
-def _train_step(model: GCMAE, optimizer: Adam, graph: Graph, rng) -> LossParts:
-    optimizer.zero_grad()
-    loss, parts = model.training_loss(graph.adjacency, graph.features, rng)
-    loss.backward()
-    optimizer.step()
-    return parts
-
-
-def _mean_parts(parts_list: List[LossParts]) -> LossParts:
-    return LossParts(
-        total=float(np.mean([p.total for p in parts_list])),
-        sce=float(np.mean([p.sce for p in parts_list])),
-        contrastive=float(np.mean([p.contrastive for p in parts_list])),
-        structure=float(np.mean([p.structure for p in parts_list])),
-        discrimination=float(np.mean([p.discrimination for p in parts_list])),
-    )
+    return _train_result(outcome)
 
 
 class GCMAEMethod:

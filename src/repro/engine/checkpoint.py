@@ -1,0 +1,136 @@
+"""Generic, atomic checkpoints for any engine-trained run.
+
+A checkpoint is one ``.npz`` holding
+
+* every module parameter (``module/<module>/<param>``),
+* every optimizer moment slot (``optim/<slot>/<index>``, e.g. Adam's
+  ``m``/``v`` or SGD's ``velocity``),
+* optionally the best-weight snapshot kept by early stopping
+  (``best/<module>/<param>``), and
+* one JSON blob (``__meta_json__``) with the loop bookkeeping: next epoch,
+  loss/parts/seconds histories, elapsed wall time, the optimizer's scalar
+  state (Adam's step count), the rng bit-generator state, early-stopping
+  progress, and the method's :meth:`~repro.engine.method.Method.extra_state`.
+
+Files always land via write-then-rename (:func:`atomic_savez`), so a run
+killed mid-save never leaves a truncated checkpoint; the previous complete
+one survives.  Restoring module weights, optimizer moments *and* the rng
+stream is what makes a resumed run finish with bit-identical weights to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from .method import TrainState
+
+_META_KEY = "__meta_json__"
+_FORMAT_VERSION = 1
+
+
+def atomic_savez(path: Union[str, Path], **arrays: np.ndarray) -> Path:
+    """Write a compressed ``.npz`` atomically (temp file + ``os.replace``).
+
+    An interrupted save never leaves a truncated archive at ``path``: the
+    partial bytes live in ``<path>.tmp`` until the final rename, which is
+    atomic on POSIX filesystems.  Parent directories are created.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    partial = path.with_name(path.name + ".tmp")
+    # Write through a file handle: ``np.savez`` appends ``.npz`` to bare
+    # string paths, which would break the rename bookkeeping.
+    with open(partial, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    os.replace(partial, path)
+    return path
+
+
+def _encode_json(payload: Dict[str, Any]) -> np.ndarray:
+    return np.frombuffer(json.dumps(payload).encode("utf-8"), dtype=np.uint8)
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    state: TrainState,
+    meta: Dict[str, Any],
+    best_snapshot: Optional[Dict[str, Dict[str, np.ndarray]]] = None,
+) -> Path:
+    """Serialise a run (modules + optimizer + rng + loop meta) to ``path``."""
+    arrays: Dict[str, np.ndarray] = {}
+    for module_name, module in state.modules.items():
+        for param_name, array in module.state_dict().items():
+            arrays[f"module/{module_name}/{param_name}"] = array
+    optim_state = state.optimizer.state_dict()
+    optim_scalars: Dict[str, Any] = {}
+    for key, value in optim_state.items():
+        if isinstance(value, list):
+            for index, array in enumerate(value):
+                arrays[f"optim/{key}/{index:05d}"] = array
+        else:
+            optim_scalars[key] = value
+    if best_snapshot is not None:
+        for module_name, module_state in best_snapshot.items():
+            for param_name, array in module_state.items():
+                arrays[f"best/{module_name}/{param_name}"] = array
+    payload = dict(meta)
+    payload["format_version"] = _FORMAT_VERSION
+    payload["optimizer"] = optim_scalars
+    payload["rng_state"] = state.rng.bit_generator.state
+    payload["has_best_snapshot"] = best_snapshot is not None
+    arrays[_META_KEY] = _encode_json(payload)
+    return atomic_savez(path, **arrays)
+
+
+def load_checkpoint(path: Union[str, Path], state: TrainState) -> Dict[str, Any]:
+    """Restore ``state`` in place from ``path`` and return the loop meta.
+
+    Module parameters, optimizer moments/step, and the rng stream are all
+    restored; the returned dict additionally carries the histories, the
+    early-stopping progress, the method extra state, and (when present)
+    the early-stopping best snapshot under ``"best_snapshot"``.
+    """
+    path = Path(path)
+    with np.load(path) as payload:
+        meta = json.loads(bytes(payload[_META_KEY].tobytes()).decode("utf-8"))
+        module_states: Dict[str, Dict[str, np.ndarray]] = {}
+        optim_lists: Dict[str, Dict[int, np.ndarray]] = {}
+        best_snapshot: Dict[str, Dict[str, np.ndarray]] = {}
+        for key in payload.files:
+            if key == _META_KEY:
+                continue
+            section, _, remainder = key.partition("/")
+            if section == "module":
+                module_name, _, param_name = remainder.partition("/")
+                module_states.setdefault(module_name, {})[param_name] = payload[key]
+            elif section == "optim":
+                slot, _, index = remainder.partition("/")
+                optim_lists.setdefault(slot, {})[int(index)] = payload[key]
+            elif section == "best":
+                module_name, _, param_name = remainder.partition("/")
+                best_snapshot.setdefault(module_name, {})[param_name] = payload[key]
+            else:
+                raise KeyError(f"unrecognised checkpoint entry {key!r} in {path}")
+    missing = set(state.modules) - set(module_states)
+    unexpected = set(module_states) - set(state.modules)
+    if missing or unexpected:
+        raise KeyError(
+            f"checkpoint/module mismatch in {path}: missing={sorted(missing)}, "
+            f"unexpected={sorted(unexpected)}"
+        )
+    for module_name, module in state.modules.items():
+        module.load_state_dict(module_states[module_name])
+    optim_payload: Dict[str, Any] = dict(meta.pop("optimizer", {}))
+    for slot, indexed in optim_lists.items():
+        optim_payload[slot] = [indexed[i] for i in sorted(indexed)]
+    state.optimizer.load_state_dict(optim_payload)
+    state.rng.bit_generator.state = meta.pop("rng_state")
+    if meta.pop("has_best_snapshot", False):
+        meta["best_snapshot"] = best_snapshot
+    return meta

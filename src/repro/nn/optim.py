@@ -6,7 +6,7 @@ decay ``1e-4`` (Section 5.1); those are the defaults here.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Any, Dict, Iterable, List
 
 import numpy as np
 
@@ -27,6 +27,32 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable optimizer state (moments, step counts)."""
+        raise NotImplementedError
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state produced by :meth:`state_dict` (strict)."""
+        raise NotImplementedError
+
+    def _load_slot(self, name: str, arrays: List[np.ndarray]) -> List[np.ndarray]:
+        """Validate one per-parameter array list against ``self.parameters``."""
+        if len(arrays) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state {name!r} holds {len(arrays)} arrays for "
+                f"{len(self.parameters)} parameters"
+            )
+        restored = []
+        for index, (param, array) in enumerate(zip(self.parameters, arrays)):
+            array = np.asarray(array)
+            if array.shape != param.data.shape:
+                raise ValueError(
+                    f"optimizer state {name!r}[{index}] has shape {array.shape}, "
+                    f"parameter expects {param.data.shape}"
+                )
+            restored.append(array.astype(param.data.dtype, copy=True))
+        return restored
 
 
 class SGD(Optimizer):
@@ -59,6 +85,17 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data -= self.lr * grad
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "sgd",
+            "velocity": [v.copy() for v in self._velocity],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        if state.get("kind") != "sgd":
+            raise ValueError(f"expected SGD state, got kind={state.get('kind')!r}")
+        self._velocity = self._load_slot("velocity", state["velocity"])
 
 
 class Adam(Optimizer):
@@ -110,6 +147,23 @@ class Adam(Optimizer):
             denominator = np.sqrt(v_hat) + self.eps
             np.maximum(denominator, np.finfo(param.data.dtype).tiny, out=denominator)
             param.data -= self.lr * m_hat / denominator
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "adam",
+            "step": self._step,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        if state.get("kind") != "adam":
+            raise ValueError(f"expected Adam state, got kind={state.get('kind')!r}")
+        m = self._load_slot("m", state["m"])
+        v = self._load_slot("v", state["v"])
+        self._step = int(state["step"])
+        self._m = m
+        self._v = v
 
     def update_to_param_ratio(self) -> float:
         """Mean ``||update|| / ||param||`` implied by the current Adam state.

@@ -1,0 +1,27 @@
+"""Guard: no hand-rolled epoch loops outside ``repro.engine``.
+
+Every training loop must go through :class:`repro.engine.TrainLoop`.  A
+``for epoch in`` anywhere else in ``src/repro`` means someone re-grew a
+bespoke loop — which silently loses telemetry, early stopping, and
+checkpoint/resume support.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+PATTERN = re.compile(r"for\s+epoch\s+in")
+
+
+def test_no_epoch_loops_outside_engine():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if SRC / "engine" in path.parents:
+            continue
+        for number, line in enumerate(path.read_text().splitlines(), start=1):
+            if PATTERN.search(line):
+                offenders.append(f"{path.relative_to(SRC.parent)}:{number}: {line.strip()}")
+    assert not offenders, (
+        "hand-rolled epoch loops found (use repro.engine.TrainLoop):\n"
+        + "\n".join(offenders)
+    )

@@ -1,0 +1,85 @@
+"""Optimizer ``state_dict``/``load_state_dict`` round-trips (engine resume)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def _params(rng, shapes=((3, 2), (2,))):
+    return [Parameter(rng.normal(size=shape)) for shape in shapes]
+
+
+def _train(params, optimizer, steps, rng):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = sum(((p * p).sum() for p in params), Tensor(np.zeros(())))
+        loss = loss + sum(
+            ((p * Tensor(rng.normal(size=p.data.shape))).sum() for p in params),
+            Tensor(np.zeros(())),
+        )
+        loss.backward()
+        optimizer.step()
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda ps: Adam(ps, lr=0.01, weight_decay=1e-3),
+        lambda ps: SGD(ps, lr=0.01, momentum=0.9, weight_decay=1e-3),
+    ],
+    ids=["adam", "sgd"],
+)
+def test_roundtrip_continues_identically(factory):
+    rng = np.random.default_rng(0)
+    params = _params(rng)
+    optimizer = factory(params)
+    _train(params, optimizer, steps=5, rng=np.random.default_rng(1))
+
+    # Branch A: keep going directly.
+    snapshot = optimizer.state_dict()
+    weights = [p.data.copy() for p in params]
+    _train(params, optimizer, steps=5, rng=np.random.default_rng(2))
+    direct = [p.data.copy() for p in params]
+
+    # Branch B: fresh optimizer over the snapshot weights, state restored.
+    for param, data in zip(params, weights):
+        param.data = data.copy()
+    restored = factory(params)
+    restored.load_state_dict(snapshot)
+    _train(params, restored, steps=5, rng=np.random.default_rng(2))
+    for direct_weight, param in zip(direct, params):
+        assert np.array_equal(direct_weight, param.data)
+
+
+def test_state_dict_copies_are_detached():
+    rng = np.random.default_rng(0)
+    params = _params(rng)
+    optimizer = Adam(params)
+    _train(params, optimizer, steps=2, rng=np.random.default_rng(1))
+    snapshot = optimizer.state_dict()
+    snapshot["m"][0][:] = 123.0
+    assert not np.array_equal(optimizer._m[0], snapshot["m"][0])
+
+
+def test_kind_mismatch_is_rejected():
+    rng = np.random.default_rng(0)
+    adam = Adam(_params(rng))
+    sgd = SGD(_params(rng))
+    with pytest.raises(ValueError, match="expected Adam"):
+        adam.load_state_dict(sgd.state_dict())
+    with pytest.raises(ValueError, match="expected SGD"):
+        sgd.load_state_dict(adam.state_dict())
+
+
+def test_count_and_shape_mismatches_are_rejected():
+    rng = np.random.default_rng(0)
+    adam = Adam(_params(rng))
+    state = adam.state_dict()
+    with pytest.raises(ValueError, match="holds 1 arrays"):
+        Adam(_params(rng)).load_state_dict({**state, "m": state["m"][:1]})
+    bad = [np.zeros((9, 9)), state["m"][1]]
+    with pytest.raises(ValueError, match="shape"):
+        Adam(_params(rng)).load_state_dict({**state, "m": bad})

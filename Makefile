@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: ci test lint perf bench-gc bench runs-demo
+.PHONY: ci test lint perf bench-gc bench-parallel bench runs-demo
 
 ci:
 	scripts/ci.sh
@@ -18,6 +18,9 @@ perf:
 bench-gc:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_regression.py -q -s \
 		-k "block_diag or segment_ops"
+
+bench-parallel:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_parallel_tables.py -q -s
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks -q

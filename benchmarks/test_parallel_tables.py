@@ -1,0 +1,119 @@
+"""Perf gate for the process-pool cell executor (``repro.parallel``).
+
+Workload: a Table-4-shaped sweep — four SSL methods x one dataset x two
+seeds, eight independent pretrain+probe cells — run twice on identical
+seeds with the embedding cache disabled:
+
+* **serial**   — ``jobs=1``, the old nested-loop behaviour,
+* **parallel** — ``jobs=4`` (or the machine's core count when lower).
+
+The gate asserts two things:
+
+1. **Equivalence** (always): the parallel table is bit-identical to the
+   serial one.  This is the executor's core contract and must hold on any
+   machine, including single-core CI runners.
+2. **Speedup** (when the machine can express it): at jobs=4 the sweep must
+   finish at least ``min_speedup``x (2.5x, per ``perf_baseline.json``)
+   faster than serial.  On hosts with fewer than 4 usable cores the
+   speedup assertion is skipped — a fork pool cannot beat serial without
+   cores to run on — and with ``REPRO_PERF_REPORT_ONLY=1`` it reports
+   without failing, like the other perf gates.
+
+A ``BENCH_parallel_tables.json`` artifact records both timings either way.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import Profile, run_table4
+
+HERE = Path(__file__).resolve().parent
+BASELINE_PATH = HERE / "perf_baseline.json"
+ARTIFACT_PATH = HERE / "BENCH_parallel_tables.json"
+
+BENCH_PROFILE = Profile(
+    name="bench-parallel", hidden_dim=32, epochs=12, gcmae_epochs=12,
+    num_seeds=2, graph_epochs=4, include_reddit=False,
+)
+METHODS = ["DGI", "GRACE", "CCA-SSG", "GCMAE"]
+DATASETS = ["cora-like"]
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _run_sweep(jobs: int):
+    start = time.perf_counter()
+    table = run_table4(
+        profile=BENCH_PROFILE, datasets=DATASETS, methods=METHODS,
+        include_supervised=False, jobs=jobs,
+    )
+    return time.perf_counter() - start, table
+
+
+def test_parallel_table_sweep(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")  # time the compute, not the cache
+    baseline = json.loads(BASELINE_PATH.read_text())["parallel_tables"]
+    min_speedup = float(baseline["min_speedup"])
+    target_jobs = int(baseline["jobs"])
+    report_only = os.environ.get("REPRO_PERF_REPORT_ONLY", "") not in ("", "0")
+
+    cpus = _usable_cpus()
+    jobs = min(target_jobs, cpus)
+
+    _run_sweep(jobs=1)  # warm imports, dataset synthesis, BLAS threads
+
+    serial_seconds, serial_table = _run_sweep(jobs=1)
+    parallel_seconds, parallel_table = _run_sweep(jobs=jobs)
+    speedup = serial_seconds / parallel_seconds
+
+    # Equivalence is unconditional: the jobs knob must never change values.
+    assert serial_table.cells == parallel_table.cells
+    assert serial_table.missing == parallel_table.missing
+
+    payload = {
+        "benchmark": {
+            "workload": (
+                f"table4 sweep: {len(METHODS)} methods x {len(DATASETS)} dataset "
+                f"x {BENCH_PROFILE.num_seeds} seeds, {BENCH_PROFILE.epochs} epochs, "
+                f"hidden {BENCH_PROFILE.hidden_dim}"
+            ),
+            "methods": METHODS,
+            "datasets": DATASETS,
+            "usable_cpus": cpus,
+            "jobs": jobs,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+            "min_speedup": min_speedup,
+            "report_only": report_only,
+            "equivalent": True,
+        }
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"\n[perf] serial {serial_seconds:.2f}s vs jobs={jobs} "
+        f"{parallel_seconds:.2f}s -> speedup {speedup:.2f}x "
+        f"(required >= {min_speedup}x at jobs={target_jobs}; {cpus} usable cores)"
+    )
+
+    if cpus < target_jobs:
+        pytest.skip(
+            f"speedup gate needs {target_jobs} usable cores, found {cpus}; "
+            "equivalence verified, timing recorded in the artifact"
+        )
+    if report_only:
+        return
+    assert speedup >= min_speedup, (
+        f"parallel table sweep too slow: {speedup:.2f}x at jobs={jobs} "
+        f"(required >= {min_speedup}x). See {ARTIFACT_PATH.name}."
+    )

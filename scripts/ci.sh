@@ -34,6 +34,11 @@ echo "== perf smoke (node sparse path + graph-classification batching) =="
 REPRO_PERF_REPORT_ONLY="$REPORT_ONLY" \
     PYTHONPATH=src python -m pytest benchmarks/test_perf_regression.py -q -s
 
+echo "== parallel smoke (jobs=2 table runs bit-identical to serial) =="
+PYTHONPATH=src python -m pytest tests/parallel -q
+REPRO_PERF_REPORT_ONLY="$REPORT_ONLY" \
+    PYTHONPATH=src python -m pytest benchmarks/test_parallel_tables.py -q -s
+
 echo "== resume equivalence (kill at 15, resume, bit-identical weights) =="
 PYTHONPATH=src python -m pytest tests/engine/test_resume.py -q
 

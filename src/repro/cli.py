@@ -13,6 +13,10 @@ Commands
 ``pretrain``, ``evaluate`` and ``table`` accept ``--telemetry-dir DIR`` to
 persist a full run record (``manifest.json`` + ``events.jsonl``) under
 ``DIR/<run_id>/``; ``repro runs show <run_id>`` renders it back.
+
+``table``, ``figure`` and ``report`` accept ``--jobs N`` (or the
+``REPRO_JOBS`` environment variable) to run experiment cells across worker
+processes via :mod:`repro.parallel`; results are bit-identical to serial.
 """
 
 from __future__ import annotations
@@ -64,13 +68,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--telemetry-dir", default=None,
         help="persist a run record under DIR/<run_id>/",
     )
+    _add_jobs_argument(table)
     _add_checkpoint_arguments(table)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=[1, 4, 5, 6])
+    _add_jobs_argument(figure)
 
     report = sub.add_parser("report", help="write EXPERIMENTS.md from all runs")
     report.add_argument("--output", default=None)
+    _add_jobs_argument(report)
 
     runs = sub.add_parser("runs", help="inspect persisted telemetry runs")
     runs_sub = runs.add_subparsers(dest="runs_command", required=True)
@@ -88,6 +95,14 @@ def _build_parser() -> argparse.ArgumentParser:
     runs_diff.add_argument("run_b", help="candidate run id (or unique prefix)")
     runs_diff.add_argument("--root", default="runs", help="runs directory")
     return parser
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run experiment cells across N worker processes "
+             "(default: REPRO_JOBS or 1; results are bit-identical to serial)",
+    )
 
 
 def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -262,6 +277,10 @@ def _cmd_report(args) -> None:
 
 def main(argv: Optional[List[str]] = None) -> None:
     args = _build_parser().parse_args(argv)
+    if getattr(args, "jobs", None):
+        from .parallel import set_default_jobs
+
+        set_default_jobs(args.jobs)
     if args.command == "datasets":
         _cmd_datasets()
     elif args.command == "pretrain":

@@ -7,12 +7,13 @@ and the GraphMAE backbone as the floor.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..baselines import GraphMAE
 from ..core import GCMAEMethod
 from ..eval.classification import evaluate_probe
 from ..graph.datasets import load_node_dataset
+from ..parallel import run_cells
 from .cache import cached_fit
 from .profiles import Profile, current_profile
 from .registry import gcmae_config
@@ -39,6 +40,7 @@ def run_table10(
     profile: Optional[Profile] = None,
     datasets: Optional[List[str]] = None,
     rows: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentTable:
     """Reproduce Table 10 on the three citation datasets."""
     profile = profile if profile is not None else current_profile()
@@ -53,20 +55,31 @@ def run_table10(
         rows=rows,
         columns=list(datasets),
     )
-    for row in rows:
-        for dataset_name in datasets:
-            scores = []
-            for seed in profile.seeds:
-                graph = load_node_dataset(dataset_name, seed=seed)
-                key = f"abl-{row}-{dataset_name}-{seed}-{profile.name}"
-                result = cached_fit(
-                    key, lambda: _variant_method(row, profile).fit(graph, seed=seed)
-                )
-                probe = evaluate_probe(
-                    result.embeddings, graph.labels, graph.train_mask, graph.test_mask
-                )
-                scores.append(probe.accuracy * 100.0)
-            table.set(row, dataset_name, scores)
+    cells: List[Tuple[str, str, int]] = [
+        (row, dataset_name, seed)
+        for row in rows
+        for dataset_name in datasets
+        for seed in profile.seeds
+    ]
+
+    def run_cell(cell: Tuple[str, str, int]) -> float:
+        row, dataset_name, seed = cell
+        graph = load_node_dataset(dataset_name, seed=seed)
+        key = f"abl-{row}-{dataset_name}-{seed}-{profile.name}"
+        result = cached_fit(
+            key, lambda: _variant_method(row, profile).fit(graph, seed=seed)
+        )
+        probe = evaluate_probe(
+            result.embeddings, graph.labels, graph.train_mask, graph.test_mask
+        )
+        return probe.accuracy * 100.0
+
+    scores = run_cells(cells, run_cell, jobs=jobs, label="table10")
+    grouped: dict = {}
+    for (row, dataset_name, _seed), score in zip(cells, scores):
+        grouped.setdefault((row, dataset_name), []).append(score)
+    for (row, dataset_name), values in grouped.items():
+        table.set(row, dataset_name, values)
 
     table.notes.append(
         "paper claims: every removal hurts; removing structure reconstruction "

@@ -18,7 +18,7 @@ orderings produced by the same mechanisms.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core import GCMAEMethod
 from ..core.trainer import train_gcmae
@@ -26,6 +26,7 @@ from ..eval.classification import evaluate_probe
 from ..graph.datasets import load_node_dataset
 from ..nn import profiler as nn_profiler
 from ..obs.spans import trace_span
+from ..parallel import run_cells
 from .cache import cached_fit
 from .node_classification import fit_node_method
 from .profiles import Profile, current_profile
@@ -64,6 +65,7 @@ def run_table9(
     profile: Optional[Profile] = None,
     datasets: Optional[List[str]] = None,
     methods: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentTable:
     """Reproduce Table 9: pretraining + probe wall-clock seconds."""
     profile = profile if profile is not None else current_profile()
@@ -76,25 +78,35 @@ def run_table9(
         columns=list(datasets),
     )
     seed = 0
-    for method_name in methods:
-        for dataset_name in datasets:
-            graph = load_node_dataset(dataset_name, seed=seed)
-            if method_name == "GCMAE (sage)":
-                key = f"t9-gcmae-sage-{dataset_name}-{seed}-{profile.name}"
-                config = _sage_minibatch_config(profile)
-                with trace_span(f"table9/{method_name}/{dataset_name}/seed{seed}"):
-                    result = cached_fit(
-                        key, lambda: GCMAEMethod(config).fit(graph, seed=seed)
-                    )
-            else:
-                with trace_span(f"table9/{method_name}/{dataset_name}/seed{seed}"):
-                    result = fit_node_method(method_name, dataset_name, seed, profile)
-            probe_start = time.perf_counter()
-            evaluate_probe(
-                result.embeddings, graph.labels, graph.train_mask, graph.test_mask
-            )
-            probe_seconds = time.perf_counter() - probe_start
-            table.set(method_name, dataset_name, [result.train_seconds + probe_seconds])
+    cells: List[Tuple[str, str]] = [
+        (method_name, dataset_name)
+        for method_name in methods
+        for dataset_name in datasets
+    ]
+
+    def run_cell(cell: Tuple[str, str]) -> float:
+        method_name, dataset_name = cell
+        graph = load_node_dataset(dataset_name, seed=seed)
+        if method_name == "GCMAE (sage)":
+            key = f"t9-gcmae-sage-{dataset_name}-{seed}-{profile.name}"
+            config = _sage_minibatch_config(profile)
+            with trace_span(f"table9/{method_name}/{dataset_name}/seed{seed}"):
+                result = cached_fit(
+                    key, lambda: GCMAEMethod(config).fit(graph, seed=seed)
+                )
+        else:
+            with trace_span(f"table9/{method_name}/{dataset_name}/seed{seed}"):
+                result = fit_node_method(method_name, dataset_name, seed, profile)
+        probe_start = time.perf_counter()
+        evaluate_probe(
+            result.embeddings, graph.labels, graph.train_mask, graph.test_mask
+        )
+        probe_seconds = time.perf_counter() - probe_start
+        return result.train_seconds + probe_seconds
+
+    seconds = run_cells(cells, run_cell, jobs=jobs, label="table9")
+    for (method_name, dataset_name), value in zip(cells, seconds):
+        table.set(method_name, dataset_name, [value])
 
     table.notes.append(
         "paper ordering: CCA-SSG fastest; GraphMAE slowest (full-graph GAT); "
@@ -144,6 +156,7 @@ def run_table9_breakdown(
     profile: Optional[Profile] = None,
     datasets: Optional[List[str]] = None,
     epochs: int = 5,
+    jobs: Optional[int] = None,
 ) -> ExperimentTable:
     """Companion to Table 9: profiler-derived per-component milliseconds.
 
@@ -160,8 +173,11 @@ def run_table9_breakdown(
         rows=rows,
         columns=list(datasets),
     )
-    for dataset_name in datasets:
-        breakdown = profile_gcmae_components(dataset_name, epochs=epochs, profile=profile)
+    def run_cell(dataset_name: str) -> Dict[str, float]:
+        return profile_gcmae_components(dataset_name, epochs=epochs, profile=profile)
+
+    breakdowns = run_cells(list(datasets), run_cell, jobs=jobs, label="table9_breakdown")
+    for dataset_name, breakdown in zip(datasets, breakdowns):
         for component, seconds in breakdown.items():
             table.set(component, dataset_name, [seconds * 1e3])
     table.notes.append(

@@ -8,12 +8,13 @@ This runner slots them into the Table 4 protocol next to GCMAE, answering
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..baselines import BGRL, GCA, GraphMAE2
 from ..core import GCMAEMethod
 from ..eval.classification import evaluate_probe
 from ..graph.datasets import load_node_dataset
+from ..parallel import run_cells
 from .cache import cached_fit
 from .profiles import Profile, current_profile
 from .registry import gcmae_config
@@ -34,6 +35,7 @@ def extension_methods(profile: Profile) -> Dict[str, Callable[[], object]]:
 def run_extension_comparison(
     profile: Optional[Profile] = None,
     datasets: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentTable:
     """Node classification accuracy of the extension methods vs GCMAE."""
     profile = profile if profile is not None else current_profile()
@@ -45,18 +47,30 @@ def run_extension_comparison(
         rows=list(factories),
         columns=list(datasets),
     )
-    for method_name, factory in factories.items():
-        for dataset_name in datasets:
-            scores = []
-            for seed in profile.seeds:
-                graph = load_node_dataset(dataset_name, seed=seed)
-                key = f"ext-{method_name}-{dataset_name}-{seed}-{profile.name}"
-                result = cached_fit(key, lambda: factory().fit(graph, seed=seed))
-                probe = evaluate_probe(
-                    result.embeddings, graph.labels, graph.train_mask, graph.test_mask
-                )
-                scores.append(probe.accuracy * 100.0)
-            table.set(method_name, dataset_name, scores)
+    cells: List[Tuple[str, str, int]] = [
+        (method_name, dataset_name, seed)
+        for method_name in factories
+        for dataset_name in datasets
+        for seed in profile.seeds
+    ]
+
+    def run_cell(cell: Tuple[str, str, int]) -> float:
+        method_name, dataset_name, seed = cell
+        factory = extension_methods(profile)[method_name]
+        graph = load_node_dataset(dataset_name, seed=seed)
+        key = f"ext-{method_name}-{dataset_name}-{seed}-{profile.name}"
+        result = cached_fit(key, lambda: factory().fit(graph, seed=seed))
+        probe = evaluate_probe(
+            result.embeddings, graph.labels, graph.train_mask, graph.test_mask
+        )
+        return probe.accuracy * 100.0
+
+    scores = run_cells(cells, run_cell, jobs=jobs, label="extension_comparison")
+    grouped: dict = {}
+    for (method_name, dataset_name, _seed), score in zip(cells, scores):
+        grouped.setdefault((method_name, dataset_name), []).append(score)
+    for (method_name, dataset_name), values in grouped.items():
+        table.set(method_name, dataset_name, values)
 
     for dataset_name in datasets:
         best = table.best_row(dataset_name)

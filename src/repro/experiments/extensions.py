@@ -12,11 +12,12 @@ each on node classification:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core import GCMAEMethod
 from ..eval.classification import evaluate_probe
 from ..graph.datasets import load_node_dataset
+from ..parallel import run_cells
 from .cache import cached_fit
 from .profiles import Profile, current_profile
 from .registry import gcmae_config
@@ -35,6 +36,7 @@ def run_design_ablation(
     profile: Optional[Profile] = None,
     datasets: Optional[List[str]] = None,
     variants: Optional[Dict[str, dict]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentTable:
     """Accuracy of each design variant on node classification."""
     profile = profile if profile is not None else current_profile()
@@ -46,21 +48,32 @@ def run_design_ablation(
         rows=list(variants),
         columns=list(datasets),
     )
-    for row, overrides in variants.items():
-        config = gcmae_config(profile, **overrides)
-        for dataset_name in datasets:
-            scores = []
-            for seed in profile.seeds:
-                graph = load_node_dataset(dataset_name, seed=seed)
-                key = f"design-{row}-{dataset_name}-{seed}-{profile.name}"
-                result = cached_fit(
-                    key, lambda: GCMAEMethod(config).fit(graph, seed=seed)
-                )
-                probe = evaluate_probe(
-                    result.embeddings, graph.labels, graph.train_mask, graph.test_mask
-                )
-                scores.append(probe.accuracy * 100.0)
-            table.set(row, dataset_name, scores)
+    cells: List[Tuple[str, str, int]] = [
+        (row, dataset_name, seed)
+        for row in variants
+        for dataset_name in datasets
+        for seed in profile.seeds
+    ]
+
+    def run_cell(cell: Tuple[str, str, int]) -> float:
+        row, dataset_name, seed = cell
+        config = gcmae_config(profile, **variants[row])
+        graph = load_node_dataset(dataset_name, seed=seed)
+        key = f"design-{row}-{dataset_name}-{seed}-{profile.name}"
+        result = cached_fit(
+            key, lambda: GCMAEMethod(config).fit(graph, seed=seed)
+        )
+        probe = evaluate_probe(
+            result.embeddings, graph.labels, graph.train_mask, graph.test_mask
+        )
+        return probe.accuracy * 100.0
+
+    scores = run_cells(cells, run_cell, jobs=jobs, label="design_ablation")
+    grouped: dict = {}
+    for (row, dataset_name, _seed), score in zip(cells, scores):
+        grouped.setdefault((row, dataset_name), []).append(score)
+    for (row, dataset_name), values in grouped.items():
+        table.set(row, dataset_name, values)
 
     table.notes.append(
         "extension study: these choices are inherited (re-mask, from GraphMAE) "

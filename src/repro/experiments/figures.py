@@ -25,6 +25,7 @@ from ..graph.data import Graph
 from ..graph.datasets import load_node_dataset
 from ..graph.sparse import k_hop_neighbors
 from ..obs.hooks import LambdaHook
+from ..parallel import run_cells
 from .cache import cached_fit
 from .profiles import Profile, current_profile
 from .registry import gcmae_config
@@ -49,6 +50,7 @@ def run_figure1(
     dataset: str = "cora-like",
     seed: int = 0,
     tsne_iterations: int = 300,
+    jobs: Optional[int] = None,
 ) -> List[Figure1Panel]:
     """Reproduce Figure 1: embeddings of GCMAE, GraphMAE and CCA-SSG."""
     profile = profile if profile is not None else current_profile()
@@ -58,23 +60,23 @@ def run_figure1(
         ("GraphMAE", GraphMAE(hidden_dim=profile.hidden_dim, epochs=profile.epochs)),
         ("CCA-SSG", CCASSG(hidden_dim=profile.hidden_dim, epochs=min(profile.epochs, 60))),
     ]
-    panels = []
-    for name, method in methods:
+
+    def run_cell(item: Tuple[str, object]) -> Figure1Panel:
+        name, method = item
         key = f"fig1-{name}-{dataset}-{seed}-{profile.name}"
         result = cached_fit(key, lambda: method.fit(graph, seed=seed))
         scores = evaluate_clustering(result.embeddings, graph.labels, seed=seed)
         coordinates = TSNE(
             num_iterations=tsne_iterations, seed=seed
         ).fit_transform(result.embeddings)
-        panels.append(
-            Figure1Panel(
-                method=name,
-                coordinates=coordinates,
-                labels=graph.labels,
-                nmi=scores.nmi,
-            )
+        return Figure1Panel(
+            method=name,
+            coordinates=coordinates,
+            labels=graph.labels,
+            nmi=scores.nmi,
         )
-    return panels
+
+    return run_cells(methods, run_cell, jobs=jobs, label="figure1")
 
 
 # ---------------------------------------------------------------------------
@@ -118,6 +120,7 @@ def run_figure4(
     hops: int = 5,
     num_targets: int = 20,
     probe_every: int = 10,
+    jobs: Optional[int] = None,
 ) -> SeriesResult:
     """Reproduce Figure 4: distant-node similarity vs training epoch.
 
@@ -144,15 +147,26 @@ def run_figure4(
             use_discrimination=False,
         ),
     }
-    for name, variant_config in variants.items():
-        def probe(event, _name=name, _config=variant_config) -> None:
-            if event.epoch % probe_every == 0 or event.epoch == _config.epochs - 1:
+    items = list(variants.items())
+
+    def run_cell(item: Tuple[str, object]) -> List[Tuple[int, float]]:
+        _name, variant_config = item
+        points: List[Tuple[int, float]] = []
+
+        def probe(event) -> None:
+            if event.epoch % probe_every == 0 or event.epoch == variant_config.epochs - 1:
                 embeddings = event.model.embed(graph.adjacency, graph.features)
-                figure.add_point(
-                    _name, event.epoch, _mean_distant_similarity(embeddings, pairs)
+                points.append(
+                    (event.epoch, _mean_distant_similarity(embeddings, pairs))
                 )
 
         train_gcmae(graph, variant_config, seed=seed, hooks=(LambdaHook(probe),))
+        return points
+
+    series = run_cells(items, run_cell, jobs=jobs, label="figure4")
+    for (name, _config), points in zip(items, series):
+        for epoch, similarity in points:
+            figure.add_point(name, epoch, similarity)
 
     final_gcmae = max(figure.series["GCMAE"].items())[1]
     final_mae = max(figure.series["GraphMAE"].items())[1]
@@ -172,6 +186,7 @@ def run_figure5(
     mask_rates: Sequence[float] = (0.2, 0.5, 0.8),
     drop_rates: Sequence[float] = (0.0, 0.2, 0.4),
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SeriesResult:
     """Reproduce Figure 5: macro-F1 over the ``p_mask`` x ``p_drop`` grid.
 
@@ -185,15 +200,26 @@ def run_figure5(
         x_label="mask rate p_mask",
         y_label="macro F1 (%)",
     )
-    for drop_rate in drop_rates:
-        for mask_rate in mask_rates:
-            config = gcmae_config(profile, mask_rate=mask_rate, drop_rate=drop_rate)
-            key = f"fig5-m{mask_rate:g}-d{drop_rate:g}-{dataset}-{seed}-{profile.name}"
-            result = cached_fit(key, lambda: GCMAEMethod(config).fit(graph, seed=seed))
-            probe = evaluate_probe(
-                result.embeddings, graph.labels, graph.train_mask, graph.test_mask
-            )
-            figure.add_point(f"p_drop={drop_rate:g}", mask_rate, probe.macro_f1 * 100.0)
+    cells = [
+        (drop_rate, mask_rate)
+        for drop_rate in drop_rates
+        for mask_rate in mask_rates
+    ]
+
+    def run_cell(cell: Tuple[float, float]) -> float:
+        drop_rate, mask_rate = cell
+        config = gcmae_config(profile, mask_rate=mask_rate, drop_rate=drop_rate)
+        key = f"fig5-m{mask_rate:g}-d{drop_rate:g}-{dataset}-{seed}-{profile.name}"
+        result = cached_fit(key, lambda: GCMAEMethod(config).fit(graph, seed=seed))
+        probe = evaluate_probe(
+            result.embeddings, graph.labels, graph.train_mask, graph.test_mask
+        )
+        return probe.macro_f1 * 100.0
+
+    for (drop_rate, mask_rate), f1 in zip(
+        cells, run_cells(cells, run_cell, jobs=jobs, label="figure5")
+    ):
+        figure.add_point(f"p_drop={drop_rate:g}", mask_rate, f1)
     figure.notes.append(
         "paper claims: performance stays high for p_mask in 0.5-0.8; p_mask "
         "dominates while p_drop causes only mild variation"
@@ -210,6 +236,7 @@ def run_figure6(
     widths: Sequence[int] = (32, 64, 128, 256),
     depths: Sequence[int] = (1, 2, 4, 8),
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> SeriesResult:
     """Reproduce Figure 6: accuracy vs hidden width and encoder depth."""
     profile = profile if profile is not None else current_profile()
@@ -219,22 +246,27 @@ def run_figure6(
         x_label="hidden width (width series) or depth (depth series)",
         y_label="accuracy (%)",
     )
-    for width in widths:
-        config = gcmae_config(profile, hidden_dim=width, embed_dim=width)
-        key = f"fig6-w{width}-{dataset}-{seed}-{profile.name}"
+    cells = [("width", width) for width in widths]
+    cells += [("depth", depth) for depth in depths]
+
+    def run_cell(cell: Tuple[str, int]) -> float:
+        series, value = cell
+        if series == "width":
+            config = gcmae_config(profile, hidden_dim=value, embed_dim=value)
+            key = f"fig6-w{value}-{dataset}-{seed}-{profile.name}"
+        else:
+            config = gcmae_config(profile, num_layers=value)
+            key = f"fig6-l{value}-{dataset}-{seed}-{profile.name}"
         result = cached_fit(key, lambda: GCMAEMethod(config).fit(graph, seed=seed))
         probe = evaluate_probe(
             result.embeddings, graph.labels, graph.train_mask, graph.test_mask
         )
-        figure.add_point("width", width, probe.accuracy * 100.0)
-    for depth in depths:
-        config = gcmae_config(profile, num_layers=depth)
-        key = f"fig6-l{depth}-{dataset}-{seed}-{profile.name}"
-        result = cached_fit(key, lambda: GCMAEMethod(config).fit(graph, seed=seed))
-        probe = evaluate_probe(
-            result.embeddings, graph.labels, graph.train_mask, graph.test_mask
-        )
-        figure.add_point("depth", depth, probe.accuracy * 100.0)
+        return probe.accuracy * 100.0
+
+    for (series, value), accuracy in zip(
+        cells, run_cells(cells, run_cell, jobs=jobs, label="figure6")
+    ):
+        figure.add_point(series, value, accuracy)
     figure.notes.append(
         "paper claims: wider is better up to a point; 2 layers is optimal and "
         "accuracy degrades as depth grows"

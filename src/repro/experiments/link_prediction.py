@@ -8,11 +8,12 @@ and report AUC/AP on the held-out test edges.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..eval.linkpred import evaluate_link_prediction
 from ..graph.datasets import load_node_dataset
 from ..graph.splits import split_edges
+from ..parallel import run_cells
 from .cache import cached_fit
 from .profiles import Profile, current_profile
 from .registry import node_ssl_methods, node_task_datasets
@@ -23,6 +24,7 @@ def run_table5(
     profile: Optional[Profile] = None,
     datasets: Optional[List[str]] = None,
     methods: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentTable:
     """Reproduce Table 5 (no supervised rows, as in the paper)."""
     profile = profile if profile is not None else current_profile()
@@ -40,28 +42,40 @@ def run_table5(
         columns=columns,
     )
 
+    cells: List[Tuple[str, str, int]] = []
     for method_name in methods:
         for dataset_name in datasets:
             if method_name == "MVGRL" and dataset_name == "reddit-like":
                 table.mark(method_name, f"{dataset_name}:AUC", "OOM")
                 table.mark(method_name, f"{dataset_name}:AP", "OOM")
                 continue
-            aucs, aps = [], []
             for seed in profile.seeds:
-                graph = load_node_dataset(dataset_name, seed=seed)
-                split = split_edges(graph, seed=seed)
-                key = f"lp-{method_name}-{dataset_name}-{seed}-{profile.name}"
-                result = cached_fit(
-                    key,
-                    lambda: ssl_methods[method_name]().fit(split.train_graph, seed=seed),
-                )
-                scores = evaluate_link_prediction(
-                    result.embeddings, split, method="finetune", seed=seed
-                )
-                aucs.append(scores.auc * 100.0)
-                aps.append(scores.ap * 100.0)
-            table.set(method_name, f"{dataset_name}:AUC", aucs)
-            table.set(method_name, f"{dataset_name}:AP", aps)
+                cells.append((method_name, dataset_name, seed))
+
+    def run_cell(cell: Tuple[str, str, int]) -> Tuple[float, float]:
+        method_name, dataset_name, seed = cell
+        graph = load_node_dataset(dataset_name, seed=seed)
+        split = split_edges(graph, seed=seed)
+        key = f"lp-{method_name}-{dataset_name}-{seed}-{profile.name}"
+        factories = node_ssl_methods(profile)
+        result = cached_fit(
+            key,
+            lambda: factories[method_name]().fit(split.train_graph, seed=seed),
+        )
+        scores = evaluate_link_prediction(
+            result.embeddings, split, method="finetune", seed=seed
+        )
+        return (scores.auc * 100.0, scores.ap * 100.0)
+
+    pairs = run_cells(cells, run_cell, jobs=jobs, label="table5")
+    grouped: dict = {}
+    for (method_name, dataset_name, _seed), (auc, ap) in zip(cells, pairs):
+        aucs, aps = grouped.setdefault((method_name, dataset_name), ([], []))
+        aucs.append(auc)
+        aps.append(ap)
+    for (method_name, dataset_name), (aucs, aps) in grouped.items():
+        table.set(method_name, f"{dataset_name}:AUC", aucs)
+        table.set(method_name, f"{dataset_name}:AP", aps)
 
     for column in columns:
         best = table.best_row(column)

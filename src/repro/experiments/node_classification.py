@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 
 from ..core.base import EmbeddingResult
 from ..eval.classification import evaluate_probe
 from ..graph.datasets import load_node_dataset
 from ..obs.spans import trace_span
+from ..parallel import run_cells
 from .cache import cached_fit
 from .profiles import Profile, current_profile
 from .registry import (
@@ -51,8 +52,13 @@ def run_table4(
     datasets: Optional[List[str]] = None,
     methods: Optional[List[str]] = None,
     include_supervised: bool = True,
+    jobs: Optional[int] = None,
 ) -> ExperimentTable:
-    """Reproduce Table 4: SSL pretrain -> linear probe -> test accuracy."""
+    """Reproduce Table 4: SSL pretrain -> linear probe -> test accuracy.
+
+    Cells — one (method, dataset, seed) pretrain+eval each — run through
+    :func:`repro.parallel.run_cells`; ``jobs`` defaults to ``REPRO_JOBS``.
+    """
     profile = profile if profile is not None else current_profile()
     datasets = datasets if datasets is not None else node_task_datasets(profile)
     ssl_methods = node_ssl_methods(profile)
@@ -68,30 +74,39 @@ def run_table4(
         columns=list(datasets),
     )
 
+    # One cell per (method, dataset, seed), in the canonical serial order.
+    cells: List[Tuple[str, str, int, bool]] = []
     if include_supervised:
-        for name, factory in supervised_methods(profile).items():
+        for name in supervised_methods(profile):
             for dataset_name in datasets:
-                scores = []
                 for seed in profile.seeds:
-                    graph = load_node_dataset(dataset_name, seed=seed)
-                    result = factory().evaluate(graph, seed=seed)
-                    scores.append(result.test_accuracy * 100.0)
-                table.set(name, dataset_name, scores)
-
+                    cells.append((name, dataset_name, seed, True))
     for method_name in methods:
         for dataset_name in datasets:
             if method_name == "MVGRL" and dataset_name == "reddit-like":
                 table.mark(method_name, dataset_name, "OOM")  # as in the paper
                 continue
-            scores = []
             for seed in profile.seeds:
-                graph = load_node_dataset(dataset_name, seed=seed)
-                embedding = fit_node_method(method_name, dataset_name, seed, profile)
-                probe = evaluate_probe(
-                    embedding.embeddings, graph.labels, graph.train_mask, graph.test_mask
-                )
-                scores.append(probe.accuracy * 100.0)
-            table.set(method_name, dataset_name, scores)
+                cells.append((method_name, dataset_name, seed, False))
+
+    def run_cell(cell: Tuple[str, str, int, bool]) -> float:
+        method_name, dataset_name, seed, supervised = cell
+        graph = load_node_dataset(dataset_name, seed=seed)
+        if supervised:
+            result = supervised_methods(profile)[method_name]().evaluate(graph, seed=seed)
+            return result.test_accuracy * 100.0
+        embedding = fit_node_method(method_name, dataset_name, seed, profile)
+        probe = evaluate_probe(
+            embedding.embeddings, graph.labels, graph.train_mask, graph.test_mask
+        )
+        return probe.accuracy * 100.0
+
+    scores = run_cells(cells, run_cell, jobs=jobs, label="table4")
+    grouped: dict = {}
+    for (method_name, dataset_name, _seed, _sup), score in zip(cells, scores):
+        grouped.setdefault((method_name, dataset_name), []).append(score)
+    for (method_name, dataset_name), values in grouped.items():
+        table.set(method_name, dataset_name, values)
 
     _annotate_table4(table, datasets)
     return table

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..eval.clustering import evaluate_clustering
 from ..graph.datasets import load_node_dataset
+from ..parallel import run_cells
 from .cache import cached_fit
 from .node_classification import fit_node_method
 from .profiles import Profile, current_profile
@@ -18,6 +19,7 @@ def run_table6(
     datasets: Optional[List[str]] = None,
     methods: Optional[List[str]] = None,
     include_clustering_specialists: bool = True,
+    jobs: Optional[int] = None,
 ) -> ExperimentTable:
     """Reproduce Table 6: k-means over frozen embeddings, scored by NMI/ARI.
 
@@ -43,37 +45,41 @@ def run_table6(
         columns=columns,
     )
 
-    def record(method_name: str, dataset_name: str, embeddings_by_seed) -> None:
-        nmis, aris = [], []
-        for seed, embeddings in embeddings_by_seed:
-            graph = load_node_dataset(dataset_name, seed=seed)
-            scores = evaluate_clustering(embeddings, graph.labels, seed=seed)
-            nmis.append(scores.nmi * 100.0)
-            aris.append(scores.ari * 100.0)
-        table.set(method_name, f"{dataset_name}:NMI", nmis)
-        table.set(method_name, f"{dataset_name}:ARI", aris)
-
+    cells: List[Tuple[str, str, int, bool]] = []
     for method_name in methods:
         for dataset_name in datasets:
             if method_name == "MVGRL" and dataset_name == "reddit-like":
                 table.mark(method_name, f"{dataset_name}:NMI", "OOM")
                 table.mark(method_name, f"{dataset_name}:ARI", "OOM")
                 continue
-            embeddings_by_seed = [
-                (seed, fit_node_method(method_name, dataset_name, seed, profile).embeddings)
-                for seed in profile.seeds
-            ]
-            record(method_name, dataset_name, embeddings_by_seed)
-
-    for method_name, factory in specialist_factories.items():
-        for dataset_name in datasets:
-            embeddings_by_seed = []
             for seed in profile.seeds:
-                graph = load_node_dataset(dataset_name, seed=seed)
-                key = f"{method_name}-{dataset_name}-{seed}-{profile.name}"
-                result = cached_fit(key, lambda: factory().fit(graph, seed=seed))
-                embeddings_by_seed.append((seed, result.embeddings))
-            record(method_name, dataset_name, embeddings_by_seed)
+                cells.append((method_name, dataset_name, seed, False))
+    for method_name in specialist_factories:
+        for dataset_name in datasets:
+            for seed in profile.seeds:
+                cells.append((method_name, dataset_name, seed, True))
+
+    def run_cell(cell: Tuple[str, str, int, bool]) -> Tuple[float, float]:
+        method_name, dataset_name, seed, specialist = cell
+        graph = load_node_dataset(dataset_name, seed=seed)
+        if specialist:
+            factory = clustering_methods(profile)[method_name]
+            key = f"{method_name}-{dataset_name}-{seed}-{profile.name}"
+            embeddings = cached_fit(key, lambda: factory().fit(graph, seed=seed)).embeddings
+        else:
+            embeddings = fit_node_method(method_name, dataset_name, seed, profile).embeddings
+        scores = evaluate_clustering(embeddings, graph.labels, seed=seed)
+        return (scores.nmi * 100.0, scores.ari * 100.0)
+
+    pairs = run_cells(cells, run_cell, jobs=jobs, label="table6")
+    grouped: dict = {}
+    for (method_name, dataset_name, _seed, _spec), (nmi, ari) in zip(cells, pairs):
+        nmis, aris = grouped.setdefault((method_name, dataset_name), ([], []))
+        nmis.append(nmi)
+        aris.append(ari)
+    for (method_name, dataset_name), (nmis, aris) in grouped.items():
+        table.set(method_name, f"{dataset_name}:NMI", nmis)
+        table.set(method_name, f"{dataset_name}:ARI", aris)
 
     for column in columns:
         best = table.best_row(column)

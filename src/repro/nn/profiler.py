@@ -185,6 +185,37 @@ class ProfilerSession:
             "modules": [s.to_dict() for s in self.module_stats()],
         }
 
+    # ------------------------------------------------------------------
+    # Cross-process aggregation
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """A picklable snapshot of this session's raw per-op stats.
+
+        ``repro.parallel.run_cells`` profiles each worker cell in its own
+        session, ships this snapshot back over the pool pipe, and folds it
+        into the parent session with :meth:`merge_state` — which is how a
+        single ``profile()`` around a parallel table run still aggregates
+        ops across every worker process.
+        """
+        return {
+            "stats": {
+                name: [stat.calls, stat.seconds, stat.bytes_touched]
+                for name, stat in self.stats.items()
+            },
+            "epoch_seconds": list(self.epoch_seconds),
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold an :meth:`export_state` snapshot from another process in."""
+        for name, (calls, seconds, nbytes) in dict(state.get("stats", {})).items():
+            stat = self.stats.get(name)
+            if stat is None:
+                stat = self.stats[name] = OpStat(name)
+            stat.calls += int(calls)
+            stat.seconds += float(seconds)
+            stat.bytes_touched += int(nbytes)
+        self.epoch_seconds.extend(float(s) for s in state.get("epoch_seconds", ()))
+
     def export_json(self, path: str) -> None:
         """Write :meth:`to_dict` to ``path`` (used for ``BENCH_*.json``).
 

@@ -40,6 +40,7 @@ from .inspect import (
     sparkline,
 )
 from .recorder import EpochRecord, MetricsRecorder, active_recorder, record
+from .shard import ShardWriter, merge_events, merge_shard, read_shard
 from .schema import (
     EVENT_SCHEMAS,
     MANIFEST_SCHEMA,
@@ -64,6 +65,7 @@ __all__ = [
     "RunWriter",
     "SCHEMA_VERSION",
     "SchemaError",
+    "ShardWriter",
     "SpanRecord",
     "active_hooks",
     "active_recorder",
@@ -77,6 +79,9 @@ __all__ = [
     "list_runs",
     "load_run",
     "make_run_id",
+    "merge_events",
+    "merge_shard",
+    "read_shard",
     "record",
     "render_diff",
     "render_list",

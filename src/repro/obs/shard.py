@@ -1,0 +1,180 @@
+"""Telemetry shards: per-worker event files merged into one parent run.
+
+When :func:`repro.parallel.run_cells` fans experiment cells out to worker
+processes, each worker records its telemetry into a private *shard* — a
+plain ``events.jsonl`` fragment written by :class:`ShardWriter` (the same
+event-line format as :class:`~repro.obs.writer.RunWriter`, but with no
+manifest: a shard is not a run).  After the pool drains, the parent replays
+every shard — in canonical cell order — into its own
+:class:`~repro.obs.recorder.MetricsRecorder` via :func:`merge_shard`:
+
+* **epoch** rows are appended to the parent's epoch series verbatim
+  (original timestamps preserved) and the ``epochs`` counter advances;
+* **spans** are re-parented under the span that was open when the pool was
+  launched (the table span): the worker-relative name gains the parent's
+  span path as a prefix and the recorded depth shifts by the parent's
+  stack depth, so ``repro runs show`` renders one coherent span tree;
+* **counters** are summed into the parent's totals;
+* **gauges** are last-write-wins, except ``peak_*`` gauges which merge by
+  maximum (a per-worker high-water mark stays a high-water mark).
+
+The merged stream is what lands in the parent's ``runs/<run_id>/
+events.jsonl``, so a parallel table run leaves behind a *single* run
+directory that passes :mod:`repro.obs.schema` validation — shards are
+temporary files, deleted once merged.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .recorder import EpochRecord, MetricsRecorder
+
+_EPOCH_FIELDS = (
+    "ts", "method", "epoch", "loss", "parts", "grad_norms",
+    "update_ratio", "epoch_seconds", "bytes_touched",
+)
+
+
+class ShardWriter:
+    """Streams one worker's events to a shard file (no manifest).
+
+    Duck-compatible with :class:`~repro.obs.writer.RunWriter` as far as the
+    recorder is concerned: it only needs ``write_event``.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._events = open(self.path, "a")
+
+    def write_event(self, event_type: str, **payload: object) -> None:
+        """Append one event line and flush it to disk immediately."""
+        event = {"type": event_type, "ts": round(time.time(), 3), **payload}
+        self._events.write(json.dumps(event, sort_keys=True) + "\n")
+        self._events.flush()
+
+    def close(self) -> None:
+        if not self._events.closed:
+            self._events.close()
+
+
+def read_shard(path: str | Path) -> List[dict]:
+    """Parse a shard file, tolerating a trailing line cut off by a crash."""
+    events: List[dict] = []
+    shard = Path(path)
+    if not shard.exists():
+        return events
+    with open(shard) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # truncated by a dying worker; keep the rest
+    return events
+
+
+def _forward(recorder: MetricsRecorder, event_type: str, payload: dict) -> None:
+    """Write one merged event through the parent's writer, keeping its ts."""
+    if recorder.writer is not None:
+        # ``write_event`` stamps a fresh ts, but an explicit ``ts`` in the
+        # payload overrides it — merged events keep the worker's clock.
+        recorder.writer.write_event(event_type, **payload)
+
+
+def merge_events(
+    recorder: MetricsRecorder,
+    events: List[dict],
+    span_prefix: Optional[str] = None,
+    depth_offset: int = 0,
+) -> int:
+    """Replay worker events into ``recorder``; returns the number merged."""
+    merged = 0
+    for event in events:
+        event_type = event.get("type")
+        if event_type == "epoch":
+            recorder.epochs.append(
+                EpochRecord(
+                    method=str(event.get("method", "?")),
+                    epoch=int(event.get("epoch", 0)),
+                    loss=float(event.get("loss", float("nan"))),
+                    parts=dict(event.get("parts") or {}),
+                    grad_norms=dict(event.get("grad_norms") or {}),
+                    update_ratio=event.get("update_ratio"),
+                    epoch_seconds=float(event.get("epoch_seconds", 0.0)),
+                    bytes_touched=event.get("bytes_touched"),
+                )
+            )
+            # Epoch rows carry the ``epochs`` counter (the writer never
+            # emits it as a counter event), so advance it by hand here.
+            recorder.counters["epochs"] = recorder.counters.get("epochs", 0.0) + 1.0
+            payload = {name: event.get(name) for name in _EPOCH_FIELDS}
+            payload["parts"] = dict(payload["parts"] or {})
+            payload["grad_norms"] = dict(payload["grad_norms"] or {})
+            _forward(recorder, "epoch", payload)
+        elif event_type == "span":
+            name = str(event.get("name", ""))
+            if span_prefix:
+                name = f"{span_prefix}/{name}"
+            payload = {
+                "ts": event.get("ts"),
+                "name": name,
+                "seconds": float(event.get("seconds", 0.0)),
+                "depth": int(event.get("depth", 0)) + depth_offset,
+                "ops": dict(event.get("ops") or {}),
+                "bytes_touched": int(event.get("bytes_touched", 0)),
+            }
+            from .spans import SpanRecord
+
+            recorder.spans.append(
+                SpanRecord(
+                    name=name,
+                    seconds=payload["seconds"],
+                    ops=payload["ops"],
+                    bytes_touched=payload["bytes_touched"],
+                    depth=payload["depth"],
+                )
+            )
+            _forward(recorder, "span", payload)
+        elif event_type == "counter":
+            name = str(event.get("name", "?"))
+            value = float(event.get("value", 0.0))
+            recorder.counters[name] = recorder.counters.get(name, 0.0) + value
+            _forward(
+                recorder, "counter",
+                {"ts": event.get("ts"), "name": name, "value": value,
+                 "tags": dict(event.get("tags") or {})},
+            )
+        elif event_type == "gauge":
+            name = str(event.get("name", "?"))
+            value = float(event.get("value", 0.0))
+            if name.startswith("peak") and recorder.gauges.get(name, float("-inf")) >= value:
+                continue  # a high-water mark merges by maximum
+            recorder.gauges[name] = value
+            _forward(
+                recorder, "gauge",
+                {"ts": event.get("ts"), "name": name, "value": value,
+                 "tags": dict(event.get("tags") or {})},
+            )
+        else:
+            continue  # unknown type: drop rather than corrupt the parent run
+        merged += 1
+    return merged
+
+
+def merge_shard(
+    recorder: MetricsRecorder,
+    path: str | Path,
+    span_prefix: Optional[str] = None,
+    depth_offset: int = 0,
+) -> int:
+    """Read one shard file and merge its events into ``recorder``."""
+    return merge_events(
+        recorder, read_shard(path), span_prefix=span_prefix, depth_offset=depth_offset
+    )

@@ -1,0 +1,23 @@
+"""Parallel experiment execution: fan cells out, merge deterministically.
+
+:func:`run_cells` is the process-pool executor every table/figure runner
+routes through; ``--jobs N`` on the CLI and the ``REPRO_JOBS`` environment
+variable control the pool size.  See :mod:`repro.parallel.executor` for the
+full determinism and telemetry-merge contract.
+"""
+
+from .executor import (
+    CellError,
+    derive_cell_seed,
+    resolve_jobs,
+    run_cells,
+    set_default_jobs,
+)
+
+__all__ = [
+    "CellError",
+    "derive_cell_seed",
+    "resolve_jobs",
+    "run_cells",
+    "set_default_jobs",
+]

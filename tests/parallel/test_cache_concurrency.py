@@ -1,0 +1,102 @@
+"""Concurrent ``cached_fit`` callers: one compute, everyone agrees."""
+
+import multiprocessing as mp
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.base import EmbeddingResult
+from repro.experiments.cache import cached_fit, clear_cache, entry_path
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(), reason="requires fork"
+)
+
+
+def _result(value: float) -> EmbeddingResult:
+    return EmbeddingResult(
+        embeddings=np.full((4, 2), value), train_seconds=0.1, loss_history=[1.0]
+    )
+
+
+def _contender(cache_dir: str, compute_log: str, queue) -> None:
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    os.environ.pop("REPRO_NO_CACHE", None)
+
+    def fit() -> EmbeddingResult:
+        # O_APPEND keeps concurrent one-line writes intact, so the line
+        # count is the exact number of times fit() actually ran.
+        with open(compute_log, "a") as log:
+            log.write(f"{os.getpid()}\n")
+        time.sleep(0.2)  # hold the sentinel long enough for real contention
+        return _result(7.0)
+
+    result = cached_fit("stress-key", fit)
+    queue.put(result.embeddings.tolist())
+
+
+def test_n_processes_one_compute(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    compute_log = str(tmp_path / "computes.log")
+    context = mp.get_context("fork")
+    queue = context.Queue()
+    workers = [
+        context.Process(target=_contender, args=(cache_dir, compute_log, queue))
+        for _ in range(4)
+    ]
+    for worker in workers:
+        worker.start()
+    results = [queue.get(timeout=60) for _ in workers]
+    for worker in workers:
+        worker.join(timeout=60)
+
+    assert len(Path(compute_log).read_text().splitlines()) == 1
+    for embeddings in results[1:]:
+        assert embeddings == results[0]
+
+
+def test_stale_lock_is_broken(tmp_path, monkeypatch):
+    cache_dir = tmp_path / "cache"
+    cache_dir.mkdir()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.setenv("REPRO_CACHE_LOCK_TIMEOUT", "1")
+
+    path = entry_path(cache_dir, "wedged-key")
+    lock = Path(f"{path}.lock")
+    lock.write_text("99999\n")  # a holder that died without cleaning up
+    stale = time.time() - 30
+    os.utime(lock, (stale, stale))
+
+    result = cached_fit("wedged-key", lambda: _result(3.0))
+    assert float(result.embeddings[0, 0]) == 3.0
+    assert not lock.exists()
+
+
+def test_slugged_keys_cannot_collide(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    # Both keys slug to the same readable text ("a_b"); the hash suffix
+    # keeps the entries (and hence the results) apart.
+    first = cached_fit("a/b", lambda: _result(1.0))
+    second = cached_fit("a:b", lambda: _result(2.0))
+    assert float(first.embeddings[0, 0]) == 1.0
+    assert float(second.embeddings[0, 0]) == 2.0
+    assert entry_path(tmp_path, "a/b") != entry_path(tmp_path, "a:b")
+    # And both round-trip from disk as themselves.
+    assert float(cached_fit("a/b", lambda: _result(9.9)).embeddings[0, 0]) == 1.0
+    assert float(cached_fit("a:b", lambda: _result(9.9)).embeddings[0, 0]) == 2.0
+
+
+def test_clear_cache_removes_litter(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    cached_fit("some-key", lambda: _result(1.0))
+    path = entry_path(tmp_path, "some-key")
+    Path(f"{path}.lock").write_text("123\n")
+    Path(f"{path}.456.tmp").write_text("partial")
+    assert clear_cache() == 1
+    assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,43 @@
+"""Serial vs parallel table equivalence: the executor's core guarantee.
+
+A parallel run must produce **bit-identical** table values to a serial run
+— same cells, same missing marks — or the ``--jobs`` knob would silently
+change the science.
+"""
+
+import pytest
+
+from repro.experiments import Profile, run_table4, run_table7
+
+MICRO = Profile(
+    name="micro", hidden_dim=16, epochs=2, gcmae_epochs=2,
+    num_seeds=1, graph_epochs=2, include_reddit=False,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_cache(monkeypatch):
+    # The cache would otherwise hand the second run the first run's values,
+    # making the equivalence trivially true.
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+
+def test_table4_parallel_matches_serial_bit_for_bit():
+    kwargs = dict(
+        profile=MICRO, datasets=["cora-like"], methods=["DGI", "GCMAE"],
+        include_supervised=True,
+    )
+    serial = run_table4(jobs=1, **kwargs)
+    parallel = run_table4(jobs=3, **kwargs)
+    assert serial.cells == parallel.cells
+    assert serial.missing == parallel.missing
+    assert serial.rows == parallel.rows
+    assert serial.columns == parallel.columns
+
+
+def test_table7_parallel_matches_serial_bit_for_bit():
+    kwargs = dict(profile=MICRO, datasets=["mutag-like"], methods=["GraphCL", "GCMAE"])
+    serial = run_table7(jobs=1, **kwargs)
+    parallel = run_table7(jobs=3, **kwargs)
+    assert serial.cells == parallel.cells
+    assert serial.missing == parallel.missing

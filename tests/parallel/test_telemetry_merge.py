@@ -1,0 +1,121 @@
+"""Merged telemetry from a parallel run is one valid, coherent record."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import Profile, run_table4
+from repro.obs import (
+    MetricsRecorder,
+    merge_events,
+    telemetry_run,
+    validate_event,
+    validate_manifest,
+)
+
+MICRO = Profile(
+    name="micro", hidden_dim=16, epochs=2, gcmae_epochs=2,
+    num_seeds=1, graph_epochs=2, include_reddit=False,
+)
+
+
+class TestMergeEvents:
+    def test_spans_are_reparented(self):
+        recorder = MetricsRecorder()
+        merged = merge_events(
+            recorder,
+            [{"type": "span", "name": "table4/DGI/seed0", "seconds": 0.5,
+              "depth": 0, "ops": {}, "bytes_touched": 0}],
+            span_prefix="table4", depth_offset=1,
+        )
+        assert merged == 1
+        assert recorder.spans[0].name == "table4/table4/DGI/seed0"
+        assert recorder.spans[0].depth == 1
+
+    def test_counters_sum(self):
+        recorder = MetricsRecorder()
+        recorder.counters["cache.miss"] = 2.0
+        merge_events(recorder, [
+            {"type": "counter", "name": "cache.miss", "value": 1.0},
+            {"type": "counter", "name": "cache.miss", "value": 1.0},
+        ])
+        assert recorder.counters["cache.miss"] == 4.0
+
+    def test_peak_gauges_merge_by_max(self):
+        recorder = MetricsRecorder()
+        merge_events(recorder, [
+            {"type": "gauge", "name": "peak_bytes", "value": 100.0},
+            {"type": "gauge", "name": "peak_bytes", "value": 40.0},
+            {"type": "gauge", "name": "lr", "value": 0.1},
+            {"type": "gauge", "name": "lr", "value": 0.05},
+        ])
+        assert recorder.gauges["peak_bytes"] == 100.0  # max, not last
+        assert recorder.gauges["lr"] == 0.05  # last-write-wins
+
+    def test_epochs_append_and_count(self):
+        recorder = MetricsRecorder()
+        merge_events(recorder, [
+            {"type": "epoch", "method": "GCMAE", "epoch": 0, "loss": 1.5,
+             "parts": {"recon": 1.0}, "grad_norms": {}, "epoch_seconds": 0.01},
+        ])
+        assert len(recorder.epochs) == 1
+        assert recorder.epochs[0].loss == 1.5
+        assert recorder.counters["epochs"] == 1.0
+
+    def test_unknown_event_types_dropped(self):
+        recorder = MetricsRecorder()
+        assert merge_events(recorder, [{"type": "mystery", "x": 1}]) == 0
+
+
+class TestParallelRunRecord:
+    def test_merged_run_is_schema_valid(self, tmp_path, monkeypatch):
+        # A real cache dir (not NO_CACHE) so cache.miss counters flow from
+        # the workers into the merged record.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        runs_dir = tmp_path / "runs"
+        with telemetry_run(str(runs_dir), method="table4", dataset="all"):
+            run_table4(
+                profile=MICRO, datasets=["cora-like"], methods=["DGI", "GCMAE"],
+                include_supervised=False, jobs=2,
+            )
+        run_dir = next(Path(runs_dir).iterdir())
+        events = [
+            json.loads(line)
+            for line in (run_dir / "events.jsonl").read_text().splitlines()
+        ]
+        assert events
+        for event in events:
+            validate_event(event)
+        validate_manifest(json.loads((run_dir / "manifest.json").read_text()))
+
+        spans = [e["name"] for e in events if e["type"] == "span"]
+        assert "table4/DGI/cora-like/seed0" in spans
+        assert "table4/GCMAE/cora-like/seed0" in spans
+        counters = [e for e in events if e["type"] == "counter"]
+        assert sum(e["value"] for e in counters if e["name"] == "cache.miss") == 2
+        assert sum(1 for e in events if e["type"] == "epoch") == 2 * MICRO.epochs
+
+    def test_second_run_hits_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        kwargs = dict(
+            profile=MICRO, datasets=["cora-like"], methods=["GCMAE"],
+            include_supervised=False,
+        )
+        first = run_table4(jobs=2, **kwargs)
+        runs_dir = tmp_path / "runs"
+        with telemetry_run(str(runs_dir), method="table4", dataset="all"):
+            second = run_table4(jobs=2, **kwargs)
+        assert first.cells == second.cells  # cache round-trip is lossless
+        run_dir = next(Path(runs_dir).iterdir())
+        events = [
+            json.loads(line)
+            for line in (run_dir / "events.jsonl").read_text().splitlines()
+        ]
+        hits = sum(
+            e["value"] for e in events
+            if e["type"] == "counter" and e["name"] == "cache.hit"
+        )
+        assert hits == 1

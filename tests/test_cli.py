@@ -25,6 +25,12 @@ class TestParser:
         )
         assert args.task == "clustering"
 
+    def test_jobs_flag(self):
+        assert _build_parser().parse_args(["table", "4", "--jobs", "4"]).jobs == 4
+        assert _build_parser().parse_args(["figure", "5", "--jobs", "2"]).jobs == 2
+        assert _build_parser().parse_args(["report", "--jobs", "3"]).jobs == 3
+        assert _build_parser().parse_args(["table", "4"]).jobs is None
+
 
 class TestCommands:
     def test_datasets_command(self, capsys):
@@ -65,3 +71,41 @@ class TestCommands:
         monkeypatch.setattr(registry, "node_ssl_methods", tiny_methods)
         main(["evaluate", "DGI", "cora-like", "--task", "classification"])
         assert "accuracy=" in capsys.readouterr().out
+
+    def test_jobs_flag_sets_executor_default(self, monkeypatch, capsys):
+        from repro import parallel
+        from repro.parallel import executor
+
+        def tiny_methods(profile):
+            from repro.baselines import DGI
+            return {"DGI": lambda: DGI(hidden_dim=8, epochs=2)}
+
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr(
+            "repro.experiments.node_classification.node_ssl_methods", tiny_methods
+        )
+        monkeypatch.setattr(
+            "repro.experiments.node_classification.node_task_datasets",
+            lambda profile: ["cora-like"],
+        )
+        monkeypatch.setattr(
+            "repro.experiments.node_classification.supervised_methods",
+            lambda profile: {},
+        )
+        seen = []
+        original = parallel.run_cells
+
+        def spy(cells, fn, jobs=None, label="cells"):
+            seen.append(executor.resolve_jobs(jobs))
+            return original(cells, fn, jobs=jobs, label=label)
+
+        monkeypatch.setattr(
+            "repro.experiments.node_classification.run_cells", spy
+        )
+        try:
+            main(["table", "4", "--jobs", "2"])
+        finally:
+            parallel.set_default_jobs(None)
+        assert seen == [2]  # --jobs flowed through set_default_jobs
+        assert "Table 4" in capsys.readouterr().out

@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: ci test lint perf bench-gc bench-parallel bench runs-demo
+.PHONY: ci test lint perf bench-gc bench-parallel bench-serving bench runs-demo
 
 ci:
 	scripts/ci.sh
@@ -21,6 +21,9 @@ bench-gc:
 
 bench-parallel:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_parallel_tables.py -q -s
+
+bench-serving:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_serving.py -q -s
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks -q

@@ -36,8 +36,13 @@ BASELINE_PATH = HERE / "perf_baseline.json"
 ARTIFACT_PATH = HERE / "BENCH_parallel_tables.json"
 
 BENCH_PROFILE = Profile(
-    name="bench-parallel", hidden_dim=32, epochs=12, gcmae_epochs=12,
-    num_seeds=2, graph_epochs=4, include_reddit=False,
+    name="bench-parallel",
+    hidden_dim=32,
+    epochs=12,
+    gcmae_epochs=12,
+    num_seeds=2,
+    graph_epochs=4,
+    include_reddit=False,
 )
 METHODS = ["DGI", "GRACE", "CCA-SSG", "GCMAE"]
 DATASETS = ["cora-like"]
@@ -53,8 +58,11 @@ def _usable_cpus() -> int:
 def _run_sweep(jobs: int):
     start = time.perf_counter()
     table = run_table4(
-        profile=BENCH_PROFILE, datasets=DATASETS, methods=METHODS,
-        include_supervised=False, jobs=jobs,
+        profile=BENCH_PROFILE,
+        datasets=DATASETS,
+        methods=METHODS,
+        include_supervised=False,
+        jobs=jobs,
     )
     return time.perf_counter() - start, table
 

@@ -204,7 +204,8 @@ def _legacy_fit_infograph(dataset, seed=0):
     critic = method._Critic(method.hidden_dim, rng)
     optimizer = Adam(
         encoder.parameters() + critic.parameters(),
-        lr=method.learning_rate, weight_decay=method.weight_decay,
+        lr=method.learning_rate,
+        weight_decay=method.weight_decay,
     )
     size = method.batch_size
     groups = [

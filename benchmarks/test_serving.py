@@ -1,0 +1,153 @@
+"""Serving benchmark: micro-batched queue vs per-request forwards.
+
+Workload: 128 embedding requests over the mutag-like graphs (the Table 7
+small-graph regime, where per-forward Python/autograd overhead dominates)
+against a frozen 2-layer GCN encoder.
+
+* **unbatched** — each request runs its own :meth:`GNNEncoder.infer`, one
+  forward per graph, back to back.  This is what serving without the queue
+  would cost.
+* **batched** — the same requests submitted to an
+  :class:`~repro.serve.EmbeddingService` whose
+  :class:`~repro.serve.MicroBatchQueue` coalesces them into block-diagonal
+  forwards (up to 32 requests per forward).
+
+Both paths run the identical no-grad eval forward, so the outputs are
+bit-identical (asserted) and the wall-clock ratio is attributable to
+batching alone.  The committed ``perf_baseline.json`` records the minimum
+acceptable speedup under the ``serving`` key; ``REPRO_PERF_REPORT_ONLY=1``
+(CI on pull requests) prints the comparison without failing.  A
+``BENCH_serving.json`` artifact records p50/p99 latency, requests/sec and
+the speedup.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.datasets import load_graph_dataset
+from repro.serve import EmbeddingService, EncoderSpec, ModelRegistry
+
+HERE = Path(__file__).resolve().parent
+BASELINE_PATH = HERE / "perf_baseline.json"
+ARTIFACT_PATH = HERE / "BENCH_serving.json"
+
+NUM_REQUESTS = 128
+MAX_BATCH = 32
+HIDDEN_DIM = 32
+EMBED_DIM = 32
+
+
+def _percentiles(latencies):
+    ordered = np.sort(np.asarray(latencies, dtype=np.float64))
+    return {
+        "p50_ms": float(np.percentile(ordered, 50) * 1000.0),
+        "p99_ms": float(np.percentile(ordered, 99) * 1000.0),
+        "mean_ms": float(ordered.mean() * 1000.0),
+    }
+
+
+def _request_graphs():
+    dataset = load_graph_dataset("mutag-like", seed=0)
+    return [dataset.graphs[i % len(dataset.graphs)] for i in range(NUM_REQUESTS)]
+
+
+def test_micro_batched_serving_beats_per_request_forwards():
+    baseline = json.loads(BASELINE_PATH.read_text())["serving"]
+    min_speedup = float(baseline["min_speedup"])
+    report_only = os.environ.get("REPRO_PERF_REPORT_ONLY", "") not in ("", "0")
+
+    graphs = _request_graphs()
+    spec = EncoderSpec(
+        in_features=graphs[0].features.shape[1],
+        hidden_features=HIDDEN_DIM,
+        out_features=EMBED_DIM,
+        num_layers=2,
+        conv_type="gcn",
+    )
+    registry = ModelRegistry()
+    encoder = registry.register("bench", spec.build(seed=0), spec).encoder
+
+    # Warm up: imports, BLAS threads, structure-operand memoization.
+    for graph in graphs[:4]:
+        encoder.infer(graph.adjacency, graph.features)
+
+    # Unbatched: one forward per request, back to back.
+    unbatched_latencies = []
+    unbatched_outputs = []
+    unbatched_start = time.perf_counter()
+    for graph in graphs:
+        t0 = time.perf_counter()
+        unbatched_outputs.append(encoder.infer(graph.adjacency, graph.features))
+        unbatched_latencies.append(time.perf_counter() - t0)
+    unbatched_wall = time.perf_counter() - unbatched_start
+
+    # Batched: all requests in flight at once, coalesced by the queue.
+    # Per-request latency is submit -> future resolution.
+    with EmbeddingService(
+        registry, "bench", cache_capacity=16, max_batch=MAX_BATCH, max_wait_ms=1.0
+    ) as service:
+        completions = [None] * len(graphs)
+
+        def completion_stamp(index):
+            def stamp(_future):
+                completions[index] = time.perf_counter()
+
+            return stamp
+
+        batched_start = time.perf_counter()
+        futures = []
+        for index, graph in enumerate(graphs):
+            future = service.submit_graph(graph)
+            future.add_done_callback(completion_stamp(index))
+            futures.append(future)
+        batched_outputs = [future.result(timeout=60.0) for future in futures]
+        batched_wall = time.perf_counter() - batched_start
+        batched_latencies = [stamp - batched_start for stamp in completions]
+        queue_stats = service.queue.stats()
+
+    # Same eval forward either way: bit-identical outputs.
+    for solo, batched in zip(unbatched_outputs, batched_outputs):
+        assert np.array_equal(solo, batched)
+
+    speedup = unbatched_wall / batched_wall
+    payload = {
+        "workload": (
+            f"{NUM_REQUESTS} embed(graph) requests, mutag-like graphs, "
+            f"gcn {EMBED_DIM}-dim 2-layer encoder, max_batch={MAX_BATCH}"
+        ),
+        "unbatched": dict(
+            _percentiles(unbatched_latencies),
+            wall_seconds=unbatched_wall,
+            requests_per_second=len(graphs) / unbatched_wall,
+        ),
+        "batched": dict(
+            _percentiles(batched_latencies),
+            wall_seconds=batched_wall,
+            requests_per_second=len(graphs) / batched_wall,
+            batches=queue_stats["batches"],
+            mean_batch_size=queue_stats["mean_batch_size"],
+        ),
+        "speedup": speedup,
+        "min_speedup": min_speedup,
+        "report_only": report_only,
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"\n[serving] unbatched {unbatched_wall:.3f}s "
+        f"({payload['unbatched']['requests_per_second']:.0f} req/s) vs batched "
+        f"{batched_wall:.3f}s ({payload['batched']['requests_per_second']:.0f} req/s, "
+        f"{queue_stats['batches']:.0f} batches) -> speedup {speedup:.2f}x "
+        f"(required >= {min_speedup}x)"
+    )
+
+    if report_only:
+        return
+    assert speedup >= min_speedup, (
+        f"micro-batched serving regressed: {speedup:.2f}x vs per-request forwards "
+        f"(required >= {min_speedup}x). See {ARTIFACT_PATH.name}."
+    )

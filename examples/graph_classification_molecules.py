@@ -27,7 +27,10 @@ def main() -> None:
     # graph.  GIN is the conv of choice for graph-level tasks.
     gcmae = GCMAEMethod(
         GCMAEConfig(
-            hidden_dim=64, embed_dim=64, conv_type="gin", epochs=40,
+            hidden_dim=64,
+            embed_dim=64,
+            conv_type="gin",
+            epochs=40,
             subgraph_threshold=10**9,
         )
     )

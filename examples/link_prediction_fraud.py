@@ -31,8 +31,12 @@ def main() -> None:
     # Subgraph-sampled training kicks in automatically above
     # config.subgraph_threshold nodes — the paper's Section 4.4 mitigation.
     config = GCMAEConfig(
-        hidden_dim=128, embed_dim=128, epochs=60,
-        subgraph_threshold=1200, subgraph_size=512, steps_per_epoch=2,
+        hidden_dim=128,
+        embed_dim=128,
+        epochs=60,
+        subgraph_threshold=1200,
+        subgraph_size=512,
+        steps_per_epoch=2,
     )
     method = GCMAEMethod(config)
     result = method.fit(split.train_graph, seed=0)

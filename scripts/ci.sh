@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Local mirror of .github/workflows/ci.yml: lint, tier-1 tests, perf smoke.
+# Local mirror of .github/workflows/ci.yml: lint, tier-1 tests, perf smoke,
+# serving smoke.
 #
 # Usage: scripts/ci.sh [--report-only]
 #   --report-only   run the perf benchmark without enforcing min_speedup
@@ -19,8 +20,8 @@ fi
 echo "== lint =="
 if command -v ruff >/dev/null 2>&1; then
     ruff check src tests benchmarks
-    ruff format --check src tests benchmarks || \
-        echo "ruff format: advisory failure (non-blocking, matching CI)"
+    # Blocking, matching CI: the tree is formatter-clean and stays that way.
+    ruff format --check src tests benchmarks
 else
     echo "ruff not installed; skipping lint (CI will run it)"
 fi
@@ -33,6 +34,12 @@ echo "== perf smoke (node sparse path + graph-classification batching) =="
 # block-diagonal graph-batching path (`make perf` / `make bench-gc`).
 REPRO_PERF_REPORT_ONLY="$REPORT_ONLY" \
     PYTHONPATH=src python -m pytest benchmarks/test_perf_regression.py -q -s
+
+echo "== serving smoke (micro-batched queue vs per-request forwards) =="
+# Gated by the "serving" key in benchmarks/perf_baseline.json; writes
+# benchmarks/BENCH_serving.json (p50/p99 latency, req/s, speedup).
+REPRO_PERF_REPORT_ONLY="$REPORT_ONLY" \
+    PYTHONPATH=src python -m pytest benchmarks/test_serving.py -q -s
 
 echo "== parallel smoke (jobs=2 table runs bit-identical to serial) =="
 PYTHONPATH=src python -m pytest tests/parallel -q

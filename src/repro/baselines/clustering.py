@@ -69,14 +69,19 @@ class GCVGE(Method):
 
     def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         backbone = GNNEncoder(
-            graph.num_features, self.hidden_dim, self.hidden_dim,
-            num_layers=1, conv_type="gcn", rng=rng,
+            graph.num_features,
+            self.hidden_dim,
+            self.hidden_dim,
+            num_layers=1,
+            conv_type="gcn",
+            rng=rng,
         )
         mu_head = Linear(self.hidden_dim, self.latent_dim, rng=rng)
         logvar_head = Linear(self.hidden_dim, self.latent_dim, rng=rng)
         optimizer = Adam(
             backbone.parameters() + mu_head.parameters() + logvar_head.parameters(),
-            lr=self.learning_rate, weight_decay=1e-4,
+            lr=self.learning_rate,
+            weight_decay=1e-4,
         )
         state = TrainState(
             modules={
@@ -182,7 +187,8 @@ class SCGC(Method):
         encoder_b = MLP(graph.num_features, [self.hidden_dim], self.hidden_dim, rng=rng)
         optimizer = Adam(
             encoder_a.parameters() + encoder_b.parameters(),
-            lr=self.learning_rate, weight_decay=1e-4,
+            lr=self.learning_rate,
+            weight_decay=1e-4,
         )
         state = TrainState(
             modules={"encoder_a": encoder_a, "encoder_b": encoder_b},

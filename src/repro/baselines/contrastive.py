@@ -72,13 +72,18 @@ class DGI(Method):
 
     def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder = GNNEncoder(
-            graph.num_features, self.hidden_dim, self.hidden_dim,
-            num_layers=self.num_layers, conv_type="gcn", rng=rng,
+            graph.num_features,
+            self.hidden_dim,
+            self.hidden_dim,
+            num_layers=self.num_layers,
+            conv_type="gcn",
+            rng=rng,
         )
         discriminator = _BilinearDiscriminator(self.hidden_dim, rng)
         optimizer = Adam(
             encoder.parameters() + discriminator.parameters(),
-            lr=self.learning_rate, weight_decay=self.weight_decay,
+            lr=self.learning_rate,
+            weight_decay=self.weight_decay,
         )
         return TrainState(
             modules={"encoder": encoder, "discriminator": discriminator},
@@ -142,16 +147,24 @@ class GRACE(Method):
 
     def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder = GNNEncoder(
-            graph.num_features, self.hidden_dim, self.hidden_dim,
-            num_layers=self.num_layers, conv_type="gcn", rng=rng,
+            graph.num_features,
+            self.hidden_dim,
+            self.hidden_dim,
+            num_layers=self.num_layers,
+            conv_type="gcn",
+            rng=rng,
         )
         projector = MLP(
-            self.hidden_dim, [self.projector_dim], self.projector_dim,
-            activation="elu", rng=rng,
+            self.hidden_dim,
+            [self.projector_dim],
+            self.projector_dim,
+            activation="elu",
+            rng=rng,
         )
         optimizer = Adam(
             encoder.parameters() + projector.parameters(),
-            lr=self.learning_rate, weight_decay=self.weight_decay,
+            lr=self.learning_rate,
+            weight_decay=self.weight_decay,
         )
         return TrainState(
             modules={"encoder": encoder, "projector": projector},
@@ -207,17 +220,26 @@ class MVGRL(Method):
 
     def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder_a = GNNEncoder(
-            graph.num_features, self.hidden_dim, self.hidden_dim,
-            num_layers=1, conv_type="gcn", rng=rng,
+            graph.num_features,
+            self.hidden_dim,
+            self.hidden_dim,
+            num_layers=1,
+            conv_type="gcn",
+            rng=rng,
         )
         encoder_d = GNNEncoder(
-            graph.num_features, self.hidden_dim, self.hidden_dim,
-            num_layers=1, conv_type="gcn", rng=rng,
+            graph.num_features,
+            self.hidden_dim,
+            self.hidden_dim,
+            num_layers=1,
+            conv_type="gcn",
+            rng=rng,
         )
         discriminator = _BilinearDiscriminator(self.hidden_dim, rng)
         optimizer = Adam(
             encoder_a.parameters() + encoder_d.parameters() + discriminator.parameters(),
-            lr=self.learning_rate, weight_decay=0.0,
+            lr=self.learning_rate,
+            weight_decay=0.0,
         )
         state = TrainState(
             modules={
@@ -314,8 +336,12 @@ class CCASSG(Method):
 
     def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder = GNNEncoder(
-            graph.num_features, self.hidden_dim, self.hidden_dim,
-            num_layers=self.num_layers, conv_type="gcn", rng=rng,
+            graph.num_features,
+            self.hidden_dim,
+            self.hidden_dim,
+            num_layers=self.num_layers,
+            conv_type="gcn",
+            rng=rng,
         )
         optimizer = Adam(
             encoder.parameters(), lr=self.learning_rate, weight_decay=self.weight_decay

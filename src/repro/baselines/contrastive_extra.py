@@ -65,18 +65,27 @@ class BGRL(Method):
 
     def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         online = GNNEncoder(
-            graph.num_features, self.hidden_dim, self.hidden_dim,
-            num_layers=self.num_layers, conv_type="gcn", rng=rng,
+            graph.num_features,
+            self.hidden_dim,
+            self.hidden_dim,
+            num_layers=self.num_layers,
+            conv_type="gcn",
+            rng=rng,
         )
         target = GNNEncoder(
-            graph.num_features, self.hidden_dim, self.hidden_dim,
-            num_layers=self.num_layers, conv_type="gcn", rng=rng,
+            graph.num_features,
+            self.hidden_dim,
+            self.hidden_dim,
+            num_layers=self.num_layers,
+            conv_type="gcn",
+            rng=rng,
         )
         target.load_state_dict(online.state_dict())
         predictor = MLP(self.hidden_dim, [self.hidden_dim], self.hidden_dim, rng=rng)
         optimizer = Adam(
             online.parameters() + predictor.parameters(),
-            lr=self.learning_rate, weight_decay=self.weight_decay,
+            lr=self.learning_rate,
+            weight_decay=self.weight_decay,
         )
         return TrainState(
             modules={"online": online, "target": target, "predictor": predictor},
@@ -198,16 +207,24 @@ class GCA(Method):
 
     def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder = GNNEncoder(
-            graph.num_features, self.hidden_dim, self.hidden_dim,
-            num_layers=self.num_layers, conv_type="gcn", rng=rng,
+            graph.num_features,
+            self.hidden_dim,
+            self.hidden_dim,
+            num_layers=self.num_layers,
+            conv_type="gcn",
+            rng=rng,
         )
         projector = MLP(
-            self.hidden_dim, [self.projector_dim], self.projector_dim,
-            activation="elu", rng=rng,
+            self.hidden_dim,
+            [self.projector_dim],
+            self.projector_dim,
+            activation="elu",
+            rng=rng,
         )
         optimizer = Adam(
             encoder.parameters() + projector.parameters(),
-            lr=self.learning_rate, weight_decay=self.weight_decay,
+            lr=self.learning_rate,
+            weight_decay=self.weight_decay,
         )
         return TrainState(
             modules={"encoder": encoder, "projector": projector},

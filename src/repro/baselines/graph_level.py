@@ -125,8 +125,12 @@ class _GraphContrastiveBase(Method):
 
     def _build(self, num_features: int, rng: np.random.Generator):
         encoder = GNNEncoder(
-            num_features, self.hidden_dim, self.hidden_dim,
-            num_layers=self.num_layers, conv_type="gin", rng=rng,
+            num_features,
+            self.hidden_dim,
+            self.hidden_dim,
+            num_layers=self.num_layers,
+            conv_type="gin",
+            rng=rng,
         )
         projector = MLP(self.hidden_dim, [self.hidden_dim], self.hidden_dim, rng=rng)
         return encoder, projector
@@ -169,7 +173,8 @@ class GraphCL(_GraphContrastiveBase):
         encoder, projector = self._build(dataset.graphs[0].num_features, rng)
         optimizer = Adam(
             encoder.parameters() + projector.parameters(),
-            lr=self.learning_rate, weight_decay=self.weight_decay,
+            lr=self.learning_rate,
+            weight_decay=self.weight_decay,
         )
         state = TrainState(
             modules={"encoder": encoder, "projector": projector},
@@ -265,7 +270,8 @@ class InfoGraph(_GraphContrastiveBase):
         critic = self._Critic(self.hidden_dim, rng)
         optimizer = Adam(
             encoder.parameters() + critic.parameters(),
-            lr=self.learning_rate, weight_decay=self.weight_decay,
+            lr=self.learning_rate,
+            weight_decay=self.weight_decay,
         )
         state = TrainState(
             modules={"encoder": encoder, "critic": critic},
@@ -319,7 +325,8 @@ class InfoGCL(_GraphContrastiveBase):
         encoder, projector = self._build(dataset.graphs[0].num_features, rng)
         optimizer = Adam(
             encoder.parameters() + projector.parameters(),
-            lr=self.learning_rate, weight_decay=self.weight_decay,
+            lr=self.learning_rate,
+            weight_decay=self.weight_decay,
         )
         state = TrainState(
             modules={"encoder": encoder, "projector": projector},

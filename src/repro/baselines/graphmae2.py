@@ -62,9 +62,13 @@ class GraphMAE2(Method):
 
     def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder = GNNEncoder(
-            graph.num_features, self.hidden_dim, self.hidden_dim,
-            num_layers=self.num_layers, conv_type=self.conv_type,
-            activation="elu", rng=rng,
+            graph.num_features,
+            self.hidden_dim,
+            self.hidden_dim,
+            num_layers=self.num_layers,
+            conv_type=self.conv_type,
+            activation="elu",
+            rng=rng,
         )
         decoder = _build_conv(
             self.conv_type, self.hidden_dim, graph.num_features, rng, final=True
@@ -74,7 +78,8 @@ class GraphMAE2(Method):
         )
         optimizer = Adam(
             encoder.parameters() + decoder.parameters() + latent_predictor.parameters(),
-            lr=self.learning_rate, weight_decay=self.weight_decay,
+            lr=self.learning_rate,
+            weight_decay=self.weight_decay,
         )
         state = TrainState(
             modules={

@@ -63,9 +63,14 @@ class GraphMAE(Method):
 
     def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder = GNNEncoder(
-            graph.num_features, self.hidden_dim, self.hidden_dim,
-            num_layers=self.num_layers, conv_type=self.conv_type,
-            heads=self.heads, activation="elu", rng=rng,
+            graph.num_features,
+            self.hidden_dim,
+            self.hidden_dim,
+            num_layers=self.num_layers,
+            conv_type=self.conv_type,
+            heads=self.heads,
+            activation="elu",
+            rng=rng,
         )
         if self.conv_type == "gat":
             decoder = GATConv(
@@ -78,7 +83,8 @@ class GraphMAE(Method):
             )
         optimizer = Adam(
             encoder.parameters() + decoder.parameters(),
-            lr=self.learning_rate, weight_decay=self.weight_decay,
+            lr=self.learning_rate,
+            weight_decay=self.weight_decay,
         )
         state = TrainState(
             modules={"encoder": encoder, "decoder": decoder},
@@ -146,14 +152,19 @@ class MaskGAE(Method):
 
     def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder = GNNEncoder(
-            graph.num_features, self.hidden_dim, self.hidden_dim,
-            num_layers=self.num_layers, conv_type=self.conv_type, rng=rng,
+            graph.num_features,
+            self.hidden_dim,
+            self.hidden_dim,
+            num_layers=self.num_layers,
+            conv_type=self.conv_type,
+            rng=rng,
         )
         edge_decoder = MLP(self.hidden_dim, [self.hidden_dim], 1, rng=rng)
         degree_head = Linear(self.hidden_dim, 1, rng=rng)
         optimizer = Adam(
             encoder.parameters() + edge_decoder.parameters() + degree_head.parameters(),
-            lr=self.learning_rate, weight_decay=self.weight_decay,
+            lr=self.learning_rate,
+            weight_decay=self.weight_decay,
         )
         state = TrainState(
             modules={
@@ -236,8 +247,12 @@ class S2GAE(Method):
 
     def _build_modules(self, num_features: int, rng: np.random.Generator):
         encoder = GNNEncoder(
-            num_features, self.hidden_dim, self.hidden_dim,
-            num_layers=self.num_layers, conv_type="gcn", rng=rng,
+            num_features,
+            self.hidden_dim,
+            self.hidden_dim,
+            num_layers=self.num_layers,
+            conv_type="gcn",
+            rng=rng,
         )
         # Cross-correlation decoder: concatenated per-layer Hadamard products.
         decoder = MLP(
@@ -245,7 +260,8 @@ class S2GAE(Method):
         )
         optimizer = Adam(
             encoder.parameters() + decoder.parameters(),
-            lr=self.learning_rate, weight_decay=self.weight_decay,
+            lr=self.learning_rate,
+            weight_decay=self.weight_decay,
         )
         return encoder, decoder, optimizer
 
@@ -287,7 +303,10 @@ class S2GAE(Method):
 
     def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
         loss = self._masked_edge_loss(
-            state, state.extras["edges"], graph.adjacency, graph.features,
+            state,
+            state.extras["edges"],
+            graph.adjacency,
+            graph.features,
             graph.num_nodes,
         )
         return loss, {}
@@ -397,16 +416,23 @@ class SeeGera(Method):
 
     def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         backbone = GNNEncoder(
-            graph.num_features, self.hidden_dim, self.hidden_dim,
-            num_layers=1, conv_type="gcn", rng=rng,
+            graph.num_features,
+            self.hidden_dim,
+            self.hidden_dim,
+            num_layers=1,
+            conv_type="gcn",
+            rng=rng,
         )
         mu_head = Linear(self.hidden_dim, self.latent_dim, rng=rng)
         logvar_head = Linear(self.hidden_dim, self.latent_dim, rng=rng)
         feature_decoder = MLP(self.latent_dim, [self.hidden_dim], graph.num_features, rng=rng)
         optimizer = Adam(
-            backbone.parameters() + mu_head.parameters() + logvar_head.parameters()
+            backbone.parameters()
+            + mu_head.parameters()
+            + logvar_head.parameters()
             + feature_decoder.parameters(),
-            lr=self.learning_rate, weight_decay=self.weight_decay,
+            lr=self.learning_rate,
+            weight_decay=self.weight_decay,
         )
         state = TrainState(
             modules={
@@ -448,8 +474,10 @@ class SeeGera(Method):
             neg_logits, Tensor(np.zeros(len(negatives)))
         )
         feature_loss = sce_loss(
-            feature_decoder(z), Tensor(graph.features),
-            np.arange(graph.num_nodes), gamma=1.0,
+            feature_decoder(z),
+            Tensor(graph.features),
+            np.arange(graph.num_nodes),
+            gamma=1.0,
         )
         kl = (((mu * mu) + logvar.exp() - logvar - 1.0) * 0.5).mean()
         loss = link_loss + feature_loss * self.feature_weight + kl * self.kl_weight

@@ -9,6 +9,7 @@ Commands
 ``figure``     — regenerate one of the paper's figures (1, 4, 5, 6).
 ``report``     — run everything and write EXPERIMENTS.md.
 ``runs``       — list / show / diff persisted telemetry runs.
+``serve``      — load a checkpoint and serve embeddings (cache + batching).
 
 ``pretrain``, ``evaluate`` and ``table`` accept ``--telemetry-dir DIR`` to
 persist a full run record (``manifest.json`` + ``events.jsonl``) under
@@ -43,7 +44,8 @@ def _build_parser() -> argparse.ArgumentParser:
     pretrain.add_argument("--seed", type=int, default=0)
     pretrain.add_argument("--output", default=None, help="output .npz path")
     pretrain.add_argument(
-        "--telemetry-dir", default=None,
+        "--telemetry-dir",
+        default=None,
         help="persist a run record under DIR/<run_id>/",
     )
     _add_checkpoint_arguments(pretrain)
@@ -58,14 +60,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument("--seed", type=int, default=0)
     evaluate.add_argument(
-        "--telemetry-dir", default=None,
+        "--telemetry-dir",
+        default=None,
         help="persist a run record under DIR/<run_id>/",
     )
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=[1, 4, 5, 6, 7, 8, 9, 10])
     table.add_argument(
-        "--telemetry-dir", default=None,
+        "--telemetry-dir",
+        default=None,
         help="persist a run record under DIR/<run_id>/",
     )
     _add_jobs_argument(table)
@@ -83,39 +87,68 @@ def _build_parser() -> argparse.ArgumentParser:
     runs_sub = runs.add_subparsers(dest="runs_command", required=True)
     runs_list = runs_sub.add_parser("list", help="list runs under a directory")
     runs_list.add_argument("--root", default="runs", help="runs directory")
-    runs_show = runs_sub.add_parser(
-        "show", help="render one run: curves, grad norms, spans"
-    )
+    runs_show = runs_sub.add_parser("show", help="render one run: curves, grad norms, spans")
     runs_show.add_argument("run_id", help="run id (or unique prefix)")
     runs_show.add_argument("--root", default="runs", help="runs directory")
-    runs_diff = runs_sub.add_parser(
-        "diff", help="compare two runs' configs and outcomes"
-    )
+    runs_diff = runs_sub.add_parser("diff", help="compare two runs' configs and outcomes")
     runs_diff.add_argument("run_a", help="baseline run id (or unique prefix)")
     runs_diff.add_argument("run_b", help="candidate run id (or unique prefix)")
     runs_diff.add_argument("--root", default="runs", help="runs directory")
+
+    serve = sub.add_parser("serve", help="serve embeddings from a checkpointed encoder")
+    serve.add_argument("checkpoint", help="engine or serving .npz checkpoint")
+    serve.add_argument("--dataset", default="cora-like", help="graph to serve over")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--nodes",
+        default=None,
+        help="comma-separated node ids to embed (default: first 8)",
+    )
+    serve.add_argument(
+        "--module",
+        default=None,
+        help="checkpoint module section holding the encoder (default: search)",
+    )
+    serve.add_argument(
+        "--spec-json",
+        default=None,
+        help="EncoderSpec as JSON, for checkpoints without an embedded spec",
+    )
+    serve.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="persist a run record under DIR/<run_id>/",
+    )
     return parser
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
         help="run experiment cells across N worker processes "
-             "(default: REPRO_JOBS or 1; results are bit-identical to serial)",
+        "(default: REPRO_JOBS or 1; results are bit-identical to serial)",
     )
 
 
 def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--checkpoint-dir", default=None,
+        "--checkpoint-dir",
+        default=None,
         help="checkpoint every training loop under DIR (atomic .npz files)",
     )
     parser.add_argument(
-        "--checkpoint-every", type=int, default=1, metavar="N",
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
         help="checkpoint every N epochs (default 1)",
     )
     parser.add_argument(
-        "--resume", action="store_true",
+        "--resume",
+        action="store_true",
         help="resume each loop from its checkpoint in --checkpoint-dir if present",
     )
 
@@ -179,7 +212,10 @@ def _cmd_pretrain(args) -> None:
     method = _get_method(args.method, profile)
     print(f"pretraining {args.method} on {args.dataset} (profile {profile.name}) ...")
     with _telemetry(
-        args, args.method, args.dataset, args.seed,
+        args,
+        args.method,
+        args.dataset,
+        args.seed,
         config=getattr(method, "config", method),
     ) as recorder, _checkpointing(args):
         result = method.fit(graph, seed=args.seed)
@@ -201,7 +237,10 @@ def _cmd_evaluate(args) -> None:
     graph = load_node_dataset(args.dataset, seed=args.seed)
     method = _get_method(args.method, profile)
     telemetry = _telemetry(
-        args, args.method, args.dataset, args.seed,
+        args,
+        args.method,
+        args.dataset,
+        args.seed,
         config=getattr(method, "config", method),
     )
 
@@ -259,6 +298,40 @@ def _cmd_runs(args) -> None:
         print(render_diff(find_run(args.root, args.run_a), find_run(args.root, args.run_b)))
 
 
+def _cmd_serve(args) -> None:
+    import json
+
+    from .graph import load_node_dataset
+    from .serve import EmbeddingService, EncoderSpec, ModelRegistry
+
+    graph = load_node_dataset(args.dataset, seed=args.seed)
+    spec = EncoderSpec.from_dict(json.loads(args.spec_json)) if args.spec_json else None
+    registry = ModelRegistry()
+    entry = registry.load("model", args.checkpoint, spec=spec, module=args.module)
+    if args.nodes:
+        node_ids = [int(part) for part in args.nodes.split(",")]
+    else:
+        node_ids = list(range(min(8, graph.num_nodes)))
+    with _telemetry(args, "serve", args.dataset, args.seed) as recorder:
+        with EmbeddingService(registry, "model", graph=graph) as service:
+            rows = service.embed_nodes(node_ids)
+            service.embed_nodes(node_ids)  # second pass: served from cache
+            stats = service.stats()
+    if recorder is not None:
+        print(f"telemetry: {args.telemetry_dir}/{recorder.run_id}/")
+    print(
+        f"served {rows.shape[1]}-dim embeddings for {len(node_ids)} nodes of "
+        f"{args.dataset} from {args.checkpoint} "
+        f"({entry.spec.conv_type}, version {entry.version})"
+    )
+    print(f"first row: {np.array2string(rows[0], precision=4, threshold=8)}")
+    print(
+        f"cache: {stats['cache.hits']:.0f} hits / {stats['cache.misses']:.0f} misses "
+        f"(hit rate {stats['cache.hit_rate']:.2f}), "
+        f"{stats['node_forwards']:.0f} encoder forward(s)"
+    )
+
+
 def _cmd_figure(number: int) -> None:
     from . import experiments as ex
 
@@ -295,6 +368,8 @@ def main(argv: Optional[List[str]] = None) -> None:
         _cmd_report(args)
     elif args.command == "runs":
         _cmd_runs(args)
+    elif args.command == "serve":
+        _cmd_serve(args)
 
 
 if __name__ == "__main__":

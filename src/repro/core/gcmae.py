@@ -91,12 +91,18 @@ class GCMAE(Module):
             cfg.conv_type, cfg.embed_dim, num_features, self._rng, final=True
         )
         self.projector_u = MLP(
-            cfg.embed_dim, [cfg.projector_hidden], cfg.projector_hidden,
-            activation="elu", rng=self._rng,
+            cfg.embed_dim,
+            [cfg.projector_hidden],
+            cfg.projector_hidden,
+            activation="elu",
+            rng=self._rng,
         )
         self.projector_v = MLP(
-            cfg.embed_dim, [cfg.projector_hidden], cfg.projector_hidden,
-            activation="elu", rng=self._rng,
+            cfg.embed_dim,
+            [cfg.projector_hidden],
+            cfg.projector_hidden,
+            activation="elu",
+            rng=self._rng,
         )
 
     # ------------------------------------------------------------------

@@ -37,22 +37,34 @@ def _train_contrastive_only(
     node-dropped view, through a fresh encoder (no reconstruction losses)."""
     rng = np.random.default_rng(seed)
     encoder = GNNEncoder(
-        graph.num_features, config.hidden_dim, config.embed_dim,
-        num_layers=config.num_layers, conv_type=config.conv_type,
-        activation=config.activation, dropout=config.dropout,
-        heads=config.heads if config.conv_type == "gat" else 1, rng=rng,
+        graph.num_features,
+        config.hidden_dim,
+        config.embed_dim,
+        num_layers=config.num_layers,
+        conv_type=config.conv_type,
+        activation=config.activation,
+        dropout=config.dropout,
+        heads=config.heads if config.conv_type == "gat" else 1,
+        rng=rng,
     )
     projector_u = MLP(
-        config.embed_dim, [config.projector_hidden], config.projector_hidden,
-        activation="elu", rng=rng,
+        config.embed_dim,
+        [config.projector_hidden],
+        config.projector_hidden,
+        activation="elu",
+        rng=rng,
     )
     projector_v = MLP(
-        config.embed_dim, [config.projector_hidden], config.projector_hidden,
-        activation="elu", rng=rng,
+        config.embed_dim,
+        [config.projector_hidden],
+        config.projector_hidden,
+        activation="elu",
+        rng=rng,
     )
     optimizer = Adam(
         encoder.parameters() + projector_u.parameters() + projector_v.parameters(),
-        lr=config.learning_rate, weight_decay=config.weight_decay,
+        lr=config.learning_rate,
+        weight_decay=config.weight_decay,
     )
     losses = []
     with Stopwatch() as timer:

@@ -61,7 +61,9 @@ def alignment_score(
 
 
 def uniformity_score(
-    embeddings: np.ndarray, t: float = 2.0, max_pairs: int = 50_000,
+    embeddings: np.ndarray,
+    t: float = 2.0,
+    max_pairs: int = 50_000,
     rng: Optional[np.random.Generator] = None,
 ) -> float:
     """Wang-Isola uniformity (lower = more uniform on the hypersphere)."""

@@ -105,9 +105,10 @@ def evaluate_link_prediction(
         rng = np.random.default_rng(seed)
         train_pos = split.train_pos
         train_neg = _sample_training_negatives(
-            embeddings.shape[0], {tuple(e) for e in np.concatenate(
-                [split.train_pos, split.val_pos, split.test_pos])},
-            len(train_pos), rng,
+            embeddings.shape[0],
+            {tuple(e) for e in np.concatenate([split.train_pos, split.val_pos, split.test_pos])},
+            len(train_pos),
+            rng,
         )
         train_edges = np.concatenate([train_pos, train_neg], axis=0)
         train_labels = np.concatenate([np.ones(len(train_pos)), np.zeros(len(train_neg))])

@@ -57,7 +57,7 @@ def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
         while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
             j += 1
         if j > i:
-            ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
+            ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
         i = j + 1
     pos_rank_sum = ranks[labels].sum()
     u_statistic = pos_rank_sum - num_pos * (num_pos + 1) / 2.0

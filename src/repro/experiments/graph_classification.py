@@ -62,8 +62,10 @@ def run_table7(
             # voided cell auditable from the persisted run, not just from
             # the rendered table.
             emit_counter(
-                "table7.oom", method=method_name,
-                dataset=dataset_name, seed=seed,
+                "table7.oom",
+                method=method_name,
+                dataset=dataset_name,
+                seed=seed,
             )
             return ("oom", None)
         mean_accuracy, _ = cross_validated_probe(

@@ -15,10 +15,17 @@ import scipy.sparse as sp
 
 from ..nn.layers import Dropout, PReLU, resolve_activation
 from ..nn.module import Module, ModuleList
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, no_grad
 from .conv import GATConv, GCNConv, GINConv, SAGEConv, structure_operand
 
 CONV_TYPES = ("gcn", "sage", "gat", "gin")
+
+
+def ensure_features(features) -> Tensor:
+    """Coerce a feature matrix (array or tensor) into a constant Tensor."""
+    if isinstance(features, Tensor):
+        return features
+    return Tensor(np.asarray(features))
 
 
 def _build_conv(
@@ -137,6 +144,34 @@ class GNNEncoder(Module):
                 if self.dropout is not None:
                     x = self.dropout(x)
         return x
+
+    def infer(self, adjacency: sp.csr_matrix, features) -> np.ndarray:
+        """No-grad inference forward: frozen embeddings as a plain array.
+
+        Switches the stack to eval mode (disabling dropout), runs the
+        forward under :class:`~repro.nn.tensor.no_grad` — so no autograd
+        tape is built and grad-only work such as adjacency-transpose
+        caching is skipped — and restores the previous mode.  The numpy
+        values are bit-identical to the grad path's forward outputs in
+        eval mode; :mod:`repro.serve` serves embeddings through this.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                out = self.forward(adjacency, ensure_features(features))
+        finally:
+            if was_training:
+                self.train()
+        return out.data
+
+    def infer_batch(self, batch) -> np.ndarray:
+        """No-grad inference over a :class:`~repro.graph.batch.GraphBatch`.
+
+        One block-diagonal forward for the whole batch; rows line up with
+        ``batch.node_to_graph`` so callers can split per member graph.
+        """
+        return self.infer(batch.adjacency, batch.features)
 
     def layer_outputs(self, adjacency: sp.csr_matrix, x: Tensor) -> List[Tensor]:
         """All intermediate representations (used by JK-style readouts)."""

@@ -342,8 +342,11 @@ def _sample_family_graph(
     elif spec.kind == "community":
         communities, p_in, p_out = spec.params
         adjacency = _community_graph(
-            num_nodes, int(communities),
-            min(jittered(p_in), 1.0), min(jittered(p_out), 1.0), rng,
+            num_nodes,
+            int(communities),
+            min(jittered(p_in), 1.0),
+            min(jittered(p_out), 1.0),
+            rng,
         )
     elif spec.kind == "star":
         (extra_p,) = spec.params

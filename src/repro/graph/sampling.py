@@ -112,7 +112,7 @@ class NeighborSampler:
         """One epoch of blocks covering every node exactly once as a seed."""
         order = rng.permutation(self.graph.num_nodes)
         for start in range(0, len(order), self.batch_size):
-            seeds = np.sort(order[start:start + self.batch_size])
+            seeds = np.sort(order[start : start + self.batch_size])
             yield self.sample_block(seeds, rng)
 
     def num_batches(self) -> int:

@@ -78,8 +78,8 @@ def split_edges(
     num_val = int(round(len(edges) * val_fraction))
     num_test = int(round(len(edges) * test_fraction))
     val_pos = edges[:num_val]
-    test_pos = edges[num_val:num_val + num_test]
-    train_pos = edges[num_val + num_test:]
+    test_pos = edges[num_val : num_val + num_test]
+    train_pos = edges[num_val + num_test :]
 
     train_adj = adjacency_from_edges(train_pos, graph.num_nodes)
     train_graph = Graph(

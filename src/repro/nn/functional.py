@@ -13,7 +13,7 @@ import scipy.sparse as sp
 
 from ..graph.sparse import cache_is_enabled, cached_transpose
 from .profiler import profiled_op
-from .tensor import Tensor, ensure_tensor
+from .tensor import Tensor, ensure_tensor, is_grad_enabled
 
 
 # ---------------------------------------------------------------------------
@@ -27,13 +27,19 @@ def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
     so the gradient flows only into ``dense``:  ``d/dX (A @ X) = A^T @ grad``.
     The transpose used by the backward is resolved *at forward time* through
     :func:`repro.graph.sparse.cached_transpose`, so repeated backward passes
-    over the same adjacency never re-materialise it.
+    over the same adjacency never re-materialise it.  Under
+    :class:`~repro.nn.tensor.no_grad` no backward will ever run, so the
+    transpose is neither resolved nor cached — inference over a one-shot
+    adjacency (a serving micro-batch) touches only the forward product.
     """
     if not sp.issparse(matrix):
         raise TypeError(f"spmm expects a scipy sparse matrix, got {type(matrix)!r}")
     dense = ensure_tensor(dense)
     data = matrix @ dense.data
-    transposed = cached_transpose(matrix) if cache_is_enabled() else None
+    needs_backward = is_grad_enabled() and dense.requires_grad
+    transposed = (
+        cached_transpose(matrix) if needs_backward and cache_is_enabled() else None
+    )
 
     def backward(grad: np.ndarray) -> None:
         if dense.requires_grad:
@@ -64,7 +70,10 @@ def spmm_linear(matrix: sp.spmatrix, dense: Tensor, weight: Tensor) -> Tensor:
     weight = ensure_tensor(weight)
     projected = dense.data @ weight.data
     data = matrix @ projected
-    transposed = cached_transpose(matrix) if cache_is_enabled() else None
+    needs_backward = is_grad_enabled() and (dense.requires_grad or weight.requires_grad)
+    transposed = (
+        cached_transpose(matrix) if needs_backward and cache_is_enabled() else None
+    )
 
     def backward(grad: np.ndarray) -> None:
         if not (dense.requires_grad or weight.requires_grad):

@@ -19,6 +19,7 @@ Design notes
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -31,11 +32,21 @@ _grad_enabled = True
 
 
 class no_grad:
-    """Context manager that disables graph construction.
+    """Context manager (and decorator) that disables graph construction.
 
     Inside a ``with no_grad():`` block every operation produces constant
     tensors, which makes pure-inference passes cheaper and prevents the
-    training graph from retaining evaluation work.
+    training graph from retaining evaluation work.  Beyond not storing
+    parents/backward closures, grad-aware kernels consult
+    :func:`is_grad_enabled` at forward time to skip work that only exists
+    for the backward pass (e.g. :func:`repro.nn.functional.spmm` resolving
+    the cached adjacency transpose) — this is the inference fast path the
+    serving layer (:mod:`repro.serve`) rides.
+
+    Usable as a decorator too::
+
+        @no_grad()
+        def embed(graph): ...
     """
 
     def __enter__(self) -> "no_grad":
@@ -47,6 +58,14 @@ class no_grad:
     def __exit__(self, *exc_info) -> None:
         global _grad_enabled
         _grad_enabled = self._previous
+
+    def __call__(self, fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with no_grad():
+                return fn(*args, **kwargs)
+
+        return wrapper
 
 
 def is_grad_enabled() -> bool:

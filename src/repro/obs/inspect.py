@@ -112,7 +112,7 @@ def sparkline(values: List[float], width: int = 40) -> str:
         # Bucket-mean downsample to the display width.
         step = len(values) / width
         values = [
-            sum(values[int(i * step): max(int((i + 1) * step), int(i * step) + 1)])
+            sum(values[int(i * step) : max(int((i + 1) * step), int(i * step) + 1)])
             / max(int((i + 1) * step) - int(i * step), 1)
             for i in range(width)
         ]
@@ -168,6 +168,48 @@ def _series_block(run: Run, key: str, label: str) -> List[str]:
     ]
 
 
+def _serving_block(counters: Dict[str, float], gauges: List[dict]) -> List[str]:
+    """The serving section: cache hit rate plus queue batching economics.
+
+    Rendered only when the run touched :mod:`repro.serve` (any ``serve.*``
+    counter present), mirroring how the experiment embedding cache's
+    ``cache.hit``/``cache.miss`` counters surface as a derived hit rate
+    rather than two raw numbers.
+    """
+    if not any(name.startswith("serve.") for name in counters):
+        return []
+    lines = ["", "serving:"]
+    hits = counters.get("serve.cache.hit", 0.0)
+    misses = counters.get("serve.cache.miss", 0.0)
+    if hits or misses:
+        lines.append(
+            f"  cache                    {hits:g} hit / {misses:g} miss "
+            f"(hit rate {hits / (hits + misses):.2f})"
+        )
+    invalidated = counters.get("serve.cache.invalidated")
+    if invalidated:
+        lines.append(f"  cache invalidated        {invalidated:g} entries")
+    batches = counters.get("serve.queue.batches", 0.0)
+    if batches:
+        batched_requests = counters.get("serve.queue.batched_requests", 0.0)
+        coalesced = counters.get("serve.queue.coalesced", 0.0)
+        lines.append(
+            f"  queue                    {batched_requests:g} requests in "
+            f"{batches:g} batches (mean size {batched_requests / batches:.1f}, "
+            f"{coalesced:g} coalesced)"
+        )
+    for name in ("serve.requests.nodes", "serve.requests.graphs"):
+        if counters.get(name):
+            lines.append(f"  {name:<24} {counters[name]:g}")
+    depth = None
+    for gauge in gauges:
+        if gauge.get("name") == "serve.queue.depth":
+            depth = gauge.get("value")
+    if depth is not None:
+        lines.append(f"  queue depth (last)       {depth:g}")
+    return lines
+
+
 def render_show(run: Run, span_limit: int = 12, op_limit: int = 6) -> str:
     """The ``repro runs show`` report: curves, grad norms, span breakdown."""
     m = run.manifest
@@ -219,9 +261,10 @@ def render_show(run: Run, span_limit: int = 12, op_limit: int = 6) -> str:
         if len(run.spans) > span_limit:
             lines.append(f"  ... {len(run.spans) - span_limit} more spans")
 
-    counters = {}
+    counters: Dict[str, float] = {}
     for event in run.counters:
         counters[event["name"]] = counters.get(event["name"], 0.0) + event["value"]
+    lines.extend(_serving_block(counters, run.gauges))
     if counters:
         lines.append("")
         lines.append("counters:")
@@ -241,7 +284,8 @@ def render_diff(a: Run, b: Run) -> str:
     config_a = a.manifest.get("config", {}) or {}
     config_b = b.manifest.get("config", {}) or {}
     changed = [
-        key for key in sorted(set(config_a) | set(config_b))
+        key
+        for key in sorted(set(config_a) | set(config_b))
         if config_a.get(key) != config_b.get(key)
     ]
     lines.append("")

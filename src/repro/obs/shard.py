@@ -147,9 +147,14 @@ def merge_events(
             value = float(event.get("value", 0.0))
             recorder.counters[name] = recorder.counters.get(name, 0.0) + value
             _forward(
-                recorder, "counter",
-                {"ts": event.get("ts"), "name": name, "value": value,
-                 "tags": dict(event.get("tags") or {})},
+                recorder,
+                "counter",
+                {
+                    "ts": event.get("ts"),
+                    "name": name,
+                    "value": value,
+                    "tags": dict(event.get("tags") or {}),
+                },
             )
         elif event_type == "gauge":
             name = str(event.get("name", "?"))
@@ -158,9 +163,14 @@ def merge_events(
                 continue  # a high-water mark merges by maximum
             recorder.gauges[name] = value
             _forward(
-                recorder, "gauge",
-                {"ts": event.get("ts"), "name": name, "value": value,
-                 "tags": dict(event.get("tags") or {})},
+                recorder,
+                "gauge",
+                {
+                    "ts": event.get("ts"),
+                    "name": name,
+                    "value": value,
+                    "tags": dict(event.get("tags") or {}),
+                },
             )
         else:
             continue  # unknown type: drop rather than corrupt the parent run

@@ -1,0 +1,31 @@
+"""Serving layer: frozen checkpoints -> cached, micro-batched embeddings.
+
+Pipeline: :class:`ModelRegistry` rebuilds eval-mode encoders from atomic
+engine checkpoints, :class:`MicroBatchQueue` coalesces concurrent requests
+into block-diagonal no-grad forwards, :class:`LRUCache` fronts repeated
+node lookups, and :class:`EmbeddingService` ties the three together behind
+``embed_nodes`` / ``embed_graph``.  See ``docs/SERVING.md``.
+"""
+
+from .cache import LRUCache
+from .queue import MicroBatchQueue, split_batch_output
+from .registry import (
+    EncoderSpec,
+    ModelRegistry,
+    RegisteredModel,
+    load_encoder,
+    save_encoder,
+)
+from .service import EmbeddingService
+
+__all__ = [
+    "EmbeddingService",
+    "EncoderSpec",
+    "LRUCache",
+    "MicroBatchQueue",
+    "ModelRegistry",
+    "RegisteredModel",
+    "load_encoder",
+    "save_encoder",
+    "split_batch_output",
+]

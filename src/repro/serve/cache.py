@@ -1,0 +1,132 @@
+"""Bounded LRU cache for served embeddings.
+
+Hot nodes dominate real serving traffic, so :class:`EmbeddingService`
+fronts every forward with this cache.  Keys are opaque tuples (the service
+uses ``(model, graph_version, node_id)``), values are embedding rows.
+Because the graph version participates in the key, *explicit invalidation*
+on a graph update (:meth:`LRUCache.invalidate`) is about reclaiming memory
+promptly — stale entries could never be read back even without it.
+
+Lookups report through telemetry as ``serve.cache.hit`` /
+``serve.cache.miss`` counters (the same convention as the experiment
+embedding cache's ``cache.hit``/``cache.miss``), and the cache keeps its
+own local totals for :meth:`stats` so callers without an active recorder
+still see hit rates.
+
+The cache is lock-protected: the micro-batch queue's worker thread and
+request threads may touch it concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..obs.hooks import emit_counter
+
+_MISS = object()
+
+
+class LRUCache:
+    """A thread-safe least-recently-used mapping with a fixed capacity."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default=None, count: bool = True):
+        """Look up ``key``, refreshing its recency; counts a hit or miss."""
+        with self._lock:
+            value = self._data.get(key, _MISS)
+            if value is _MISS:
+                if count:
+                    self.misses += 1
+            else:
+                self._data.move_to_end(key)
+                if count:
+                    self.hits += 1
+        if count:
+            emit_counter("serve.cache.hit" if value is not _MISS else "serve.cache.miss")
+        return default if value is _MISS else value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry when full."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            self._data[key] = value
+            if len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def get_many(
+        self, keys: List[Hashable]
+    ) -> Tuple[Dict[Hashable, object], List[Hashable]]:
+        """Batch lookup: ``(found, missing)`` with one counter per key."""
+        found: Dict[Hashable, object] = {}
+        missing: List[Hashable] = []
+        for key in keys:
+            value = self.get(key, default=_MISS)
+            if value is _MISS:
+                missing.append(key)
+            else:
+                found[key] = value
+        return found, missing
+
+    # ------------------------------------------------------------------
+    def invalidate(self, prefix: Optional[Tuple] = None) -> int:
+        """Drop every entry (or every tuple key starting with ``prefix``).
+
+        Returns the number of entries removed and bumps the
+        ``serve.cache.invalidated`` counter by that amount.
+        """
+        with self._lock:
+            if prefix is None:
+                removed = len(self._data)
+                self._data.clear()
+            else:
+                doomed = [
+                    key
+                    for key in self._data
+                    if isinstance(key, tuple) and key[: len(prefix)] == prefix
+                ]
+                for key in doomed:
+                    del self._data[key]
+                removed = len(doomed)
+            self.invalidations += 1
+        if removed:
+            emit_counter("serve.cache.invalidated", float(removed))
+        return removed
+
+    def stats(self) -> Dict[str, float]:
+        """Local hit/miss totals (telemetry-independent)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": float(len(self._data)),
+                "capacity": float(self.capacity),
+                "hits": float(self.hits),
+                "misses": float(self.misses),
+                "evictions": float(self.evictions),
+                "invalidations": float(self.invalidations),
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }

@@ -1,0 +1,219 @@
+"""Micro-batching request queue: coalesce concurrent embedding requests.
+
+Serving traffic arrives as many small independent ``embed(graph)`` requests.
+Forwarding each one alone repeats the per-call Python/autograd overhead that
+block-diagonal batching already eliminated for training (PR 2), so the queue
+applies the same trick at inference time: concurrent requests are drained
+into one :class:`~repro.graph.batch.GraphBatch`, encoded with a single
+no-grad forward, and the output rows are split back per request — order
+preserving, and (because the batch adjacency is block-diagonal)
+bit-identical to forwarding each graph alone.
+
+A worker thread owns the drain loop.  The first pending request opens a
+coalescing window of ``max_wait_ms``; whatever lands within it (up to
+``max_batch`` requests) rides the same forward.  Telemetry: every drained
+batch records a ``serve/batch`` span plus ``serve.queue.batches`` /
+``serve.queue.coalesced`` counters and a ``serve.queue.depth`` gauge on the
+recorder captured from the *submitting* thread (recorders are thread-local,
+so the worker cannot see one of its own).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.batch import GraphBatch
+from ..obs.recorder import active_recorder
+from ..obs.spans import SpanRecord
+
+
+class _Request:
+    __slots__ = ("graph", "future", "recorder")
+
+    def __init__(self, graph, future: Future, recorder) -> None:
+        self.graph = graph
+        self.future = future
+        self.recorder = recorder
+
+
+def split_batch_output(
+    output: np.ndarray, node_counts: Sequence[int]
+) -> List[np.ndarray]:
+    """Slice a batched ``(total_nodes, d)`` output back into per-graph rows."""
+    offsets = np.concatenate([[0], np.cumsum(np.asarray(node_counts, dtype=np.int64))])
+    return [
+        output[int(start) : int(stop)].copy()
+        for start, stop in zip(offsets[:-1], offsets[1:])
+    ]
+
+
+class MicroBatchQueue:
+    """Coalesces concurrent graph-embedding requests into batched forwards.
+
+    Parameters
+    ----------
+    forward:
+        ``GraphBatch -> (total_nodes, d) ndarray`` — typically
+        :meth:`repro.gnn.encoder.GNNEncoder.infer_batch`.
+    max_batch:
+        Upper bound on requests per coalesced forward.
+    max_wait_ms:
+        Coalescing window opened by the first pending request.  ``0`` drains
+        whatever is queued immediately (still batching a burst that arrived
+        together).
+    start:
+        Spawn the worker thread immediately.  Pass ``False`` for
+        deterministic tests driving :meth:`flush` by hand.
+    """
+
+    def __init__(
+        self,
+        forward: Callable[[GraphBatch], np.ndarray],
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        start: bool = True,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self._forward = forward
+        self.max_batch = max_batch
+        self.max_wait = max_wait_ms / 1000.0
+        self._pending: "deque[_Request]" = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.batches = 0
+        self.requests = 0
+        self.coalesced = 0
+        self._worker: Optional[threading.Thread] = None
+        if start:
+            self._worker = threading.Thread(
+                target=self._drain_loop, name="repro-serve-queue", daemon=True
+            )
+            self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, graph) -> Future:
+        """Enqueue one graph; the future resolves to its ``(n, d)`` rows."""
+        future: Future = Future()
+        request = _Request(graph, future, active_recorder())
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            self._pending.append(request)
+            self.requests += 1
+            self._cond.notify_all()
+        return future
+
+    def embed(self, graph, timeout: Optional[float] = None) -> np.ndarray:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(graph).result(timeout=timeout)
+
+    def flush(self) -> int:
+        """Drain every pending request on the calling thread (test hook).
+
+        Returns the number of batched forwards run.  Only meaningful when
+        the queue was built with ``start=False``; with a live worker the
+        pending set is racing it.
+        """
+        drained = 0
+        while True:
+            with self._cond:
+                if not self._pending:
+                    return drained
+                batch = self._take_locked()
+            self._run_batch(batch)
+            drained += 1
+
+    def close(self) -> None:
+        """Stop the worker after the pending set drains."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if self._worker is not None:
+            self._worker.join(timeout=5.0)
+
+    def __enter__(self) -> "MicroBatchQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, float]:
+        with self._cond:
+            total = self.requests
+            return {
+                "requests": float(total),
+                "batches": float(self.batches),
+                "coalesced": float(self.coalesced),
+                "mean_batch_size": (total / self.batches) if self.batches else 0.0,
+                "depth": float(len(self._pending)),
+            }
+
+    # ------------------------------------------------------------------
+    def _take_locked(self) -> List[_Request]:
+        take = min(len(self._pending), self.max_batch)
+        return [self._pending.popleft() for _ in range(take)]
+
+    def _drain_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if not self._pending and self._closed:
+                    return
+                if self.max_wait > 0:
+                    deadline = time.monotonic() + self.max_wait
+                    while len(self._pending) < self.max_batch and not self._closed:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(timeout=remaining)
+                batch = self._take_locked()
+                depth = len(self._pending)
+            self._run_batch(batch, depth=depth)
+
+    def _run_batch(self, requests: List[_Request], depth: int = 0) -> None:
+        start = time.perf_counter()
+        try:
+            if len(requests) == 1:
+                outputs = [self._forward(GraphBatch.from_graphs([requests[0].graph]))]
+            else:
+                merged = GraphBatch.from_graphs([r.graph for r in requests])
+                outputs = split_batch_output(self._forward(merged), merged.node_counts)
+        except BaseException as exc:  # propagate to every waiting caller
+            for request in requests:
+                request.future.set_exception(exc)
+            return
+        for request, rows in zip(requests, outputs):
+            request.future.set_result(rows)
+        with self._cond:
+            self.batches += 1
+            self.coalesced += max(len(requests) - 1, 0)
+        self._record(requests, len(requests), time.perf_counter() - start, depth)
+
+    def _record(
+        self, requests: List[_Request], size: int, seconds: float, depth: int
+    ) -> None:
+        # Recorders are thread-local to the submitting threads; report the
+        # batch once, to the first submitter's recorder (they are the same
+        # object whenever one run owns the traffic).
+        recorder = next((r.recorder for r in requests if r.recorder is not None), None)
+        if recorder is None:
+            return
+        recorder.counter("serve.queue.batches")
+        recorder.counter("serve.queue.batched_requests", float(size))
+        if size > 1:
+            recorder.counter("serve.queue.coalesced", float(size - 1))
+        recorder.gauge("serve.queue.depth", float(depth))
+        recorder.gauge("serve.queue.last_batch_size", float(size))
+        recorder.span(
+            SpanRecord(name="serve/batch", seconds=seconds, ops={}, depth=0)
+        )

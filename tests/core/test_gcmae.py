@@ -57,7 +57,8 @@ class TestGCMAEModel:
 
     def test_ablated_parts_are_zero(self, graph):
         config = TINY.with_overrides(
-            use_contrastive=False, use_structure_reconstruction=False,
+            use_contrastive=False,
+            use_structure_reconstruction=False,
             use_discrimination=False,
         )
         model = GCMAE(graph.num_features, config, rng=np.random.default_rng(0))

@@ -6,8 +6,13 @@ from repro.experiments import Profile
 from repro.experiments.extensions import DESIGN_VARIANTS, run_design_ablation
 
 MICRO = Profile(
-    name="micro", hidden_dim=16, epochs=2, gcmae_epochs=2,
-    num_seeds=1, graph_epochs=2, include_reddit=False,
+    name="micro",
+    hidden_dim=16,
+    epochs=2,
+    gcmae_epochs=2,
+    num_seeds=1,
+    graph_epochs=2,
+    include_reddit=False,
 )
 
 

@@ -22,8 +22,13 @@ from repro.core.base import EmbeddingResult
 
 
 MICRO = Profile(
-    name="micro", hidden_dim=16, epochs=2, gcmae_epochs=2,
-    num_seeds=1, graph_epochs=2, include_reddit=False,
+    name="micro",
+    hidden_dim=16,
+    epochs=2,
+    gcmae_epochs=2,
+    num_seeds=1,
+    graph_epochs=2,
+    include_reddit=False,
 )
 
 

@@ -76,8 +76,13 @@ class TestGenerateReport:
     def test_generates_markdown(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         micro = Profile(
-            name="micro", hidden_dim=16, epochs=2, gcmae_epochs=2,
-            num_seeds=1, graph_epochs=2, include_reddit=False,
+            name="micro",
+            hidden_dim=16,
+            epochs=2,
+            gcmae_epochs=2,
+            num_seeds=1,
+            graph_epochs=2,
+            include_reddit=False,
         )
         report = generate_report(profile=micro)
         assert report.startswith("# EXPERIMENTS")

@@ -24,8 +24,13 @@ from repro.experiments import (
 )
 
 MICRO = Profile(
-    name="micro", hidden_dim=16, epochs=2, gcmae_epochs=2,
-    num_seeds=1, graph_epochs=2, include_reddit=False,
+    name="micro",
+    hidden_dim=16,
+    epochs=2,
+    gcmae_epochs=2,
+    num_seeds=1,
+    graph_epochs=2,
+    include_reddit=False,
 )
 
 
@@ -37,7 +42,9 @@ def no_cache(monkeypatch):
 class TestTableRunners:
     def test_table4(self):
         table = run_table4(
-            profile=MICRO, datasets=["cora-like"], methods=["DGI", "GCMAE"],
+            profile=MICRO,
+            datasets=["cora-like"],
+            methods=["DGI", "GCMAE"],
             include_supervised=True,
         )
         assert table.get("GCN", "cora-like") is not None
@@ -46,7 +53,9 @@ class TestTableRunners:
 
     def test_table4_without_supervised(self):
         table = run_table4(
-            profile=MICRO, datasets=["cora-like"], methods=["DGI"],
+            profile=MICRO,
+            datasets=["cora-like"],
+            methods=["DGI"],
             include_supervised=False,
         )
         assert "GCN" not in table.rows
@@ -60,7 +69,9 @@ class TestTableRunners:
 
     def test_table6(self):
         table = run_table6(
-            profile=MICRO, datasets=["cora-like"], methods=["DGI", "GCMAE"],
+            profile=MICRO,
+            datasets=["cora-like"],
+            methods=["DGI", "GCMAE"],
             include_clustering_specialists=False,
         )
         assert table.get("GCMAE", "cora-like:NMI") is not None
@@ -68,7 +79,9 @@ class TestTableRunners:
 
     def test_table6_with_specialists(self):
         table = run_table6(
-            profile=MICRO, datasets=["cora-like"], methods=["DGI"],
+            profile=MICRO,
+            datasets=["cora-like"],
+            methods=["DGI"],
             include_clustering_specialists=True,
         )
         assert table.get("GCC", "cora-like:NMI") is not None
@@ -104,8 +117,13 @@ class TestTableRunners:
             gc_module, "graph_ssl_methods", lambda profile: {"Flaky": FlakyMethod}
         )
         two_seeds = Profile(
-            name="micro2", hidden_dim=16, epochs=2, gcmae_epochs=2,
-            num_seeds=2, graph_epochs=2, include_reddit=False,
+            name="micro2",
+            hidden_dim=16,
+            epochs=2,
+            gcmae_epochs=2,
+            num_seeds=2,
+            graph_epochs=2,
+            include_reddit=False,
         )
         table = run_table7(
             profile=two_seeds, datasets=["mutag-like"], methods=["Flaky"]

@@ -16,7 +16,11 @@ class TestGNNEncoder:
     @pytest.mark.parametrize("conv_type", CONV_TYPES)
     def test_all_conv_types_forward(self, conv_type):
         encoder = GNNEncoder(
-            6, 8, 4, num_layers=2, conv_type=conv_type,
+            6,
+            8,
+            4,
+            num_layers=2,
+            conv_type=conv_type,
             heads=2 if conv_type == "gat" else 1,
             rng=np.random.default_rng(0),
         )

@@ -184,8 +184,7 @@ class TestBatchedEquivalence:
     def test_embeddings_match_per_graph_forwards(self, conv_type):
         dataset = toy_dataset()
         batch = GraphBatch.from_graphs(dataset.graphs)
-        encoder = GNNEncoder(3, 8, 8, conv_type=conv_type,
-                             rng=np.random.default_rng(0))
+        encoder = GNNEncoder(3, 8, 8, conv_type=conv_type, rng=np.random.default_rng(0))
         encoder.eval()
         batched = encoder.forward_batch(batch).data
         per_graph = np.concatenate(
@@ -203,7 +202,9 @@ class TestBatchedEquivalence:
         per_graph = np.concatenate([
             graph_readout(
                 Tensor(nodes[offsets[i]:offsets[i + 1]]),
-                np.zeros(int(batch.node_counts[i]), dtype=np.int64), 1, mode,
+                np.zeros(int(batch.node_counts[i]), dtype=np.int64),
+                1,
+                mode,
             ).data
             for i in range(batch.num_graphs)
         ])

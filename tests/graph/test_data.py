@@ -38,18 +38,26 @@ class TestGraphValidation:
 
     def test_feature_shape_mismatch(self):
         with pytest.raises(ValueError):
-            Graph(adjacency=adjacency_from_edges(np.array([[0, 1]]), 2),
-                  features=np.zeros((3, 2)))
+            Graph(
+                adjacency=adjacency_from_edges(np.array([[0, 1]]), 2),
+                features=np.zeros((3, 2)),
+            )
 
     def test_label_shape_mismatch(self):
         with pytest.raises(ValueError):
-            Graph(adjacency=adjacency_from_edges(np.array([[0, 1]]), 2),
-                  features=np.zeros((2, 2)), labels=np.array([0, 1, 0]))
+            Graph(
+                adjacency=adjacency_from_edges(np.array([[0, 1]]), 2),
+                features=np.zeros((2, 2)),
+                labels=np.array([0, 1, 0]),
+            )
 
     def test_mask_shape_mismatch(self):
         with pytest.raises(ValueError):
-            Graph(adjacency=adjacency_from_edges(np.array([[0, 1]]), 2),
-                  features=np.zeros((2, 2)), train_mask=np.array([True]))
+            Graph(
+                adjacency=adjacency_from_edges(np.array([[0, 1]]), 2),
+                features=np.zeros((2, 2)),
+                train_mask=np.array([True]),
+            )
 
     def test_num_classes_requires_labels(self):
         with pytest.raises(ValueError):

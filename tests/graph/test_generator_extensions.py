@@ -13,8 +13,11 @@ from repro.graph.generators import (
 
 class TestTriangleClosure:
     BASE = dict(
-        num_nodes=200, num_features=32, num_classes=3,
-        average_degree=3.0, homophily=0.8,
+        num_nodes=200,
+        num_features=32,
+        num_classes=3,
+        average_degree=3.0,
+        homophily=0.8,
     )
 
     def _clustering(self, graph):
@@ -58,11 +61,13 @@ class TestJitterAndMultistar:
     def test_jitter_varies_density_within_class(self):
         plain = make_graph_classification_dataset(
             [GraphFamilySpec("er", 20, 20, (0.3,), jitter=0.0)],
-            graphs_per_class=20, seed=0,
+            graphs_per_class=20,
+            seed=0,
         )
         jittered = make_graph_classification_dataset(
             [GraphFamilySpec("er", 20, 20, (0.3,), jitter=0.6)],
-            graphs_per_class=20, seed=0,
+            graphs_per_class=20,
+            seed=0,
         )
         def density_std(ds):
             return np.std([g.num_edges / g.num_nodes for g in ds.graphs])
@@ -71,7 +76,8 @@ class TestJitterAndMultistar:
     def test_multistar_has_requested_hub_count_shape(self):
         dataset = make_graph_classification_dataset(
             [GraphFamilySpec("multistar", 30, 30, (3, 0.0))],
-            graphs_per_class=5, seed=0,
+            graphs_per_class=5,
+            seed=0,
         )
         for g in dataset.graphs:
             degrees = np.sort(g.degrees())[::-1]
@@ -81,7 +87,8 @@ class TestJitterAndMultistar:
     def test_multistar_single_hub_is_star(self):
         dataset = make_graph_classification_dataset(
             [GraphFamilySpec("multistar", 12, 12, (1, 0.0))],
-            graphs_per_class=3, seed=0,
+            graphs_per_class=3,
+            seed=0,
         )
         for g in dataset.graphs:
             assert g.degrees().max() == g.num_nodes - 1
@@ -89,7 +96,8 @@ class TestJitterAndMultistar:
     def test_tree_with_chords_can_contain_cycles(self):
         dataset = make_graph_classification_dataset(
             [GraphFamilySpec("tree", 20, 20, (0.5,), jitter=0.0)],
-            graphs_per_class=10, seed=0,
+            graphs_per_class=10,
+            seed=0,
         )
         has_cycle = any(
             g.num_edges // 2 >= g.num_nodes for g in dataset.graphs

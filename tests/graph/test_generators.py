@@ -14,8 +14,13 @@ from repro.graph.generators import (
 
 
 SPEC = CitationGraphSpec(
-    num_nodes=200, num_features=64, num_classes=4,
-    average_degree=4.0, homophily=0.8, feature_signal=0.6, features_per_node=8.0,
+    num_nodes=200,
+    num_features=64,
+    num_classes=4,
+    average_degree=4.0,
+    homophily=0.8,
+    feature_signal=0.6,
+    features_per_node=8.0,
 )
 
 
@@ -155,8 +160,11 @@ class TestGeneratorProperties:
     )
     def test_generated_graphs_are_valid(self, seed, homophily, degree):
         spec = CitationGraphSpec(
-            num_nodes=80, num_features=32, num_classes=3,
-            average_degree=degree, homophily=homophily,
+            num_nodes=80,
+            num_features=32,
+            num_classes=3,
+            average_degree=degree,
+            homophily=homophily,
         )
         g = make_citation_graph(spec, seed=seed)
         # Structural invariants that must hold for every spec/seed.

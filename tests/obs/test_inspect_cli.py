@@ -16,10 +16,21 @@ from repro.obs import (
 )
 
 
-def _make_run(root, method="GCMAE", dataset="cora-like", seed=0, losses=(2.0, 1.0),
-              config=None, run_id=None):
+def _make_run(
+    root,
+    method="GCMAE",
+    dataset="cora-like",
+    seed=0,
+    losses=(2.0, 1.0),
+    config=None,
+    run_id=None,
+):
     with telemetry_run(
-        root, method=method, dataset=dataset, seed=seed, config=config,
+        root,
+        method=method,
+        dataset=dataset,
+        seed=seed,
+        config=config,
         run_id=run_id,
     ) as rec:
         for epoch, loss in enumerate(losses):
@@ -79,15 +90,43 @@ class TestRendering:
         assert "status ok" in text
 
     def test_render_diff_marks_changes(self, tmp_path):
-        a = _make_run(tmp_path, run_id="base", config={"lr": 0.001},
-                      losses=(2.0, 1.0))
-        b = _make_run(tmp_path, run_id="cand", config={"lr": 0.01},
-                      losses=(2.0, 0.5), seed=1)
+        a = _make_run(tmp_path, run_id="base", config={"lr": 0.001}, losses=(2.0, 1.0))
+        b = _make_run(tmp_path, run_id="cand", config={"lr": 0.01}, losses=(2.0, 0.5), seed=1)
         text = render_diff(find_run(tmp_path, a), find_run(tmp_path, b))
         assert "* seed" in text
         assert "* lr" in text
         assert "final loss" in text
         assert "(delta -0.5000)" in text
+
+    def test_render_show_serving_section(self, tmp_path):
+        import numpy as np
+
+        from repro.graph.data import Graph
+        from repro.graph.sparse import adjacency_from_edges
+        from repro.serve import EmbeddingService, EncoderSpec, ModelRegistry
+
+        edges = np.array([(i, (i + 1) % 10) for i in range(10)])
+        graph = Graph(
+            adjacency=adjacency_from_edges(edges, 10),
+            features=np.random.default_rng(0).normal(size=(10, 4)),
+        )
+        spec = EncoderSpec(in_features=4, hidden_features=8, out_features=4)
+        registry = ModelRegistry()
+        registry.register("demo", spec.build(seed=0), spec)
+        with telemetry_run(tmp_path, method="serve", dataset="ring") as rec:
+            with EmbeddingService(
+                registry, "demo", graph=graph, start_queue=False
+            ) as service:
+                service.embed_nodes([0, 1])
+                service.embed_nodes([0, 1])  # second pass: pure cache hits
+                future = service.submit_graph(graph)
+                service.queue.flush()
+                future.result(timeout=0)
+        text = render_show(find_run(tmp_path, rec.run_id))
+        assert "serving:" in text
+        assert "hit rate 0.50" in text
+        assert "1 batches" in text
+        assert "serve/embed_nodes" in text  # spans flow into the breakdown
 
 
 class TestRunsCLI:

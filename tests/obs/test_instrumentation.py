@@ -110,7 +110,11 @@ class TestEveryLoopEmits:
 
     def test_gcmae_fit_graphs_emits_parts(self, dataset):
         config = GCMAEConfig(
-            conv_type="gin", heads=1, hidden_dim=8, embed_dim=8, epochs=2,
+            conv_type="gin",
+            heads=1,
+            hidden_dim=8,
+            embed_dim=8,
+            epochs=2,
             graph_batch_size=8,
         )
         with record() as rec:

@@ -73,7 +73,10 @@ class TestTelemetryRun:
         graph = load_node_dataset("cora-like", seed=0)
         with profile():
             with telemetry_run(
-                tmp_path, method="GCMAE", dataset="cora-like", seed=0,
+                tmp_path,
+                method="GCMAE",
+                dataset="cora-like",
+                seed=0,
                 config=TINY_CONFIG,
             ) as rec:
                 with trace_span("test/GCMAE"):

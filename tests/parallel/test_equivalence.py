@@ -10,8 +10,13 @@ import pytest
 from repro.experiments import Profile, run_table4, run_table7
 
 MICRO = Profile(
-    name="micro", hidden_dim=16, epochs=2, gcmae_epochs=2,
-    num_seeds=1, graph_epochs=2, include_reddit=False,
+    name="micro",
+    hidden_dim=16,
+    epochs=2,
+    gcmae_epochs=2,
+    num_seeds=1,
+    graph_epochs=2,
+    include_reddit=False,
 )
 
 
@@ -24,7 +29,9 @@ def no_cache(monkeypatch):
 
 def test_table4_parallel_matches_serial_bit_for_bit():
     kwargs = dict(
-        profile=MICRO, datasets=["cora-like"], methods=["DGI", "GCMAE"],
+        profile=MICRO,
+        datasets=["cora-like"],
+        methods=["DGI", "GCMAE"],
         include_supervised=True,
     )
     serial = run_table4(jobs=1, **kwargs)

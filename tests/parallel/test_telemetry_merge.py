@@ -15,8 +15,13 @@ from repro.obs import (
 )
 
 MICRO = Profile(
-    name="micro", hidden_dim=16, epochs=2, gcmae_epochs=2,
-    num_seeds=1, graph_epochs=2, include_reddit=False,
+    name="micro",
+    hidden_dim=16,
+    epochs=2,
+    gcmae_epochs=2,
+    num_seeds=1,
+    graph_epochs=2,
+    include_reddit=False,
 )
 
 
@@ -25,9 +30,18 @@ class TestMergeEvents:
         recorder = MetricsRecorder()
         merged = merge_events(
             recorder,
-            [{"type": "span", "name": "table4/DGI/seed0", "seconds": 0.5,
-              "depth": 0, "ops": {}, "bytes_touched": 0}],
-            span_prefix="table4", depth_offset=1,
+            [
+                {
+                    "type": "span",
+                    "name": "table4/DGI/seed0",
+                    "seconds": 0.5,
+                    "depth": 0,
+                    "ops": {},
+                    "bytes_touched": 0,
+                }
+            ],
+            span_prefix="table4",
+            depth_offset=1,
         )
         assert merged == 1
         assert recorder.spans[0].name == "table4/table4/DGI/seed0"
@@ -77,8 +91,11 @@ class TestParallelRunRecord:
         runs_dir = tmp_path / "runs"
         with telemetry_run(str(runs_dir), method="table4", dataset="all"):
             run_table4(
-                profile=MICRO, datasets=["cora-like"], methods=["DGI", "GCMAE"],
-                include_supervised=False, jobs=2,
+                profile=MICRO,
+                datasets=["cora-like"],
+                methods=["DGI", "GCMAE"],
+                include_supervised=False,
+                jobs=2,
             )
         run_dir = next(Path(runs_dir).iterdir())
         events = [
@@ -101,7 +118,9 @@ class TestParallelRunRecord:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
         monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
         kwargs = dict(
-            profile=MICRO, datasets=["cora-like"], methods=["GCMAE"],
+            profile=MICRO,
+            datasets=["cora-like"],
+            methods=["GCMAE"],
             include_supervised=False,
         )
         first = run_table4(jobs=2, **kwargs)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the serving-layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph.data import Graph
+from repro.graph.sparse import adjacency_from_edges
+from repro.serve import EncoderSpec
+
+FEATURE_DIM = 6
+
+
+def make_ring_graph(num_nodes: int, seed: int = 0, name: str = "ring") -> Graph:
+    """A ring graph with a chord per node — small, connected, deterministic."""
+    rng = np.random.default_rng(seed)
+    edges = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+    edges += [(i, (i + num_nodes // 2) % num_nodes) for i in range(0, num_nodes, 3)]
+    adjacency = adjacency_from_edges(np.array(edges), num_nodes)
+    features = rng.normal(size=(num_nodes, FEATURE_DIM))
+    return Graph(adjacency=adjacency, features=features, name=name)
+
+
+@pytest.fixture
+def spec() -> EncoderSpec:
+    return EncoderSpec(
+        in_features=FEATURE_DIM, hidden_features=8, out_features=4, num_layers=2
+    )
+
+
+@pytest.fixture
+def graph() -> Graph:
+    return make_ring_graph(12)

@@ -1,0 +1,98 @@
+"""LRU embedding cache: eviction order, invalidation, telemetry counters."""
+
+import numpy as np
+import pytest
+
+from repro.obs import record
+from repro.serve import LRUCache
+
+
+class TestLRUBasics:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", default=-1) == -1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" becomes LRU
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: nothing evicted
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_get_many_partitions_found_and_missing(self):
+        cache = LRUCache(8)
+        cache.put(("m", 1), "x")
+        found, missing = cache.get_many([("m", 1), ("m", 2)])
+        assert found == {("m", 1): "x"}
+        assert missing == [("m", 2)]
+
+
+class TestInvalidation:
+    def test_invalidate_all(self):
+        cache = LRUCache(8)
+        for i in range(5):
+            cache.put(("m", i), i)
+        assert cache.invalidate() == 5
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+
+    def test_invalidate_prefix_only(self):
+        cache = LRUCache(8)
+        cache.put(("old", 0), 0)
+        cache.put(("old", 1), 1)
+        cache.put(("new", 0), 2)
+        assert cache.invalidate(prefix=("old",)) == 2
+        assert ("new", 0) in cache
+        assert ("old", 0) not in cache
+
+
+class TestCacheTelemetry:
+    def test_hit_miss_counters_reach_recorder(self):
+        cache = LRUCache(8)
+        with record() as recorder:
+            cache.get("nope")
+            cache.put("yes", 1)
+            cache.get("yes")
+            cache.get("yes")
+            counters = dict(recorder.counters)
+        assert counters["serve.cache.miss"] == 1.0
+        assert counters["serve.cache.hit"] == 2.0
+
+    def test_invalidation_counter(self):
+        cache = LRUCache(8)
+        cache.put("a", np.zeros(3))
+        cache.put("b", np.zeros(3))
+        with record() as recorder:
+            cache.invalidate()
+            counters = dict(recorder.counters)
+        assert counters["serve.cache.invalidated"] == 2.0
+
+    def test_stats_track_hit_rate_without_recorder(self):
+        cache = LRUCache(8)
+        cache.get("nope")
+        cache.put("yes", 1)
+        cache.get("yes")
+        stats = cache.stats()
+        assert stats["hits"] == 1.0
+        assert stats["misses"] == 1.0
+        assert stats["hit_rate"] == 0.5

@@ -1,0 +1,145 @@
+"""Micro-batch queue: coalescing correctness, ordering, error propagation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.graph.batch import GraphBatch
+from repro.obs import record
+from repro.serve import MicroBatchQueue, split_batch_output
+
+from .conftest import make_ring_graph
+
+
+class CountingForward:
+    """Wraps an encoder-style forward, counting batched invocations."""
+
+    def __init__(self, encoder):
+        self.encoder = encoder
+        self.calls = 0
+        self.batch_sizes = []
+
+    def __call__(self, batch: GraphBatch) -> np.ndarray:
+        self.calls += 1
+        self.batch_sizes.append(batch.num_graphs)
+        return self.encoder.infer_batch(batch)
+
+
+@pytest.fixture
+def forward(spec):
+    return CountingForward(spec.build(seed=3))
+
+
+class TestSplitBatchOutput:
+    def test_slices_follow_node_counts(self):
+        output = np.arange(12, dtype=np.float64).reshape(6, 2)
+        parts = split_batch_output(output, [1, 3, 2])
+        assert [p.shape[0] for p in parts] == [1, 3, 2]
+        assert np.array_equal(np.concatenate(parts), output)
+
+    def test_parts_are_copies(self):
+        output = np.zeros((4, 2))
+        parts = split_batch_output(output, [2, 2])
+        parts[0][:] = 7.0
+        assert output.sum() == 0.0
+
+
+class TestCoalescing:
+    def test_flush_coalesces_pending_into_one_forward(self, forward):
+        queue = MicroBatchQueue(forward, max_batch=8, start=False)
+        graphs = [make_ring_graph(6 + i, seed=i) for i in range(5)]
+        futures = [queue.submit(g) for g in graphs]
+        assert queue.flush() == 1
+        assert forward.calls == 1
+        assert forward.batch_sizes == [5]
+        for graph, future in zip(graphs, futures):
+            assert future.result(timeout=0).shape == (graph.num_nodes, 4)
+
+    def test_batched_rows_match_solo_forwards_in_order(self, forward):
+        queue = MicroBatchQueue(forward, max_batch=8, start=False)
+        graphs = [make_ring_graph(6 + i, seed=i) for i in range(4)]
+        futures = [queue.submit(g) for g in graphs]
+        queue.flush()
+        for graph, future in zip(graphs, futures):
+            solo = forward.encoder.infer(graph.adjacency, graph.features)
+            assert np.array_equal(solo, future.result(timeout=0))
+
+    def test_max_batch_splits_overflow(self, forward):
+        queue = MicroBatchQueue(forward, max_batch=3, start=False)
+        for i in range(7):
+            queue.submit(make_ring_graph(6, seed=i))
+        assert queue.flush() == 3
+        assert forward.batch_sizes == [3, 3, 1]
+
+    def test_threaded_concurrent_submits_coalesce(self, forward):
+        with MicroBatchQueue(forward, max_batch=16, max_wait_ms=100.0) as queue:
+            graphs = [make_ring_graph(6 + i, seed=i) for i in range(6)]
+            barrier = threading.Barrier(len(graphs))
+            results = [None] * len(graphs)
+
+            def request(index):
+                barrier.wait()
+                results[index] = queue.embed(graphs[index], timeout=30.0)
+
+            threads = [
+                threading.Thread(target=request, args=(i,)) for i in range(len(graphs))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert forward.calls < len(graphs)  # at least one coalesced batch
+        for graph, rows in zip(graphs, results):
+            solo = forward.encoder.infer(graph.adjacency, graph.features)
+            assert np.array_equal(solo, rows)
+
+    def test_stats_and_telemetry(self, forward):
+        queue = MicroBatchQueue(forward, max_batch=8, start=False)
+        with record() as recorder:
+            futures = [queue.submit(make_ring_graph(6, seed=i)) for i in range(3)]
+            queue.flush()
+            counters = dict(recorder.counters)
+            span_names = [s.name for s in recorder.spans]
+        for future in futures:
+            future.result(timeout=0)
+        stats = queue.stats()
+        assert stats["requests"] == 3.0
+        assert stats["batches"] == 1.0
+        assert stats["coalesced"] == 2.0
+        assert stats["mean_batch_size"] == 3.0
+        assert counters["serve.queue.batches"] == 1.0
+        assert counters["serve.queue.coalesced"] == 2.0
+        assert "serve/batch" in span_names
+
+
+class TestLifecycle:
+    def test_forward_error_propagates_to_all_futures(self):
+        def broken(batch):
+            raise RuntimeError("encoder exploded")
+
+        queue = MicroBatchQueue(broken, start=False)
+        futures = [queue.submit(make_ring_graph(6, seed=i)) for i in range(2)]
+        queue.flush()
+        for future in futures:
+            with pytest.raises(RuntimeError, match="encoder exploded"):
+                future.result(timeout=0)
+
+    def test_submit_after_close_raises(self, forward):
+        queue = MicroBatchQueue(forward, max_wait_ms=0.0)
+        queue.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            queue.submit(make_ring_graph(6))
+
+    def test_close_drains_pending(self, forward):
+        queue = MicroBatchQueue(forward, max_wait_ms=50.0)
+        futures = [queue.submit(make_ring_graph(6, seed=i)) for i in range(3)]
+        queue.close()
+        for future in futures:
+            assert future.result(timeout=5.0).shape == (6, 4)
+
+    def test_validation(self, forward):
+        with pytest.raises(ValueError):
+            MicroBatchQueue(forward, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatchQueue(forward, max_wait_ms=-1.0)

@@ -1,0 +1,119 @@
+"""Model registry: checkpoint round-trips, nested-prefix extraction, versions."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.checkpoint import atomic_savez
+from repro.serve import (
+    EncoderSpec,
+    ModelRegistry,
+    load_encoder,
+    save_encoder,
+)
+
+from .conftest import make_ring_graph
+
+
+class TestEncoderSpec:
+    def test_dict_roundtrip(self, spec):
+        assert EncoderSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_ignores_unknown_keys(self, spec):
+        payload = dict(spec.to_dict(), saved_by="run-42")
+        assert EncoderSpec.from_dict(payload) == spec
+
+    def test_build_is_seed_deterministic(self, spec):
+        a = spec.build(seed=7).state_dict()
+        b = spec.build(seed=7).state_dict()
+        for name, array in a.items():
+            assert np.array_equal(array, b[name])
+
+
+class TestCheckpointRoundTrip:
+    def test_save_load_preserves_weights_and_outputs(self, tmp_path, spec):
+        encoder = spec.build(seed=5)
+        path = save_encoder(tmp_path / "enc.npz", encoder, spec, meta={"run": "r1"})
+        loaded, meta = load_encoder(path)
+        assert meta["run"] == "r1"
+        assert meta["encoder_spec"] == spec.to_dict()
+        graph = make_ring_graph(9)
+        assert np.array_equal(
+            encoder.infer(graph.adjacency, graph.features),
+            loaded.infer(graph.adjacency, graph.features),
+        )
+
+    def test_load_without_embedded_spec_requires_one(self, tmp_path, spec):
+        encoder = spec.build(seed=5)
+        arrays = {
+            f"module/encoder/{name}": array
+            for name, array in encoder.state_dict().items()
+        }
+        path = atomic_savez(tmp_path / "bare.npz", **arrays)
+        with pytest.raises(ValueError, match="spec"):
+            load_encoder(path)
+        loaded, _ = load_encoder(path, spec=spec)
+        assert loaded.state_dict().keys() == encoder.state_dict().keys()
+
+    def test_extracts_encoder_nested_in_whole_model_checkpoint(self, tmp_path, spec):
+        # Engine checkpoints of a full GCMAE store the encoder as a
+        # submodule: module/model/encoder.<param>.  Decoder/projector
+        # parameters ride alongside and must be ignored.
+        encoder = spec.build(seed=5)
+        arrays = {
+            f"module/model/encoder.{name}": array
+            for name, array in encoder.state_dict().items()
+        }
+        arrays["module/model/decoder.layers.0.weight"] = np.zeros((4, 6))
+        arrays["module/optimizer/step"] = np.array([3.0])
+        arrays["__meta_json__"] = np.frombuffer(
+            json.dumps({"epoch": 3}).encode("utf-8"), dtype=np.uint8
+        )
+        path = atomic_savez(tmp_path / "gcmae.npz", **arrays)
+        loaded, meta = load_encoder(path, spec=spec)
+        assert meta["epoch"] == 3
+        graph = make_ring_graph(9)
+        assert np.array_equal(
+            encoder.infer(graph.adjacency, graph.features),
+            loaded.infer(graph.adjacency, graph.features),
+        )
+
+    def test_unmatchable_checkpoint_raises(self, tmp_path, spec):
+        path = atomic_savez(tmp_path / "junk.npz", **{"module/model/foo": np.zeros(2)})
+        with pytest.raises(KeyError, match="no module section"):
+            load_encoder(path, spec=spec)
+
+
+class TestModelRegistry:
+    def test_register_get_names(self, spec):
+        registry = ModelRegistry()
+        registry.register("demo", spec.build(seed=1), spec)
+        assert "demo" in registry
+        assert registry.names() == ["demo"]
+        assert registry.get("demo").version == 1
+
+    def test_reregister_bumps_version(self, spec):
+        registry = ModelRegistry()
+        registry.register("demo", spec.build(seed=1), spec)
+        entry = registry.register("demo", spec.build(seed=2), spec)
+        assert entry.version == 2
+
+    def test_registered_encoder_is_eval_mode(self, spec):
+        registry = ModelRegistry()
+        encoder = spec.build(seed=1).train()
+        registry.register("demo", encoder, spec)
+        assert not registry.get("demo").encoder.training
+
+    def test_get_unknown_name_lists_registered(self, spec):
+        registry = ModelRegistry()
+        registry.register("demo", spec.build(seed=1), spec)
+        with pytest.raises(KeyError, match="demo"):
+            registry.get("nope")
+
+    def test_load_from_disk(self, tmp_path, spec):
+        path = save_encoder(tmp_path / "enc.npz", spec.build(seed=5), spec)
+        registry = ModelRegistry()
+        entry = registry.load("demo", path)
+        assert entry.source == str(path)
+        assert entry.spec == spec

@@ -25,6 +25,14 @@ class TestParser:
         )
         assert args.task == "clustering"
 
+    def test_serve_args(self):
+        args = _build_parser().parse_args(
+            ["serve", "model.npz", "--dataset", "citeseer-like", "--nodes", "1,2"]
+        )
+        assert args.checkpoint == "model.npz"
+        assert args.dataset == "citeseer-like"
+        assert args.nodes == "1,2"
+
     def test_jobs_flag(self):
         assert _build_parser().parse_args(["table", "4", "--jobs", "4"]).jobs == 4
         assert _build_parser().parse_args(["figure", "5", "--jobs", "2"]).jobs == 2
@@ -71,6 +79,21 @@ class TestCommands:
         monkeypatch.setattr(registry, "node_ssl_methods", tiny_methods)
         main(["evaluate", "DGI", "cora-like", "--task", "classification"])
         assert "accuracy=" in capsys.readouterr().out
+
+    def test_serve_command(self, tmp_path, capsys):
+        from repro.graph.datasets import load_node_dataset
+        from repro.serve import EncoderSpec, save_encoder
+
+        graph = load_node_dataset("cora-like", seed=0)
+        spec = EncoderSpec(
+            in_features=graph.features.shape[1], hidden_features=8, out_features=8
+        )
+        checkpoint = tmp_path / "enc.npz"
+        save_encoder(checkpoint, spec.build(seed=0), spec)
+        main(["serve", str(checkpoint), "--dataset", "cora-like", "--nodes", "0,1,2"])
+        out = capsys.readouterr().out
+        assert "served 8-dim embeddings for 3 nodes" in out
+        assert "hit rate 0.50" in out  # second pass served from cache
 
     def test_jobs_flag_sets_executor_default(self, monkeypatch, capsys):
         from repro import parallel

@@ -82,8 +82,12 @@ class TestDownstreamTasksEndToEnd:
 
     def test_subgraph_trained_gcmae_matches_protocol(self, graph):
         config = GCMAEConfig(
-            hidden_dim=32, embed_dim=32, epochs=30,
-            subgraph_threshold=100, subgraph_size=120, steps_per_epoch=2,
+            hidden_dim=32,
+            embed_dim=32,
+            epochs=30,
+            subgraph_threshold=100,
+            subgraph_size=120,
+            steps_per_epoch=2,
         )
         result = GCMAEMethod(config).fit(graph, seed=0)
         assert result.embeddings.shape == (graph.num_nodes, 32)

@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: ci test lint perf bench-gc bench-parallel bench-serving bench runs-demo
+.PHONY: ci test lint perf bench-gc bench-kernels bench-parallel bench-serving bench runs-demo
 
 ci:
 	scripts/ci.sh
@@ -18,6 +18,9 @@ perf:
 bench-gc:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_regression.py -q -s \
 		-k "block_diag or segment_ops"
+
+bench-kernels:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_kernels.py -q -s
 
 bench-parallel:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_parallel_tables.py -q -s

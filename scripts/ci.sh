@@ -35,6 +35,21 @@ echo "== perf smoke (node sparse path + graph-classification batching) =="
 REPRO_PERF_REPORT_ONLY="$REPORT_ONLY" \
     PYTHONPATH=src python -m pytest benchmarks/test_perf_regression.py -q -s
 
+echo "== float32 smoke (policy-scoped tier-1 subset under REPRO_DTYPE=float32) =="
+# End-to-end training/eval/serving plus the dtype/kernel/arena unit tests
+# under the float32 policy.  Precision-bound modules that compare against
+# float64 numpy references stay on the default-policy run above.
+REPRO_DTYPE=float32 PYTHONPATH=src python -m pytest -q \
+    tests/core tests/eval tests/serve tests/test_integration.py \
+    tests/nn/test_dtype.py tests/nn/test_kernels.py tests/nn/test_arena.py
+
+echo "== kernel smoke (dtype bytes, threaded spmm, arena warmup) =="
+# Gated by the "kernels" key in benchmarks/perf_baseline.json; writes
+# benchmarks/BENCH_kernels.json.  The thread-speedup gate self-skips
+# below 4 usable cores; equality and bytes gates run everywhere.
+REPRO_PERF_REPORT_ONLY="$REPORT_ONLY" \
+    PYTHONPATH=src python -m pytest benchmarks/test_kernels.py -q -s
+
 echo "== serving smoke (micro-batched queue vs per-request forwards) =="
 # Gated by the "serving" key in benchmarks/perf_baseline.json; writes
 # benchmarks/BENCH_serving.json (p50/p99 latency, req/s, speedup).

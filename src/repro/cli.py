@@ -34,6 +34,15 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="GCMAE reproduction toolkit (ICDE 2024).",
     )
+    parser.add_argument(
+        "--dtype",
+        choices=["float32", "float64"],
+        default=None,
+        help="working float precision for the whole command "
+        "(default: REPRO_DTYPE or float64; float32 halves kernel bytes, "
+        "float64 is the bit-reproducible reference). "
+        "Goes before the subcommand: repro --dtype float32 pretrain ...",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="print dataset statistics (Tables 2-3)")
@@ -350,6 +359,10 @@ def _cmd_report(args) -> None:
 
 def main(argv: Optional[List[str]] = None) -> None:
     args = _build_parser().parse_args(argv)
+    if getattr(args, "dtype", None):
+        from .nn.dtype import set_default_dtype
+
+        set_default_dtype(args.dtype)
     if getattr(args, "jobs", None):
         from .parallel import set_default_jobs
 

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
+from typing import Optional, Tuple
+
+from ..nn.dtype import resolve_dtype
 
 
 @dataclass(frozen=True)
@@ -81,6 +83,10 @@ class GCMAEConfig:
     min_delta: float = 0.0
     variance_eps: float = 1e-4
     structure_terms: Tuple[str, ...] = ("mse", "bce", "dist")
+    # Working precision for this run: "float32", "float64", or None to
+    # inherit the ambient process policy (repro.nn.dtype; float64 unless
+    # REPRO_DTYPE / --dtype changed it).
+    dtype: Optional[str] = None
 
     # Loss-term switches used by the Table 10 ablation.
     use_contrastive: bool = True
@@ -102,6 +108,7 @@ class GCMAEConfig:
             )
         if self.patience < 0:
             raise ValueError(f"patience must be >= 0, got {self.patience}")
+        resolve_dtype(self.dtype)  # raises on unsupported dtypes
         if self.min_delta < 0.0:
             raise ValueError(f"min_delta must be >= 0, got {self.min_delta}")
         if not self.structure_terms or any(

@@ -19,9 +19,12 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+import contextlib
+
 from ..engine import EarlyStopping, Method, TrainLoop, TrainState
 from ..graph.augment import random_subgraph_nodes
 from ..graph.data import Graph, GraphDataset
+from ..nn.dtype import dtype_policy
 from ..nn.optim import Adam
 from ..obs.hooks import CallbackHook, EpochHook
 from .base import EmbeddingResult
@@ -161,6 +164,13 @@ def _early_stopping(config: GCMAEConfig) -> Optional[EarlyStopping]:
     return None
 
 
+def _config_dtype(config: GCMAEConfig):
+    """Dtype-policy scope for a run: ``config.dtype`` or the ambient policy."""
+    if config.dtype is not None:
+        return dtype_policy(config.dtype)
+    return contextlib.nullcontext()
+
+
 def _train_result(outcome) -> TrainResult:
     return TrainResult(
         model=outcome.state.modules["model"],
@@ -206,7 +216,8 @@ def train_gcmae(
     if epoch_callback is not None:
         hooks += (CallbackHook(epoch_callback),)
     loop = TrainLoop(config.epochs, early_stopping=_early_stopping(config))
-    outcome = loop.run(_GCMAENodeMethod(config), graph, seed=seed, hooks=hooks)
+    with _config_dtype(config):
+        outcome = loop.run(_GCMAENodeMethod(config), graph, seed=seed, hooks=hooks)
     return _train_result(outcome)
 
 
@@ -225,9 +236,10 @@ def train_gcmae_graphs(
     """
     config = config if config is not None else GCMAEConfig()
     loop = TrainLoop(config.epochs, early_stopping=_early_stopping(config))
-    outcome = loop.run(
-        _GCMAEGraphsMethod(config), dataset, seed=seed, hooks=tuple(hooks)
-    )
+    with _config_dtype(config):
+        outcome = loop.run(
+            _GCMAEGraphsMethod(config), dataset, seed=seed, hooks=tuple(hooks)
+        )
     return _train_result(outcome)
 
 

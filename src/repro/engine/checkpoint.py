@@ -28,6 +28,7 @@ from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
+from ..nn.dtype import default_dtype
 from .method import TrainState
 
 _META_KEY = "__meta_json__"
@@ -81,6 +82,10 @@ def save_checkpoint(
                 arrays[f"best/{module_name}/{param_name}"] = array
     payload = dict(meta)
     payload["format_version"] = _FORMAT_VERSION
+    # Informational: parameters are stored at their own dtype, and loading
+    # casts to whatever dtype the rebuilt parameters carry, so checkpoints
+    # round-trip across dtype policies; the tag records what produced them.
+    payload["dtype"] = default_dtype().name
     payload["optimizer"] = optim_scalars
     payload["rng_state"] = state.rng.bit_generator.state
     payload["has_best_snapshot"] = best_snapshot is not None

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..nn.arena import BufferArena, arena_enabled, use_arena
 from ..nn.profiler import active_session
 from ..obs.hooks import EpochHook, emit_epoch
 from .checkpoint import load_checkpoint, save_checkpoint
@@ -223,6 +224,12 @@ class TrainLoop:
 
         session = active_session()
         stopping_cfg = self.early_stopping
+        # One buffer arena per run: forward/backward product buffers are
+        # recycled across steps (epoch-1 warmup is allocation-bound), and
+        # escape detection in advance() makes reuse safe regardless of what
+        # methods or hooks retain.  REPRO_ARENA=0 disables it.
+        arena = BufferArena() if arena_enabled() else None
+        arena_scope = use_arena(arena)
         start_time = time.perf_counter()
         for epoch in range(start_epoch, self.epochs):
             if stopped:
@@ -233,15 +240,18 @@ class TrainLoop:
 
             step_losses: List[float] = []
             step_parts: List[Dict[str, float]] = []
-            for payload in method.steps(state, data, epoch):
-                state.optimizer.zero_grad()
-                loss, parts = method.loss_step(state, data, epoch, payload)
-                loss.backward()
-                state.optimizer.step()
-                method.after_step(state, data, epoch, payload)
-                step_losses.append(loss.item())
-                if parts:
-                    step_parts.append(parts)
+            with arena_scope:
+                for payload in method.steps(state, data, epoch):
+                    state.optimizer.zero_grad()
+                    loss, parts = method.loss_step(state, data, epoch, payload)
+                    loss.backward()
+                    state.optimizer.step()
+                    method.after_step(state, data, epoch, payload)
+                    step_losses.append(loss.item())
+                    if parts:
+                        step_parts.append(parts)
+                    if arena is not None:
+                        arena.advance()
 
             epoch_loss = float(np.mean(step_losses)) if step_losses else 0.0
             parts = (

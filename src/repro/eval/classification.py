@@ -14,6 +14,8 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
+from ..nn.dtype import as_float_array
+
 from .metrics import accuracy, macro_f1
 
 
@@ -52,7 +54,7 @@ class LinearProbe:
         self._num_classes = 0
 
     def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearProbe":
-        features = np.asarray(features, dtype=np.float64)
+        features = as_float_array(features)
         labels = np.asarray(labels, dtype=np.int64)
         if features.shape[0] != labels.shape[0]:
             raise ValueError("features and labels disagree on the number of rows")
@@ -77,13 +79,13 @@ class LinearProbe:
     def predict(self, features: np.ndarray) -> np.ndarray:
         if self.weights is None:
             raise RuntimeError("probe is not fitted; call fit() first")
-        logits = np.asarray(features, dtype=np.float64) @ self.weights + self.bias
+        logits = as_float_array(features) @ self.weights + self.bias
         return logits.argmax(axis=1)
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         if self.weights is None:
             raise RuntimeError("probe is not fitted; call fit() first")
-        logits = np.asarray(features, dtype=np.float64) @ self.weights + self.bias
+        logits = as_float_array(features) @ self.weights + self.bias
         logits -= logits.max(axis=1, keepdims=True)
         probabilities = np.exp(logits)
         return probabilities / probabilities.sum(axis=1, keepdims=True)
@@ -105,7 +107,7 @@ class LinearSVM:
         self.bias: Optional[np.ndarray] = None
 
     def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearSVM":
-        features = np.asarray(features, dtype=np.float64)
+        features = as_float_array(features)
         labels = np.asarray(labels, dtype=np.int64)
         n, d = features.shape
         num_classes = int(labels.max()) + 1
@@ -126,7 +128,7 @@ class LinearSVM:
     def predict(self, features: np.ndarray) -> np.ndarray:
         if self.weights is None:
             raise RuntimeError("SVM is not fitted; call fit() first")
-        scores = np.asarray(features, dtype=np.float64) @ self.weights + self.bias
+        scores = as_float_array(features) @ self.weights + self.bias
         return scores.argmax(axis=1)
 
 
@@ -138,7 +140,7 @@ def evaluate_probe(
     probe: str = "logistic",
 ) -> ProbeResult:
     """Fit a linear probe on train nodes, score on test nodes (Table 4 row)."""
-    embeddings = np.asarray(embeddings, dtype=np.float64)
+    embeddings = as_float_array(embeddings)
     labels = np.asarray(labels)
     train_x, test_x = _standardize(embeddings[train_mask], embeddings[test_mask])
     model = LinearProbe() if probe == "logistic" else LinearSVM()
@@ -172,7 +174,7 @@ def cross_validated_probe(
     seed: int = 0,
 ) -> Tuple[float, float]:
     """5-fold CV accuracy (mean, std) — the paper's graph-classification protocol."""
-    embeddings = np.asarray(embeddings, dtype=np.float64)
+    embeddings = as_float_array(embeddings)
     labels = np.asarray(labels)
     rng = np.random.default_rng(seed)
     scores = []

@@ -22,6 +22,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..nn.dtype import as_float_array
+
 from ..graph.data import Graph
 
 
@@ -55,7 +57,7 @@ def alignment_score(
     positive_pairs = np.asarray(positive_pairs, dtype=np.int64).reshape(-1, 2)
     if len(positive_pairs) == 0:
         raise ValueError("alignment needs at least one positive pair")
-    unit = _normalize_rows(np.asarray(embeddings, dtype=np.float64))
+    unit = _normalize_rows(as_float_array(embeddings))
     differences = unit[positive_pairs[:, 0]] - unit[positive_pairs[:, 1]]
     return float((np.linalg.norm(differences, axis=1) ** alpha).mean())
 
@@ -67,7 +69,7 @@ def uniformity_score(
     rng: Optional[np.random.Generator] = None,
 ) -> float:
     """Wang-Isola uniformity (lower = more uniform on the hypersphere)."""
-    unit = _normalize_rows(np.asarray(embeddings, dtype=np.float64))
+    unit = _normalize_rows(as_float_array(embeddings))
     n = len(unit)
     if n < 2:
         raise ValueError("uniformity needs at least two embeddings")
@@ -89,7 +91,7 @@ def uniformity_score(
 
 def effective_rank(embeddings: np.ndarray) -> float:
     """Entropy-based effective rank of the embedding covariance spectrum."""
-    embeddings = np.asarray(embeddings, dtype=np.float64)
+    embeddings = as_float_array(embeddings)
     centered = embeddings - embeddings.mean(axis=0, keepdims=True)
     singular_values = np.linalg.svd(centered, compute_uv=False)
     total = singular_values.sum()
@@ -110,7 +112,7 @@ def embedding_diagnostics(
     itself-plus-noise and degenerates to 0 — pass the graph for a meaningful
     number.
     """
-    embeddings = np.asarray(embeddings, dtype=np.float64)
+    embeddings = as_float_array(embeddings)
     if graph is not None:
         pairs = graph.edges(directed=False)
         align = alignment_score(embeddings, pairs)

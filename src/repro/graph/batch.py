@@ -59,7 +59,12 @@ def block_diag_csr(matrices: Sequence[sp.csr_matrix]) -> sp.csr_matrix:
         position += block.indptr[-1]
     indices = np.concatenate([b.indices + o for b, o in zip(blocks, offsets[:-1])])
     data = np.concatenate([b.data for b in blocks])
-    return sp.csr_matrix((data, indices, indptr), shape=(total, total))
+    merged = sp.csr_matrix((data, indices, indptr), shape=(total, total))
+    # A block diagonal of symmetric blocks is symmetric (no cross-block
+    # edges), so the transpose-skip tag survives batching.
+    if all(sparse_utils.is_marked_symmetric(b) for b in blocks):
+        sparse_utils.mark_symmetric(merged)
+    return merged
 
 
 @dataclass

@@ -8,6 +8,7 @@ from typing import Dict, List, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from ..nn.dtype import as_float_array
 from . import sparse as sparse_utils
 
 
@@ -44,7 +45,7 @@ class Graph:
         self.adjacency = sparse_utils.remove_self_loops(
             sparse_utils.symmetrize(self.adjacency)
         )
-        self.features = np.asarray(self.features, dtype=np.float64)
+        self.features = as_float_array(self.features)
         if self.features.ndim != 2:
             raise ValueError(f"features must be 2-D, got shape {self.features.shape}")
         if self.features.shape[0] != self.adjacency.shape[0]:

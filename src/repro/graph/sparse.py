@@ -11,6 +11,15 @@ forward needs a structure operand derived from the adjacency, and every
   adjacency, with weakref-based eviction, so one adjacency trained for many
   epochs is normalised exactly once.  :class:`cache_disabled` restores the
   build-every-call behaviour for benchmarking.
+* Constructors that provably produce symmetric matrices tag their result
+  (:func:`mark_symmetric`), and :func:`cached_transpose` returns a tagged
+  matrix *itself* instead of materialising a transpose: a canonical-form
+  symmetric CSR has bit-identical ``indptr``/``indices``/``data`` to its
+  transpose, so ``spmm``'s backward can reuse the forward operand directly.
+
+Float data follows the process dtype policy (:mod:`repro.nn.dtype`):
+``float64`` by default, with float32 inputs preserved rather than silently
+up-cast.
 """
 
 from __future__ import annotations
@@ -22,13 +31,54 @@ from typing import Callable, Dict, Hashable, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from ..nn.dtype import as_float_array, default_dtype, resolve_dtype
 
-def to_csr(matrix: sp.spmatrix) -> sp.csr_matrix:
-    """Coerce any scipy sparse format to canonical CSR with float data."""
-    csr = sp.csr_matrix(matrix, dtype=np.float64)
+
+def to_csr(matrix: sp.spmatrix, dtype=None) -> sp.csr_matrix:
+    """Coerce any scipy sparse format to canonical CSR with float data.
+
+    Without an explicit ``dtype`` the data follows the policy in
+    :mod:`repro.nn.dtype`, except that a float input *narrower* than the
+    policy keeps its dtype (never silently widen — mirroring
+    :func:`repro.nn.dtype.as_float_array`).
+    """
+    target = resolve_dtype(dtype)
+    if target is None:
+        policy = default_dtype()
+        current = getattr(matrix, "dtype", None)
+        keep = (
+            current is not None
+            and current.kind == "f"
+            and current.itemsize <= policy.itemsize
+        )
+        target = current if keep else policy
+    csr = sp.csr_matrix(matrix, dtype=target)
     csr.sum_duplicates()
     csr.eliminate_zeros()
+    if is_marked_symmetric(matrix):
+        mark_symmetric(csr)
     return csr
+
+
+# ---------------------------------------------------------------------------
+# Symmetry tagging (training-time transpose skip)
+# ---------------------------------------------------------------------------
+def mark_symmetric(matrix: sp.spmatrix) -> sp.spmatrix:
+    """Tag ``matrix`` as symmetric so backward passes can skip its transpose.
+
+    Only constructors that *guarantee* symmetry may call this (symmetrize,
+    diagonal surgery on a tagged input, symmetric normalisation, block
+    diagonals of tagged blocks).  scipy operations on a tagged matrix
+    (slicing, ``.T``, arithmetic) return fresh objects without the tag, so
+    the mark cannot leak onto derived matrices that lose symmetry.
+    """
+    matrix._repro_symmetric = True
+    return matrix
+
+
+def is_marked_symmetric(matrix) -> bool:
+    """Whether ``matrix`` was tagged by a symmetry-preserving constructor."""
+    return bool(getattr(matrix, "_repro_symmetric", False))
 
 
 # ---------------------------------------------------------------------------
@@ -136,27 +186,41 @@ def cached_transpose(matrix: sp.spmatrix) -> sp.csr_matrix:
 
     ``spmm``'s backward multiplies by the transpose; materialising it once
     (instead of per backward call) keeps the fused forward+backward path
-    free of repeated CSC→CSR conversions.
+    free of repeated CSC→CSR conversions.  For matrices tagged symmetric
+    the transpose is the matrix itself: canonical CSR of a symmetric matrix
+    has bit-identical ``indptr``/``indices``/``data`` to its transpose, so
+    nothing is built or cached at all.
     """
-    return memoized_on_matrix(matrix, "transpose-csr", lambda: to_csr(matrix.T))
+    if is_marked_symmetric(matrix):
+        return matrix
+    return memoized_on_matrix(
+        matrix, "transpose-csr", lambda: to_csr(matrix.T, dtype=matrix.dtype)
+    )
 
 
 # ---------------------------------------------------------------------------
 # Diagonal surgery (COO-based, no LIL round trips)
 # ---------------------------------------------------------------------------
 def remove_self_loops(adjacency: sp.spmatrix) -> sp.csr_matrix:
-    """Return the adjacency with a zeroed diagonal."""
+    """Return the adjacency with a zeroed diagonal.
+
+    Diagonal surgery preserves symmetry, so a symmetry mark on the input
+    carries over to the result.
+    """
     coo = sp.coo_matrix(adjacency)
     off_diagonal = coo.row != coo.col
-    return to_csr(
+    result = to_csr(
         sp.coo_matrix(
             (
-                coo.data[off_diagonal].astype(np.float64),
+                as_float_array(coo.data[off_diagonal]),
                 (coo.row[off_diagonal], coo.col[off_diagonal]),
             ),
             shape=coo.shape,
         )
     )
+    if is_marked_symmetric(adjacency):
+        mark_symmetric(result)
+    return result
 
 
 def add_self_loops(adjacency: sp.spmatrix, weight: float = 1.0) -> sp.csr_matrix:
@@ -167,16 +231,18 @@ def add_self_loops(adjacency: sp.spmatrix, weight: float = 1.0) -> sp.csr_matrix
     diagonal = np.arange(n)
     rows = np.concatenate([coo.row[off_diagonal], diagonal])
     cols = np.concatenate([coo.col[off_diagonal], diagonal])
-    data = np.concatenate(
-        [coo.data[off_diagonal].astype(np.float64), np.full(n, float(weight))]
-    )
-    return to_csr(sp.coo_matrix((data, (rows, cols)), shape=coo.shape))
+    off_data = as_float_array(coo.data[off_diagonal])
+    data = np.concatenate([off_data, np.full(n, float(weight), dtype=off_data.dtype)])
+    result = to_csr(sp.coo_matrix((data, (rows, cols)), shape=coo.shape))
+    if is_marked_symmetric(adjacency):
+        mark_symmetric(result)
+    return result
 
 
 def symmetrize(adjacency: sp.spmatrix) -> sp.csr_matrix:
     """Make the adjacency symmetric by taking the elementwise maximum."""
     adjacency = to_csr(adjacency)
-    return to_csr(adjacency.maximum(adjacency.T))
+    return mark_symmetric(to_csr(adjacency.maximum(adjacency.T)))
 
 
 def normalized_adjacency(
@@ -205,7 +271,11 @@ def normalized_adjacency(
         nonzero = degrees > 0
         inv_sqrt[nonzero] = degrees[nonzero] ** -0.5
         coo.data *= inv_sqrt[coo.row] * inv_sqrt[coo.col]
-        return to_csr(coo)
+        result = to_csr(coo)
+        # D^-1/2 A D^-1/2 is symmetric exactly when A is.
+        if is_marked_symmetric(matrix):
+            mark_symmetric(result)
+        return result
     if mode == "row":
         inv = np.zeros_like(degrees)
         nonzero = degrees > 0

@@ -6,7 +6,10 @@ exactly the pieces the GSSL methods need: a reverse-mode autodiff
 optimizers the paper trains with.
 """
 
-from . import functional, profiler
+from . import arena, dtype, functional, kernels, profiler
+from .arena import BufferArena
+from .dtype import as_float_array, default_dtype, dtype_policy, set_default_dtype
+from .kernels import num_threads, set_num_threads
 from .module import Module, ModuleList, Parameter
 from .profiler import ProfilerSession, profile
 from .layers import (
@@ -25,6 +28,7 @@ __all__ = [
     "ACTIVATIONS",
     "Adam",
     "BatchNorm1d",
+    "BufferArena",
     "CosineAnnealingLR",
     "Dropout",
     "LayerNorm",
@@ -37,13 +41,22 @@ __all__ = [
     "ProfilerSession",
     "SGD",
     "Tensor",
+    "arena",
+    "as_float_array",
     "concatenate",
+    "default_dtype",
+    "dtype",
+    "dtype_policy",
     "ensure_tensor",
     "functional",
     "is_grad_enabled",
+    "kernels",
     "no_grad",
+    "num_threads",
     "profile",
     "profiler",
     "resolve_activation",
+    "set_default_dtype",
+    "set_num_threads",
     "stack",
 ]

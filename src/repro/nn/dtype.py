@@ -1,0 +1,131 @@
+"""Process-wide floating-point dtype policy.
+
+Everything in this repository historically computed in ``float64`` — numpy's
+default — which doubles the bytes every hot kernel has to touch relative to
+the single precision the original methods (GraphMAE, the contrastive
+baselines) actually train in.  This module makes the working precision a
+*policy* instead of an accident:
+
+* :func:`default_dtype` — the dtype new float arrays are created with.
+* :func:`set_default_dtype` — set it process-wide (``float32`` or
+  ``float64``); returns the previous policy so callers can restore it.
+* :class:`dtype_policy` — context manager (and decorator) scoping a policy
+  to a block, used by tests and the float32 CI smoke leg.
+* ``REPRO_DTYPE=float32|float64`` — environment override applied at import
+  time (the CLI flag ``--dtype`` routes through :func:`set_default_dtype`).
+
+The policy is consulted by :func:`repro.nn.tensor.Tensor` coercion, the
+weight initialisers in :mod:`repro.nn.init`, and CSR/feature construction
+in :mod:`repro.graph.sparse` / :mod:`repro.graph.data`.  ``float64`` stays
+the default, and the default path is bit-identical to the pre-policy code.
+
+:func:`as_float_array` is the shared coercion helper: it never *widens* a
+float input (a ``float32`` array passed under the ``float64`` policy stays
+``float32`` instead of being silently up-cast, which the scattered
+``np.asarray(..., dtype=np.float64)`` calls it replaces used to do), and it
+narrows or promotes everything else to the policy dtype.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional, Union
+
+import numpy as np
+
+DtypeLike = Union[str, np.dtype, type]
+
+_SUPPORTED = (np.dtype(np.float32), np.dtype(np.float64))
+
+# The policy is process-wide state guarded by a lock for the rare writes;
+# reads are a single attribute load (the hot path: every Tensor creation).
+_lock = threading.Lock()
+_default_dtype: np.dtype = np.dtype(np.float64)
+
+
+def resolve_dtype(dtype: Optional[DtypeLike]) -> Optional[np.dtype]:
+    """Validate ``dtype`` as a supported float dtype (``None`` passes through)."""
+    if dtype is None:
+        return None
+    resolved = np.dtype(dtype)
+    if resolved not in _SUPPORTED:
+        supported = "/".join(d.name for d in _SUPPORTED)
+        raise ValueError(f"unsupported dtype {resolved.name!r}; use {supported}")
+    return resolved
+
+
+def default_dtype() -> np.dtype:
+    """The dtype policy currently in force (``float64`` unless changed)."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype: DtypeLike) -> np.dtype:
+    """Set the process-wide dtype policy; returns the previous one."""
+    global _default_dtype
+    resolved = resolve_dtype(dtype)
+    with _lock:
+        previous = _default_dtype
+        _default_dtype = resolved
+    return previous
+
+
+class dtype_policy:
+    """Context manager (and decorator) scoping the dtype policy to a block::
+
+        with dtype_policy("float32"):
+            result = train_gcmae(graph, config)
+
+    Note the policy is *process-wide* (not thread-local): arrays built under
+    one policy flow freely between threads, so a per-thread policy would
+    only manufacture mixed-precision surprises.
+    """
+
+    def __init__(self, dtype: DtypeLike) -> None:
+        self.dtype = resolve_dtype(dtype)
+        self._previous: Optional[np.dtype] = None
+
+    def __enter__(self) -> np.dtype:
+        self._previous = set_default_dtype(self.dtype)
+        return self.dtype
+
+    def __exit__(self, *exc_info) -> None:
+        set_default_dtype(self._previous)
+
+    def __call__(self, fn):
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with dtype_policy(self.dtype):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def as_float_array(values, dtype: Optional[DtypeLike] = None) -> np.ndarray:
+    """Coerce ``values`` to a float array under the dtype policy.
+
+    * arrays already at the target dtype pass through untouched (no copy);
+    * *narrower* float arrays (e.g. ``float32`` under the ``float64``
+      policy) also pass through — the policy caps precision, it never
+      silently widens an input the caller chose to keep small;
+    * everything else (integers, bools, wider floats) is cast to the
+      target dtype.
+    """
+    target = resolve_dtype(dtype) or _default_dtype
+    array = np.asarray(values)
+    if array.dtype == target:
+        return array
+    if np.issubdtype(array.dtype, np.floating) and array.dtype.itemsize <= target.itemsize:
+        return array
+    return array.astype(target)
+
+
+def _apply_environment() -> None:
+    spec = os.environ.get("REPRO_DTYPE", "").strip()
+    if spec:
+        set_default_dtype(spec)
+
+
+_apply_environment()

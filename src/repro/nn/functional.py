@@ -11,7 +11,12 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from ..graph.sparse import cache_is_enabled, cached_transpose
+# Module-object import (not ``from .sparse import name``): repro.graph and
+# repro.nn import each other, and binding the module keeps this file
+# importable from either direction of that cycle.
+from ..graph import sparse as graph_sparse
+from .arena import matmul_into
+from .kernels import spmm_data
 from .profiler import profiled_op
 from .tensor import Tensor, ensure_tensor, is_grad_enabled
 
@@ -31,20 +36,29 @@ def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
     :class:`~repro.nn.tensor.no_grad` no backward will ever run, so the
     transpose is neither resolved nor cached — inference over a one-shot
     adjacency (a serving micro-batch) touches only the forward product.
+
+    For adjacencies tagged symmetric (:func:`repro.graph.sparse.mark_symmetric`)
+    the "transpose" *is* the forward operand, so the backward reuses it and
+    no transpose is ever built.  Products run through
+    :func:`repro.nn.kernels.spmm_data` — thread-parallel when
+    ``REPRO_NUM_THREADS`` > 1, arena-buffered inside a training loop, and
+    bit-identical to the serial scipy product in every configuration.
     """
     if not sp.issparse(matrix):
         raise TypeError(f"spmm expects a scipy sparse matrix, got {type(matrix)!r}")
     dense = ensure_tensor(dense)
-    data = matrix @ dense.data
+    data = spmm_data(matrix, dense.data)
     needs_backward = is_grad_enabled() and dense.requires_grad
     transposed = (
-        cached_transpose(matrix) if needs_backward and cache_is_enabled() else None
+        graph_sparse.cached_transpose(matrix)
+        if needs_backward and graph_sparse.cache_is_enabled()
+        else None
     )
 
     def backward(grad: np.ndarray) -> None:
         if dense.requires_grad:
             if transposed is not None:
-                dense._accumulate(transposed @ grad)
+                dense._accumulate(spmm_data(transposed, grad))
             else:
                 dense._accumulate(matrix.T @ grad)
 
@@ -68,21 +82,25 @@ def spmm_linear(matrix: sp.spmatrix, dense: Tensor, weight: Tensor) -> Tensor:
         raise TypeError(f"spmm_linear expects a scipy sparse matrix, got {type(matrix)!r}")
     dense = ensure_tensor(dense)
     weight = ensure_tensor(weight)
-    projected = dense.data @ weight.data
-    data = matrix @ projected
+    projected = matmul_into(dense.data, weight.data)
+    data = spmm_data(matrix, projected)
     needs_backward = is_grad_enabled() and (dense.requires_grad or weight.requires_grad)
     transposed = (
-        cached_transpose(matrix) if needs_backward and cache_is_enabled() else None
+        graph_sparse.cached_transpose(matrix)
+        if needs_backward and graph_sparse.cache_is_enabled()
+        else None
     )
 
     def backward(grad: np.ndarray) -> None:
         if not (dense.requires_grad or weight.requires_grad):
             return
-        upstream = (transposed @ grad) if transposed is not None else (matrix.T @ grad)
+        upstream = (
+            spmm_data(transposed, grad) if transposed is not None else (matrix.T @ grad)
+        )
         if dense.requires_grad:
-            dense._accumulate(upstream @ weight.data.T)
+            dense._accumulate(matmul_into(upstream, weight.data.T))
         if weight.requires_grad:
-            weight._accumulate(dense.data.T @ upstream)
+            weight._accumulate(matmul_into(dense.data.T, upstream))
 
     return Tensor._make(np.asarray(data), (dense, weight), backward)
 

@@ -1,33 +1,40 @@
-"""Weight initialisation schemes used throughout the GNN stack."""
+"""Weight initialisation schemes used throughout the GNN stack.
+
+All initialisers sample in float64 (keeping the RNG stream identical across
+dtype policies) and then cast to the policy dtype from
+:mod:`repro.nn.dtype` — a no-op under the default float64 policy.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+
+from .dtype import default_dtype
 
 
 def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     """Glorot/Xavier uniform initialisation for a 2-D weight matrix."""
     fan_in, fan_out = _fans(shape)
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(default_dtype(), copy=False)
 
 
 def xavier_normal(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     """Glorot/Xavier normal initialisation."""
     fan_in, fan_out = _fans(shape)
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(default_dtype(), copy=False)
 
 
 def kaiming_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
     """He uniform initialisation, suited to ReLU-family activations."""
     fan_in, _ = _fans(shape)
     bound = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(default_dtype(), copy=False)
 
 
 def zeros(shape: tuple) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=default_dtype())
 
 
 def _fans(shape: tuple) -> tuple:

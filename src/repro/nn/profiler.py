@@ -42,12 +42,33 @@ def active_session() -> Optional["ProfilerSession"]:
 
 
 def _nbytes(value) -> int:
+    # Compressed sparse matrices (CSR/CSC/BSR) carry three arrays; counting
+    # only ``.data`` would hide the index traffic from ``bytes_touched``
+    # (the indices often rival the values — they are dtype-independent, so
+    # float32 runs shrink the data but not the index bytes).
+    indptr = getattr(value, "indptr", None)
+    if indptr is not None and hasattr(indptr, "nbytes"):
+        total = int(indptr.nbytes)
+        for part_name in ("data", "indices"):
+            part = getattr(value, part_name, None)
+            if part is not None and hasattr(part, "nbytes"):
+                total += int(part.nbytes)
+        return total
     data = getattr(value, "data", None)
     if data is not None and hasattr(data, "nbytes"):
         return int(data.nbytes)
     if hasattr(value, "nbytes"):
         return int(value.nbytes)
     return 0
+
+
+def _sparse_arg_bytes(args) -> int:
+    """Bytes of every compressed-sparse operand in ``args`` (0 for none)."""
+    total = 0
+    for arg in args:
+        if getattr(arg, "indptr", None) is not None:
+            total += _nbytes(arg)
+    return total
 
 
 @dataclass
@@ -287,7 +308,9 @@ def profiled_op(name: str) -> Callable:
                 return fn(*args, **kwargs)
             start = time.perf_counter()
             out = fn(*args, **kwargs)
-            session.record(name, time.perf_counter() - start, _nbytes(out))
+            session.record(
+                name, time.perf_counter() - start, _nbytes(out) + _sparse_arg_bytes(args)
+            )
             inner = getattr(out, "_backward", None)
             if inner is not None:
                 out._backward = _timed_backward(backward_name, inner, session)

@@ -24,6 +24,8 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .arena import matmul_into
+from .dtype import as_float_array
 from .profiler import profiled_op
 
 Arrayable = Union["Tensor", np.ndarray, float, int, list, tuple]
@@ -76,12 +78,10 @@ def is_grad_enabled() -> bool:
 def _as_array(value: Arrayable) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    array = np.asarray(value)
-    if array.dtype == np.float16 or array.dtype == np.float32:
-        return array
-    if np.issubdtype(array.dtype, np.floating):
-        return array
-    return array.astype(np.float64)
+    # Coercion follows the process dtype policy (repro.nn.dtype): floats
+    # narrower than the policy pass through untouched, wider floats are
+    # narrowed, and everything else is promoted to the policy dtype.
+    return as_float_array(value)
 
 
 def ensure_tensor(value: Arrayable) -> "Tensor":
@@ -136,7 +136,8 @@ class Tensor:
     ----------
     data:
         Anything convertible to ``numpy.ndarray``.  Integral inputs are
-        promoted to ``float64``.
+        promoted to the policy dtype (:func:`repro.nn.dtype.default_dtype`,
+        ``float64`` unless configured otherwise).
     requires_grad:
         Whether gradients should be accumulated for this tensor.
     """
@@ -354,19 +355,21 @@ class Tensor:
 
     def __matmul__(self, other: Arrayable) -> "Tensor":
         other = ensure_tensor(other)
-        data = self.data @ other.data
+        # Bit-identical to ``a @ b``; inside a training loop the output
+        # lands in a recycled arena buffer instead of a fresh allocation.
+        data = matmul_into(self.data, other.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 if other.data.ndim == 1:
                     self._accumulate(np.outer(grad, other.data) if grad.ndim == 1 else grad[..., None] * other.data)
                 else:
-                    self._accumulate(grad @ other.data.swapaxes(-1, -2))
+                    self._accumulate(matmul_into(grad, other.data.swapaxes(-1, -2)))
             if other.requires_grad:
                 if self.data.ndim == 1:
                     other._accumulate(np.outer(self.data, grad))
                 else:
-                    other._accumulate(self.data.swapaxes(-1, -2) @ grad)
+                    other._accumulate(matmul_into(self.data.swapaxes(-1, -2), grad))
 
         return Tensor._make(data, (self, other), backward)
 

@@ -28,6 +28,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..graph.data import Graph
+from ..nn.dtype import default_dtype
 from ..obs.hooks import emit_counter
 from ..obs.spans import trace_span
 from .cache import LRUCache
@@ -118,7 +119,7 @@ class EmbeddingService:
                     self.cache.put(key_base + (node,), row)
                     rows[node] = row
             if not node_ids.size:
-                return np.zeros((0, entry.spec.out_features))
+                return np.zeros((0, entry.spec.out_features), dtype=default_dtype())
             return np.stack([rows[node] for node in node_ids.tolist()], axis=0)
 
     def embed_graph(self, graph: Graph, timeout: Optional[float] = None) -> np.ndarray:

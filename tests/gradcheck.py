@@ -7,6 +7,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.nn import Tensor
+from repro.nn.dtype import dtype_policy
 
 
 def numerical_gradient(
@@ -15,35 +16,64 @@ def numerical_gradient(
     index: int,
     eps: float = 1e-6,
 ) -> np.ndarray:
-    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
-    base = [np.array(x, dtype=np.float64) for x in inputs]
-    grad = np.zeros_like(base[index])
-    flat = base[index].reshape(-1)
-    grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
-        original = flat[i]
-        flat[i] = original + eps
-        plus = float(fn(*[Tensor(x) for x in base]).sum().data)
-        flat[i] = original - eps
-        minus = float(fn(*[Tensor(x) for x in base]).sum().data)
-        flat[i] = original
-        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
+
+    Pinned to float64 regardless of the ambient dtype policy: the numerical
+    reference must not be narrowed by e.g. a ``REPRO_DTYPE=float32`` run.
+    """
+    with dtype_policy("float64"):
+        base = [np.array(x, dtype=np.float64) for x in inputs]
+        grad = np.zeros_like(base[index])
+        flat = base[index].reshape(-1)
+        grad_flat = grad.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = float(fn(*[Tensor(x) for x in base]).sum().data)
+            flat[i] = original - eps
+            minus = float(fn(*[Tensor(x) for x in base]).sum().data)
+            flat[i] = original
+            grad_flat[i] = (plus - minus) / (2.0 * eps)
     return grad
+
+
+# Looser tolerances for float32: the analytic pass runs in the working
+# dtype while the finite-difference reference always runs in float64.
+DTYPE_TOLERANCES = {
+    np.dtype(np.float64): dict(atol=1e-5, rtol=1e-4),
+    np.dtype(np.float32): dict(atol=2e-3, rtol=2e-2),
+}
 
 
 def check_gradients(
     fn: Callable[..., Tensor],
     inputs: Sequence[np.ndarray],
-    atol: float = 1e-5,
-    rtol: float = 1e-4,
+    atol: float = None,
+    rtol: float = None,
+    dtype=np.float64,
 ) -> None:
-    """Assert analytic gradients of ``sum(fn(*inputs))`` match finite diffs."""
-    tensors = [Tensor(np.array(x, dtype=np.float64), requires_grad=True) for x in inputs]
-    out = fn(*tensors).sum()
-    out.backward()
+    """Assert analytic gradients of ``sum(fn(*inputs))`` match finite diffs.
+
+    ``dtype`` is the working precision of the analytic pass; the numerical
+    reference is always central differences in float64.  Tolerances default
+    per dtype (``DTYPE_TOLERANCES``) and can be overridden explicitly.
+    """
+    dtype = np.dtype(dtype)
+    defaults = DTYPE_TOLERANCES[dtype]
+    atol = defaults["atol"] if atol is None else atol
+    rtol = defaults["rtol"] if rtol is None else rtol
+    # The analytic pass runs at exactly the requested precision, shielded
+    # from whatever ambient dtype policy the surrounding process set.
+    with dtype_policy(dtype.name):
+        tensors = [Tensor(np.array(x, dtype=dtype), requires_grad=True) for x in inputs]
+        out = fn(*tensors).sum()
+        out.backward()
     for index, tensor in enumerate(tensors):
         expected = numerical_gradient(fn, inputs, index)
         assert tensor.grad is not None, f"input {index} received no gradient"
+        assert tensor.grad.dtype == dtype, (
+            f"input {index} gradient dtype {tensor.grad.dtype} != working {dtype}"
+        )
         np.testing.assert_allclose(
             tensor.grad,
             expected,

@@ -114,3 +114,63 @@ class TestDiffusion:
     def test_invalid_alpha(self):
         with pytest.raises(ValueError):
             su.ppr_diffusion(ring(), alpha=1.5)
+
+
+class TestSymmetricMarks:
+    """The provably-symmetric tag that lets spmm backward skip the transpose."""
+
+    def _marked(self, n=8, seed=0):
+        rng = np.random.default_rng(seed)
+        dense = rng.random((n, n)) < 0.3
+        return su.symmetrize(sp.csr_matrix(dense.astype(np.float64)))
+
+    def test_symmetrize_marks_output(self):
+        assert su.is_marked_symmetric(self._marked())
+
+    def test_plain_to_csr_is_unmarked(self):
+        assert not su.is_marked_symmetric(su.to_csr(sp.eye(4, format="csr")))
+
+    def test_mark_is_honest(self):
+        # A marked matrix really has the transpose's exact CSR arrays, so
+        # the cached-transpose shortcut below is bit-exact, not approximate.
+        matrix = su.normalized_adjacency(self._marked(), mode="symmetric")
+        assert su.is_marked_symmetric(matrix)
+        transposed = su.to_csr(matrix.T)
+        np.testing.assert_array_equal(matrix.indptr, transposed.indptr)
+        np.testing.assert_array_equal(matrix.indices, transposed.indices)
+        np.testing.assert_array_equal(matrix.data, transposed.data)
+
+    def test_cached_transpose_returns_same_object_when_marked(self):
+        matrix = self._marked()
+        assert su.cached_transpose(matrix) is matrix
+
+    def test_scipy_derived_objects_drop_the_mark(self):
+        matrix = self._marked()
+        assert not su.is_marked_symmetric(su.to_csr(matrix.T @ matrix) * 1.0)
+        assert not su.is_marked_symmetric(matrix[:4, :])
+
+    def test_self_loop_edits_preserve_the_mark(self):
+        matrix = self._marked()
+        assert su.is_marked_symmetric(su.remove_self_loops(matrix))
+        assert su.is_marked_symmetric(su.add_self_loops(matrix))
+
+    def test_row_normalization_is_not_marked(self):
+        # D^-1 A is generally asymmetric even for symmetric A.
+        marked = self._marked()
+        assert not su.is_marked_symmetric(su.normalized_adjacency(marked, mode="row"))
+
+    def test_spmm_backward_equal_with_and_without_mark(self):
+        from repro.nn import Tensor
+        from repro.nn import functional as F
+
+        matrix = su.normalized_adjacency(self._marked(), mode="symmetric")
+        unmarked = su.to_csr(sp.csr_matrix(matrix))  # fresh object, no tag
+        assert not su.is_marked_symmetric(unmarked)
+        x = np.random.default_rng(1).normal(size=(matrix.shape[0], 3))
+
+        def grad_of(operand):
+            t = Tensor(x, requires_grad=True)
+            F.spmm(operand, t).sum().backward()
+            return t.grad
+
+        np.testing.assert_array_equal(grad_of(matrix), grad_of(unmarked))

@@ -91,6 +91,45 @@ class TestSpmmLinearGradcheck:
             F.spmm_linear(np.eye(3), Tensor(np.eye(3)), Tensor(np.eye(3)))
 
 
+class TestDualDtypeGradcheck:
+    """The fused kernels under both working precisions.
+
+    The sparse operand carries the working dtype (as a policy-built graph
+    would), so the blocked ``csr_matvecs`` path engages rather than the
+    mixed-dtype fallback; tolerances come from ``DTYPE_TOLERANCES``.
+    """
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_spmm(self, dtype):
+        matrix = _random_csr(8, 8, seed=11).astype(dtype)
+        check_gradients(lambda t: F.spmm(matrix, t), [RNG.normal(size=(8, 3))], dtype=dtype)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_spmm_linear(self, dtype):
+        matrix = _random_csr(7, 7, seed=12).astype(dtype)
+        check_gradients(
+            lambda x, w: F.spmm_linear(matrix, x, w),
+            [RNG.normal(size=(7, 3)), RNG.normal(size=(3, 2))],
+            dtype=dtype,
+        )
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_segment_ops(self, dtype):
+        ids = np.array([0, 0, 1, 2, 2, 2], dtype=np.int64)
+        values = RNG.normal(size=(6, 3))
+        for op in (F.segment_sum, F.segment_mean, F.segment_max):
+            check_gradients(lambda t, op=op: op(t, ids, 3), [values], dtype=dtype)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_forward_dtype_follows_operands(self, dtype):
+        from repro.nn.dtype import dtype_policy
+
+        matrix = _random_csr(5, 5, seed=13).astype(dtype)
+        with dtype_policy(np.dtype(dtype).name):  # shield from ambient REPRO_DTYPE
+            out = F.spmm(matrix, Tensor(RNG.normal(size=(5, 2)).astype(dtype)))
+        assert out.data.dtype == np.dtype(dtype)
+
+
 class TestDerivedMatrixCache:
     def test_memoized_returns_same_object(self):
         matrix = _random_csr(5, 5, seed=6)

@@ -1,0 +1,148 @@
+"""The tape buffer arena: recycling, escape detection, numeric identity."""
+
+import numpy as np
+import pytest
+
+from repro.nn.arena import (
+    BufferArena,
+    active_arena,
+    arena_enabled,
+    matmul_into,
+    use_arena,
+)
+
+
+class TestTakeAndAdvance:
+    def test_recycles_released_buffers(self):
+        arena = BufferArena()
+        first = arena.take((4, 3), np.float64)
+        first_id = id(first)
+        del first
+        arena.advance()
+        second = arena.take((4, 3), np.float64)
+        assert id(second) == first_id
+        assert arena.stats()["hits"] == 1
+        assert arena.stats()["misses"] == 1
+
+    def test_escaped_buffers_are_not_recycled(self):
+        arena = BufferArena()
+        held = arena.take((4, 3), np.float64)
+        arena.advance()  # `held` is still referenced here
+        again = arena.take((4, 3), np.float64)
+        assert again is not held
+        stats = arena.stats()
+        assert stats["escaped"] == 1
+        assert stats["hits"] == 0
+        held[:] = 1.0  # the escaped buffer is still safely ours
+
+    def test_keys_on_shape_and_dtype(self):
+        arena = BufferArena()
+        arena.take((4, 3), np.float64)
+        arena.take((4, 3), np.float32)
+        arena.take((3, 4), np.float64)
+        arena.advance()
+        assert arena.stats()["free"] == 3
+        assert arena.take((4, 3), np.float32).dtype == np.dtype(np.float32)
+        assert arena.stats()["hits"] == 1
+
+    def test_outstanding_tracked(self):
+        arena = BufferArena()
+        arena.take((2, 2), np.float64)
+        assert arena.stats()["outstanding"] == 1
+        arena.advance()
+        assert arena.stats()["outstanding"] == 0
+
+
+class TestAmbientBinding:
+    def test_no_arena_by_default(self):
+        assert active_arena() is None
+
+    def test_use_arena_scopes_and_nests(self):
+        outer, inner = BufferArena(), BufferArena()
+        with use_arena(outer):
+            assert active_arena() is outer
+            with use_arena(inner):
+                assert active_arena() is inner
+            assert active_arena() is outer
+        assert active_arena() is None
+
+    def test_use_arena_none_disables_inside_scope(self):
+        with use_arena(BufferArena()):
+            with use_arena(None):
+                assert active_arena() is None
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [("0", False), ("false", False), ("off", False), ("1", True), ("", True)],
+    )
+    def test_arena_enabled_env(self, monkeypatch, value, expected):
+        if value:
+            monkeypatch.setenv("REPRO_ARENA", value)
+        else:
+            monkeypatch.delenv("REPRO_ARENA", raising=False)
+        assert arena_enabled() is expected
+
+
+class TestMatmulInto:
+    def test_bit_identical_to_plain_matmul(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(6, 5)), rng.normal(size=(5, 4))
+        reference = a @ b
+        with use_arena(BufferArena()):
+            assert np.array_equal(matmul_into(a, b), reference)
+
+    def test_no_arena_is_plain_matmul(self):
+        a, b = np.ones((2, 3)), np.ones((3, 2))
+        np.testing.assert_array_equal(matmul_into(a, b), a @ b)
+
+    def test_non_2d_falls_back(self):
+        a = np.ones((2, 3, 4))
+        b = np.ones((4, 2))
+        with use_arena(BufferArena()) as arena:
+            out = matmul_into(a, b)
+            assert arena.stats()["misses"] == 0  # fallback never touched it
+        np.testing.assert_array_equal(out, a @ b)
+
+    def test_overwrites_recycled_garbage(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=(4, 3)), rng.normal(size=(3, 4))
+        arena = BufferArena()
+        with use_arena(arena):
+            first = matmul_into(a, b)
+            del first
+            arena.advance()
+            second = matmul_into(a, b)  # recycled buffer, fully rewritten
+        assert arena.stats()["hits"] == 1
+        assert np.array_equal(second, a @ b)
+
+
+class TestTrainLoopIntegration:
+    def _train(self, monkeypatch, enabled):
+        import scipy.sparse as sp
+
+        from repro.core.config import GCMAEConfig
+        from repro.core.trainer import train_gcmae
+        from repro.graph.data import Graph
+
+        monkeypatch.setenv("REPRO_ARENA", "1" if enabled else "0")
+        n = 20
+        ring = np.arange(n)
+        graph = Graph(
+            adjacency=sp.csr_matrix((np.ones(n), (ring, (ring + 1) % n)), shape=(n, n)),
+            features=np.random.default_rng(0).normal(size=(n, 5)),
+        )
+        config = GCMAEConfig(
+            hidden_dim=8, embed_dim=8, conv_type="gcn", heads=1, epochs=3,
+            use_contrastive=False, use_structure_reconstruction=False,
+            use_discrimination=False,
+        )
+        return train_gcmae(graph, config, seed=0)
+
+    def test_training_bit_identical_with_and_without_arena(self, monkeypatch):
+        on = self._train(monkeypatch, enabled=True)
+        off = self._train(monkeypatch, enabled=False)
+        assert on.loss_history == off.loss_history
+
+    def test_no_arena_leaks_after_run(self, monkeypatch):
+        self._train(monkeypatch, enabled=True)
+        assert active_arena() is None

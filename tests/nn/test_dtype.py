@@ -1,0 +1,231 @@
+"""The process-wide dtype policy: resolution, scoping, coercion, plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.engine.checkpoint import load_checkpoint, save_checkpoint
+from repro.nn import Linear, Tensor
+from repro.nn import dtype as dtype_module
+from repro.nn import init
+from repro.nn.dtype import as_float_array, default_dtype, dtype_policy, set_default_dtype
+
+
+@pytest.fixture(autouse=True)
+def _restore_policy():
+    # Pin the documented default so this module tests the same thing under
+    # the float32 CI smoke leg (REPRO_DTYPE=float32) as in a plain run.
+    previous = set_default_dtype("float64")
+    yield
+    set_default_dtype(previous)
+
+
+class TestResolveAndSet:
+    def test_default_is_float64(self):
+        assert default_dtype() == np.dtype(np.float64)
+
+    @pytest.mark.parametrize("spec", ["float32", np.float32, np.dtype(np.float32)])
+    def test_spellings_resolve(self, spec):
+        assert dtype_module.resolve_dtype(spec) == np.dtype(np.float32)
+
+    def test_none_passes_through(self):
+        assert dtype_module.resolve_dtype(None) is None
+
+    @pytest.mark.parametrize("spec", ["float16", "int64", "complex128", "bogus"])
+    def test_unsupported_rejected(self, spec):
+        with pytest.raises((ValueError, TypeError)):
+            dtype_module.resolve_dtype(spec)
+
+    def test_set_returns_previous(self):
+        previous = set_default_dtype("float32")
+        assert previous == np.dtype(np.float64)
+        assert default_dtype() == np.dtype(np.float32)
+        assert set_default_dtype(previous) == np.dtype(np.float32)
+
+    def test_environment_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DTYPE", "float32")
+        dtype_module._apply_environment()
+        assert default_dtype() == np.dtype(np.float32)
+
+    def test_environment_rejects_unsupported(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DTYPE", "float16")
+        with pytest.raises((ValueError, TypeError)):
+            dtype_module._apply_environment()
+
+
+class TestPolicyScope:
+    def test_context_restores(self):
+        with dtype_policy("float32") as resolved:
+            assert resolved == np.dtype(np.float32)
+            assert default_dtype() == np.dtype(np.float32)
+        assert default_dtype() == np.dtype(np.float64)
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with dtype_policy("float32"):
+                raise RuntimeError("boom")
+        assert default_dtype() == np.dtype(np.float64)
+
+    def test_nesting(self):
+        with dtype_policy("float32"):
+            with dtype_policy("float64"):
+                assert default_dtype() == np.dtype(np.float64)
+            assert default_dtype() == np.dtype(np.float32)
+
+    def test_decorator_form(self):
+        @dtype_policy("float32")
+        def build():
+            return Tensor([1.0, 2.0]).data.dtype
+
+        assert build() == np.dtype(np.float32)
+        assert default_dtype() == np.dtype(np.float64)
+
+
+class TestAsFloatArray:
+    def test_target_dtype_passes_through_unchanged(self):
+        array = np.ones(3, dtype=np.float64)
+        assert as_float_array(array) is array
+
+    def test_never_widens_narrow_floats(self):
+        array = np.ones(3, dtype=np.float32)
+        assert as_float_array(array) is array  # float32 under float64 policy
+
+    def test_narrows_wide_floats_under_float32(self):
+        with dtype_policy("float32"):
+            out = as_float_array(np.ones(3, dtype=np.float64))
+        assert out.dtype == np.dtype(np.float32)
+
+    @pytest.mark.parametrize("values", [[1, 2, 3], np.arange(3), np.ones(3, dtype=bool)])
+    def test_non_floats_cast_to_policy(self, values):
+        assert as_float_array(values).dtype == np.dtype(np.float64)
+        with dtype_policy("float32"):
+            assert as_float_array(values).dtype == np.dtype(np.float32)
+
+    def test_explicit_dtype_wins(self):
+        out = as_float_array(np.ones(3, dtype=np.float64), dtype="float32")
+        assert out.dtype == np.dtype(np.float32)
+
+
+class TestPolicyReachesTheStack:
+    def test_tensor_coercion_follows_policy(self):
+        with dtype_policy("float32"):
+            assert Tensor([1.0, 2.0]).data.dtype == np.dtype(np.float32)
+        assert Tensor([1.0, 2.0]).data.dtype == np.dtype(np.float64)
+
+    def test_init_dtype_follows_policy(self):
+        rng = np.random.default_rng(0)
+        with dtype_policy("float32"):
+            weight = init.xavier_uniform((4, 3), rng)
+        assert weight.dtype == np.dtype(np.float32)
+
+    def test_init_rng_stream_identical_across_policies(self):
+        # Sampling happens in float64 and is narrowed afterwards, so a
+        # float32 run consumes the identical rng stream as a float64 run.
+        w64 = init.xavier_uniform((5, 4), np.random.default_rng(3))
+        with dtype_policy("float32"):
+            w32 = init.xavier_uniform((5, 4), np.random.default_rng(3))
+        np.testing.assert_array_equal(w32, w64.astype(np.float32))
+
+    def test_graph_build_follows_policy(self):
+        from repro.graph.data import Graph
+        import scipy.sparse as sp
+
+        adjacency = sp.csr_matrix(
+            (np.ones(2), (np.array([0, 1]), np.array([1, 0]))), shape=(2, 2)
+        )
+        features = [[1.0, 2.0], [3.0, 4.0]]
+        with dtype_policy("float32"):
+            graph = Graph(adjacency=adjacency, features=np.array(features))
+            assert graph.features.dtype == np.dtype(np.float32)
+            assert graph.adjacency.dtype == np.dtype(np.float32)
+        graph = Graph(adjacency=adjacency, features=np.array(features))
+        assert graph.features.dtype == np.dtype(np.float64)
+
+
+class TestCheckpointRoundTrip:
+    def _state(self, rng_seed=0):
+        from repro.engine.method import TrainState
+        from repro.nn.optim import Adam
+
+        rng = np.random.default_rng(rng_seed)
+        model = Linear(3, 2, rng=rng)
+        return TrainState(
+            modules={"model": model},
+            optimizer=Adam(model.parameters(), lr=1e-3),
+            rng=rng,
+        )
+
+    @pytest.mark.parametrize("save_dtype,load_dtype", [
+        ("float32", "float64"),
+        ("float64", "float32"),
+    ])
+    def test_cross_policy_round_trip(self, tmp_path, save_dtype, load_dtype):
+        path = tmp_path / "ckpt.npz"
+        with dtype_policy(save_dtype):
+            state = self._state()
+            saved_weight = state.modules["model"].weight.data.copy()
+            save_checkpoint(path, state, meta={"next_epoch": 1})
+
+        with dtype_policy(load_dtype):
+            fresh = self._state(rng_seed=9)
+            meta = load_checkpoint(path, fresh)
+            weight = fresh.modules["model"].weight.data
+
+        # Parameters land at the rebuilt model's dtype; the meta tag
+        # records the policy that produced the file.
+        assert weight.dtype == np.dtype(load_dtype)
+        assert meta["dtype"] == save_dtype
+        np.testing.assert_allclose(weight, saved_weight, atol=1e-6)
+
+    def test_same_policy_round_trip_is_exact(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        with dtype_policy("float32"):
+            state = self._state()
+            saved = state.modules["model"].weight.data.copy()
+            save_checkpoint(path, state, meta={"next_epoch": 1})
+            fresh = self._state(rng_seed=5)
+            load_checkpoint(path, fresh)
+            np.testing.assert_array_equal(fresh.modules["model"].weight.data, saved)
+
+
+class TestConfigAndTraining:
+    def test_config_validates_dtype(self):
+        from repro.core.config import GCMAEConfig
+
+        with pytest.raises((ValueError, TypeError)):
+            GCMAEConfig(dtype="float16")
+
+    def test_config_dtype_scopes_the_run(self):
+        import scipy.sparse as sp
+
+        from repro.core.config import GCMAEConfig
+        from repro.core.trainer import train_gcmae
+        from repro.graph.data import Graph
+
+        n = 24
+        ring = np.arange(n)
+        adjacency = sp.csr_matrix(
+            (np.ones(n), (ring, (ring + 1) % n)), shape=(n, n)
+        )
+        graph = Graph(
+            adjacency=adjacency,
+            features=np.random.default_rng(0).normal(size=(n, 6)),
+        )
+        config = GCMAEConfig(
+            hidden_dim=8, embed_dim=8, conv_type="gcn", heads=1, epochs=2,
+            use_contrastive=False, use_structure_reconstruction=False,
+            use_discrimination=False, dtype="float32",
+        )
+        result = train_gcmae(graph, config, seed=0)
+        dtypes = {p.data.dtype for p in result.model.parameters()}
+        assert dtypes == {np.dtype(np.float32)}
+        # The run's policy does not leak out of the trainer.
+        assert default_dtype() == np.dtype(np.float64)
+
+    def test_cli_flag_routes_to_policy(self):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        args = parser.parse_args(["--dtype", "float32", "datasets"])
+        assert args.dtype == "float32"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--dtype", "float16", "datasets"])

@@ -84,15 +84,19 @@ class TestNoGradSemantics:
         assert is_grad_enabled()
 
     def test_spmm_skips_transpose_cache_under_no_grad(self, monkeypatch):
+        from repro.graph import sparse as graph_sparse
+
         graph = make_ring_graph(10)
         calls = []
-        real = F.cached_transpose
+        real = graph_sparse.cached_transpose
 
         def counting(matrix):
             calls.append(matrix)
             return real(matrix)
 
-        monkeypatch.setattr(F, "cached_transpose", counting)
+        # spmm resolves the transpose through the graph.sparse module at
+        # call time, so the patch goes there.
+        monkeypatch.setattr(graph_sparse, "cached_transpose", counting)
         dense = Tensor(graph.features, requires_grad=True)
         with no_grad():
             F.spmm(graph.adjacency, dense)

@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: ci test lint perf bench-gc bench-kernels bench-parallel bench-serving bench runs-demo
+.PHONY: ci test lint perf bench-gc bench-kernels bench-parallel bench-serving bench bench-history runs-demo
 
 ci:
 	scripts/ci.sh
@@ -30,6 +30,11 @@ bench-serving:
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks -q
+
+bench-history:
+	PYTHONPATH=src $(PYTHON) -m repro bench record
+	PYTHONPATH=src $(PYTHON) -m repro bench trend
+	PYTHONPATH=src $(PYTHON) -m repro bench check
 
 runs-demo:
 	$(PYTHON) scripts/runs_demo.py runs

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Local mirror of .github/workflows/ci.yml: lint, tier-1 tests, perf smoke,
-# serving smoke.
+# serving smoke, bench-history regression check, telemetry sample run.
 #
 # Usage: scripts/ci.sh [--report-only]
 #   --report-only   run the perf benchmark without enforcing min_speedup
@@ -55,6 +55,18 @@ echo "== serving smoke (micro-batched queue vs per-request forwards) =="
 # benchmarks/BENCH_serving.json (p50/p99 latency, req/s, speedup).
 REPRO_PERF_REPORT_ONLY="$REPORT_ONLY" \
     PYTHONPATH=src python -m pytest benchmarks/test_serving.py -q -s
+
+echo "== bench history (append BENCH_*.json, trend, regression check) =="
+# Appends the kernel/serving artifacts written above to benchmarks/history/
+# and checks the newest entry against the rolling median of prior entries
+# from the same host.  Report-only on PRs: a regression prints but passes.
+PYTHONPATH=src python -m repro bench record
+PYTHONPATH=src python -m repro bench trend
+if [[ "$REPORT_ONLY" == "1" ]]; then
+    PYTHONPATH=src python -m repro bench check --report-only
+else
+    PYTHONPATH=src python -m repro bench check
+fi
 
 echo "== parallel smoke (jobs=2 table runs bit-identical to serial) =="
 PYTHONPATH=src python -m pytest tests/parallel -q

@@ -2,10 +2,12 @@
 
 This is the ``make runs-demo`` entry point and what CI uploads as the
 ``telemetry-sample-run`` artifact: a short profiled GCMAE train recorded
-through :func:`repro.obs.telemetry_run`, then re-read from disk with the
-same code paths ``repro runs list`` / ``repro runs show`` use.  Every event
-and the manifest are validated against the documented schema on the way
-out, so the artifact doubles as an end-to-end schema check.
+through :func:`repro.obs.telemetry_run` with a
+:class:`~repro.obs.health.HealthMonitor` attached, then re-read from disk
+with the same code paths ``repro runs list`` / ``repro runs show`` use.
+Every event (including the per-epoch ``health`` verdicts) and the manifest
+are validated against the documented schema on the way out, so the
+artifact doubles as an end-to-end schema check.
 """
 
 import json
@@ -19,12 +21,14 @@ from repro.core.trainer import train_gcmae  # noqa: E402
 from repro.graph.datasets import load_node_dataset  # noqa: E402
 from repro.nn.profiler import profile  # noqa: E402
 from repro.obs import (  # noqa: E402
+    HealthMonitor,
     find_run,
     list_runs,
     render_list,
     render_show,
     telemetry_run,
     trace_span,
+    use_hooks,
     validate_event,
     validate_manifest,
 )
@@ -35,19 +39,46 @@ def main(root: str = "runs") -> None:
         conv_type="gcn", heads=1, hidden_dim=32, embed_dim=32, epochs=8
     )
     graph = load_node_dataset("cora-like", seed=0)
+    monitor = HealthMonitor()
     with profile():
         with telemetry_run(
             root, method="GCMAE", dataset="cora-like", seed=0, config=config
         ) as recorder:
-            with trace_span("demo/GCMAE/cora-like"):
+            with trace_span("demo/GCMAE/cora-like"), use_hooks(monitor):
                 train_gcmae(graph, config, seed=0)
     run_dir = Path(root) / recorder.run_id
 
     validate_manifest(json.loads((run_dir / "manifest.json").read_text()))
+    health_rows = 0
     for line in (run_dir / "events.jsonl").read_text().splitlines():
-        validate_event(json.loads(line))
+        event = json.loads(line)
+        validate_event(event)
+        health_rows += event["type"] == "health"
+    if health_rows != config.epochs:
+        raise SystemExit(
+            f"expected {config.epochs} health events, found {health_rows}"
+        )
 
-    print(f"wrote {run_dir}/ (manifest.json + events.jsonl, schema-valid)\n")
+    report_path = Path(root) / "health_report.json"
+    report_path.write_text(
+        json.dumps(
+            {
+                "run_id": recorder.run_id,
+                "last_status": monitor.last_report.status,
+                "anomaly_counts": monitor.anomaly_counts(),
+                "reports": [report.payload() for report in monitor.reports],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+    print(
+        f"wrote {run_dir}/ (manifest.json + events.jsonl incl. "
+        f"{health_rows} health verdicts, schema-valid)"
+    )
+    print(f"wrote {report_path} (health report artifact)\n")
     print(render_list(list_runs(root)))
     print()
     print(render_show(find_run(root, recorder.run_id)))

@@ -8,8 +8,9 @@ Commands
 ``table``      — regenerate one of the paper's tables (1, 4-10).
 ``figure``     — regenerate one of the paper's figures (1, 4, 5, 6).
 ``report``     — run everything and write EXPERIMENTS.md.
-``runs``       — list / show / diff persisted telemetry runs.
+``runs``       — list / show / diff / watch persisted telemetry runs.
 ``serve``      — load a checkpoint and serve embeddings (cache + batching).
+``bench``      — record / trend / diff / check the perf-history store.
 
 ``pretrain``, ``evaluate`` and ``table`` accept ``--telemetry-dir DIR`` to
 persist a full run record (``manifest.json`` + ``events.jsonl``) under
@@ -58,6 +59,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persist a run record under DIR/<run_id>/",
     )
     _add_checkpoint_arguments(pretrain)
+    pretrain.add_argument(
+        "--health",
+        action="store_true",
+        help="stream embedding-quality probes and anomaly verdicts "
+        "(health events) while training",
+    )
+    pretrain.add_argument(
+        "--health-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="probe embeddings every N epochs (default 1; anomaly checks "
+        "run every epoch regardless)",
+    )
+    pretrain.add_argument(
+        "--abort-on-divergence",
+        action="store_true",
+        help="abort the run (manifest status 'diverged') on fatal anomalies",
+    )
 
     evaluate = sub.add_parser("evaluate", help="pretrain + evaluate on a task")
     evaluate.add_argument("method")
@@ -103,6 +123,62 @@ def _build_parser() -> argparse.ArgumentParser:
     runs_diff.add_argument("run_a", help="baseline run id (or unique prefix)")
     runs_diff.add_argument("run_b", help="candidate run id (or unique prefix)")
     runs_diff.add_argument("--root", default="runs", help="runs directory")
+    runs_watch = runs_sub.add_parser(
+        "watch", help="live-tail an in-flight run: curves + health verdicts"
+    )
+    runs_watch.add_argument("run_id", help="run id (or unique prefix)")
+    runs_watch.add_argument("--root", default="runs", help="runs directory")
+    runs_watch.add_argument(
+        "--interval", type=float, default=1.0, help="poll interval in seconds"
+    )
+    runs_watch.add_argument(
+        "--max-updates",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N refreshes even if the run is still live",
+    )
+    runs_watch.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen between refreshes",
+    )
+
+    bench = sub.add_parser("bench", help="perf-history store over benchmarks/BENCH_*.json")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_record = bench_sub.add_parser(
+        "record", help="append current BENCH_*.json files as one history entry"
+    )
+    _add_bench_arguments(bench_record)
+    bench_trend = bench_sub.add_parser("trend", help="render metric trajectories over entries")
+    _add_bench_arguments(bench_trend)
+    bench_trend.add_argument(
+        "--metric", default=None, help="only metrics containing this substring"
+    )
+    bench_trend.add_argument(
+        "--last", type=int, default=None, metavar="N", help="only the last N entries"
+    )
+    bench_diff = bench_sub.add_parser("diff", help="compare the two most recent entries")
+    _add_bench_arguments(bench_diff)
+    bench_check = bench_sub.add_parser(
+        "check", help="flag regressions vs the rolling median of prior entries"
+    )
+    _add_bench_arguments(bench_check)
+    bench_check.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="%%-drop vs rolling median that counts as a regression (default 10)",
+    )
+    bench_check.add_argument(
+        "--window", type=int, default=5, metavar="N", help="rolling-median window (default 5)"
+    )
+    bench_check.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print regressions but exit 0 (PR / report-only mode)",
+    )
 
     serve = sub.add_parser("serve", help="serve embeddings from a checkpointed encoder")
     serve.add_argument("checkpoint", help="engine or serving .npz checkpoint")
@@ -162,6 +238,17 @@ def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--bench-dir", default="benchmarks", help="directory holding BENCH_*.json"
+    )
+    parser.add_argument(
+        "--history-dir",
+        default=None,
+        help="history store directory (default: <bench-dir>/history)",
+    )
+
+
 def _checkpointing(args):
     """An ambient ``engine.checkpointing`` context, or a no-op one."""
     directory = getattr(args, "checkpoint_dir", None)
@@ -188,6 +275,23 @@ def _telemetry(args, method: str, dataset: str, seed: int = 0, config=None):
     return telemetry_run(
         directory, method=method, dataset=dataset, seed=seed, config=config
     )
+
+
+def _health_hooks(args):
+    """An ambient ``use_hooks(HealthMonitor(...))`` context, or a no-op one."""
+    if not getattr(args, "health", False):
+        if getattr(args, "abort_on_divergence", False):
+            raise SystemExit("--abort-on-divergence requires --health")
+        return contextlib.nullcontext()
+    from .obs import HealthConfig, HealthMonitor, use_hooks
+
+    monitor = HealthMonitor(
+        HealthConfig(
+            probe_every=getattr(args, "health_every", 1),
+            abort_on_divergence=getattr(args, "abort_on_divergence", False),
+        )
+    )
+    return use_hooks(monitor)
 
 
 def _get_method(name: str, profile):
@@ -226,7 +330,7 @@ def _cmd_pretrain(args) -> None:
         args.dataset,
         args.seed,
         config=getattr(method, "config", method),
-    ) as recorder, _checkpointing(args):
+    ) as recorder, _checkpointing(args), _health_hooks(args):
         result = method.fit(graph, seed=args.seed)
     if recorder is not None:
         print(f"telemetry: {args.telemetry_dir}/{recorder.run_id}/")
@@ -297,7 +401,7 @@ def _cmd_table(args) -> None:
 
 
 def _cmd_runs(args) -> None:
-    from .obs import find_run, list_runs, render_diff, render_list, render_show
+    from .obs import find_run, list_runs, render_diff, render_list, render_show, watch_run
 
     if args.runs_command == "list":
         print(render_list(list_runs(args.root)))
@@ -305,6 +409,49 @@ def _cmd_runs(args) -> None:
         print(render_show(find_run(args.root, args.run_id)))
     elif args.runs_command == "diff":
         print(render_diff(find_run(args.root, args.run_a), find_run(args.root, args.run_b)))
+    elif args.runs_command == "watch":
+        watch_run(
+            args.root,
+            args.run_id,
+            interval=args.interval,
+            max_updates=args.max_updates,
+            clear=not args.no_clear,
+        )
+
+
+def _cmd_bench(args) -> None:
+    from .obs import history
+
+    bench_dir = args.bench_dir
+    history_dir = args.history_dir or f"{bench_dir}/history"
+    if args.bench_command == "record":
+        path = history.record_bench_history(bench_dir, history_dir)
+        if path is None:
+            raise SystemExit(f"no BENCH_*.json files found under {bench_dir}")
+        print(f"recorded history entry: {path}")
+        return
+    entries = history.load_history(history_dir)
+    if args.bench_command == "trend":
+        metrics = None
+        if args.metric:
+            names = sorted({m for e in entries for m in history.entry_metrics(e)})
+            metrics = [name for name in names if args.metric in name]
+            if not metrics:
+                raise SystemExit(f"no history metric contains {args.metric!r}")
+        print(history.render_trend(entries, metrics=metrics, last=args.last or 10))
+    elif args.bench_command == "diff":
+        if len(entries) < 2:
+            raise SystemExit(
+                f"bench diff needs at least 2 history entries, found {len(entries)}"
+            )
+        print(history.render_history_diff(entries[-2], entries[-1]))
+    elif args.bench_command == "check":
+        regressions = history.detect_regressions(
+            entries, threshold_pct=args.threshold, window=args.window
+        )
+        print(history.render_regressions(regressions, threshold_pct=args.threshold))
+        if regressions and not args.report_only:
+            raise SystemExit(1)
 
 
 def _cmd_serve(args) -> None:
@@ -383,6 +530,8 @@ def main(argv: Optional[List[str]] = None) -> None:
         _cmd_runs(args)
     elif args.command == "serve":
         _cmd_serve(args)
+    elif args.command == "bench":
+        _cmd_bench(args)
 
 
 if __name__ == "__main__":

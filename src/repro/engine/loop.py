@@ -142,6 +142,30 @@ def _slug(text: object) -> str:
     return cleaned or "data"
 
 
+def _frozen_embed_fn(method: Method, state, data):
+    """A mid-training ``() -> embeddings`` closure for probe hooks.
+
+    Only invoked when an attached hook (the health monitor) asks the epoch
+    event for embeddings; restores every module's train/eval flag so the
+    probe cannot perturb the run.  ``Method.embed`` implementations use
+    inference mode and consume no training RNG, which keeps monitored runs
+    bit-identical to unmonitored ones.
+    """
+
+    def embed() -> np.ndarray:
+        flags = {name: module.training for name, module in state.modules.items()}
+        try:
+            return method.embed(state, data)
+        finally:
+            for name, module in state.modules.items():
+                if flags[name]:
+                    module.train()
+                else:
+                    module.eval()
+
+    return embed
+
+
 class TrainLoop:
     """Method-agnostic epoch loop with telemetry, stopping, and resume."""
 
@@ -280,6 +304,8 @@ class TrainLoop:
                 seconds=epoch_elapsed,
                 model=state.telemetry_model,
                 optimizer=state.optimizer,
+                data=data,
+                embeddings_fn=_frozen_embed_fn(method, state, data),
                 extra_hooks=hooks,
             )
             method.end_epoch(state, data, epoch, epoch_loss)

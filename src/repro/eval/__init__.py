@@ -12,6 +12,8 @@ from .clustering import ClusteringScores, KMeans, KMeansResult, evaluate_cluster
 from .diagnostics import (
     EmbeddingDiagnostics,
     alignment_score,
+    collapse_score,
+    dead_dimension_ratio,
     effective_rank,
     embedding_diagnostics,
     uniformity_score,
@@ -37,6 +39,8 @@ __all__ = [
     "EdgeScorer",
     "EmbeddingDiagnostics",
     "alignment_score",
+    "collapse_score",
+    "dead_dimension_ratio",
     "effective_rank",
     "embedding_diagnostics",
     "uniformity_score",

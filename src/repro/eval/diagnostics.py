@@ -89,6 +89,33 @@ def uniformity_score(
     return float(np.log(np.exp(-t * squared_distances).mean()))
 
 
+def dead_dimension_ratio(embeddings: np.ndarray, eps: float = 1e-6) -> float:
+    """Fraction of embedding dimensions whose std is (near) zero.
+
+    A dimension the encoder never moves carries no information; a rising
+    ratio during training is dimensional collapse in its bluntest form.
+    """
+    embeddings = as_float_array(embeddings)
+    if embeddings.ndim != 2 or embeddings.shape[1] == 0:
+        raise ValueError(f"expected a (n, d) embedding matrix, got {embeddings.shape}")
+    stds = embeddings.std(axis=0)
+    return float(np.mean(stds <= eps))
+
+
+def collapse_score(embeddings: np.ndarray) -> float:
+    """Spectral collapse score in ``[0, 1]``: ``1 - erank / min(n, d)``.
+
+    ``0`` means the covariance spectrum is as spread as the matrix shape
+    allows; ``1`` means all variance sits in a single direction (full
+    collapse — the failure mode GCMAE's discrimination loss combats).
+    """
+    embeddings = as_float_array(embeddings)
+    limit = min(embeddings.shape)
+    if limit == 0:
+        return 1.0
+    return float(np.clip(1.0 - effective_rank(embeddings) / limit, 0.0, 1.0))
+
+
 def effective_rank(embeddings: np.ndarray) -> float:
     """Entropy-based effective rank of the embedding covariance spectrum."""
     embeddings = as_float_array(embeddings)

@@ -1,0 +1,308 @@
+"""Training-health monitoring: embedding-quality probes + anomaly detectors.
+
+The paper's complementarity claim plays out in *training dynamics* —
+contrastive terms fight the representation collapse that pure feature
+reconstruction invites — but the telemetry spine only recorded losses.
+:class:`HealthMonitor` is an :class:`~repro.obs.hooks.EpochHook` that turns
+each epoch event into a structured health verdict:
+
+* **Embedding-quality probes** (every ``probe_every`` epochs, via the
+  event's lazy :meth:`~repro.obs.hooks.EpochEvent.embeddings` accessor, so
+  a run without the monitor never pays the inference forward): contrastive
+  alignment/uniformity (Wang & Isola), effective rank and the derived
+  spectral :func:`~repro.eval.diagnostics.collapse_score`, mean feature
+  norm/std, and the dead-dimension ratio.
+* **Anomaly detectors** on every epoch (no embeddings needed): NaN/inf
+  loss, loss divergence vs the best loss seen, gradient explosion/vanish
+  and NaN gradients, and loss plateau.
+
+Each epoch the monitor emits one ``health`` event (plus a
+``health.anomaly.<kind>`` counter per finding) through the active
+:class:`~repro.obs.recorder.MetricsRecorder`, so verdicts stream into
+``runs/<run_id>/events.jsonl`` next to the epoch rows, merge across
+process-pool shards, and render in ``repro runs show`` / ``repro runs
+watch``.  With ``abort_on_divergence=True`` a fatal anomaly raises
+:class:`DivergenceError`, which :func:`~repro.obs.writer.telemetry_run`
+records as manifest status ``diverged``.
+
+The monitor only observes: probes run the method's inference-mode
+``embed`` (restoring train/eval flags) and consume no training RNG, so a
+monitored run is bit-identical to an unmonitored one — asserted for GCMAE
+and the DGI/GRACE/GraphMAE baselines in ``tests/obs/test_health.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .hooks import EpochEvent
+from .recorder import active_recorder
+
+HEALTH_STATUSES = ("ok", "warn", "diverged")
+
+# Anomalies that end a run when ``abort_on_divergence`` is set.
+FATAL_ANOMALIES = ("nan_loss", "loss_divergence", "grad_nan", "grad_explosion")
+
+
+class DivergenceError(RuntimeError):
+    """A monitored run hit a fatal health anomaly and was aborted."""
+
+    def __init__(self, message: str, report: "HealthReport") -> None:
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Tunable thresholds of one :class:`HealthMonitor`.
+
+    Attributes
+    ----------
+    probe_every:
+        Compute embedding probes every N epochs (``0`` disables probes;
+        anomaly detectors still run).  The last probe is cheap relative to
+        an epoch, but an inference forward is not free — default every
+        epoch, thin out for long runs.
+    divergence_factor / divergence_grace:
+        Flag ``loss_divergence`` when the epoch loss exceeds
+        ``divergence_factor * |best loss|`` (after ``divergence_grace``
+        epochs, so warmup noise does not trip it).
+    grad_explosion_threshold / grad_vanish_threshold:
+        Bounds on the total (across parameter groups) gradient L2 norm;
+        ``grad_vanish`` only fires after ``divergence_grace`` epochs.  The
+        explosion default is deliberately loose — GCMAE's legitimate first
+        epochs reach ~1e5 — tighten it per-model when you know the scale.
+    plateau_patience / plateau_min_delta:
+        Flag ``plateau`` after this many consecutive epochs without the
+        loss improving by at least ``plateau_min_delta``.
+    collapse_threshold / dead_dimension_threshold:
+        Probe-side warnings: spectral collapse score above, or dead-dim
+        ratio above, marks the epoch ``warn`` (collapse is a drift, not a
+        crash — never fatal).
+    max_alignment_pairs:
+        Positive-pair (edge) sample cap for the alignment probe.
+    abort_on_divergence:
+        Raise :class:`DivergenceError` on a fatal anomaly instead of just
+        recording it.
+    """
+
+    probe_every: int = 1
+    divergence_factor: float = 10.0
+    divergence_grace: int = 5
+    grad_explosion_threshold: float = 1e6
+    grad_vanish_threshold: float = 1e-9
+    plateau_patience: int = 25
+    plateau_min_delta: float = 1e-5
+    collapse_threshold: float = 0.9
+    dead_dimension_threshold: float = 0.5
+    max_alignment_pairs: int = 4096
+    abort_on_divergence: bool = False
+
+    def __post_init__(self) -> None:
+        if self.probe_every < 0:
+            raise ValueError(f"probe_every must be >= 0, got {self.probe_every}")
+        if self.divergence_factor <= 1.0:
+            raise ValueError(
+                f"divergence_factor must be > 1, got {self.divergence_factor}"
+            )
+        if self.plateau_patience < 1:
+            raise ValueError(
+                f"plateau_patience must be >= 1, got {self.plateau_patience}"
+            )
+
+
+@dataclass
+class HealthReport:
+    """One epoch's verdict: probe metrics plus detected anomalies."""
+
+    method: str
+    epoch: int
+    status: str = "ok"
+    metrics: Dict[str, float] = None  # type: ignore[assignment]
+    anomalies: List[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.metrics = dict(self.metrics or {})
+        self.anomalies = list(self.anomalies or [])
+
+    def payload(self) -> Dict[str, object]:
+        """The JSON event body written to ``events.jsonl``."""
+        return {
+            "method": self.method,
+            "epoch": self.epoch,
+            "status": self.status,
+            "metrics": self.metrics,
+            "anomalies": self.anomalies,
+        }
+
+
+def _positive_pairs(data, max_pairs: int) -> Optional[np.ndarray]:
+    """Edge endpoints as positive pairs, subsampled deterministically."""
+    edges_fn = getattr(data, "edges", None)
+    if edges_fn is None:
+        return None
+    try:
+        pairs = np.asarray(edges_fn(directed=False))
+    except TypeError:
+        pairs = np.asarray(edges_fn())
+    if pairs.ndim != 2 or pairs.shape[1] != 2 or len(pairs) == 0:
+        return None
+    if len(pairs) > max_pairs:
+        # Evenly strided subsample: deterministic, no RNG consumed.
+        stride = len(pairs) / max_pairs
+        pairs = pairs[(np.arange(max_pairs) * stride).astype(np.int64)]
+    return pairs
+
+
+def embedding_health_metrics(
+    embeddings: np.ndarray, data=None, max_alignment_pairs: int = 4096
+) -> Dict[str, float]:
+    """The probe metric dict for one embedding matrix.
+
+    Keys: ``uniformity``, ``effective_rank``, ``collapse_score``,
+    ``dead_dimension_ratio``, ``feature_norm_mean``, ``feature_std_mean``,
+    plus ``alignment`` when ``data`` exposes graph edges.
+    """
+    from ..eval.diagnostics import (
+        alignment_score,
+        collapse_score,
+        dead_dimension_ratio,
+        effective_rank,
+        uniformity_score,
+    )
+
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    metrics = {
+        "uniformity": uniformity_score(embeddings),
+        "effective_rank": effective_rank(embeddings),
+        "collapse_score": collapse_score(embeddings),
+        "dead_dimension_ratio": dead_dimension_ratio(embeddings),
+        "feature_norm_mean": float(np.linalg.norm(embeddings, axis=1).mean()),
+        "feature_std_mean": float(embeddings.std(axis=0).mean()),
+    }
+    pairs = _positive_pairs(data, max_alignment_pairs)
+    if pairs is not None:
+        metrics["alignment"] = alignment_score(embeddings, pairs)
+    return metrics
+
+
+class HealthMonitor:
+    """An :class:`~repro.obs.hooks.EpochHook` watching training health.
+
+    Attach explicitly (``TrainLoop.run(..., hooks=[monitor])`` /
+    ``use_hooks(monitor)``) or via the CLI's ``--health`` flag; every
+    verdict also lands on the active recorder as a ``health`` event.
+    """
+
+    wants_gradients = True
+
+    def __init__(self, config: Optional[HealthConfig] = None) -> None:
+        self.config = config or HealthConfig()
+        self.reports: List[HealthReport] = []
+        self._best_loss: Optional[float] = None
+        self._plateau = 0
+        self._epochs_seen = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def last_report(self) -> Optional[HealthReport]:
+        return self.reports[-1] if self.reports else None
+
+    def anomaly_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for report in self.reports:
+            for anomaly in report.anomalies:
+                counts[anomaly] = counts.get(anomaly, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    def on_epoch(self, event: EpochEvent) -> None:
+        cfg = self.config
+        self._epochs_seen += 1
+        report = HealthReport(
+            method=event.method, epoch=event.epoch, metrics={}, anomalies=[]
+        )
+
+        self._check_loss(event.loss, report)
+        self._check_gradients(event.grad_norms, report)
+        if cfg.probe_every and self._epochs_seen % cfg.probe_every == 0:
+            self._probe(event, report)
+
+        fatal = [a for a in report.anomalies if a in FATAL_ANOMALIES]
+        report.status = "diverged" if fatal else ("warn" if report.anomalies else "ok")
+        self.reports.append(report)
+        self._record(report)
+        if fatal and cfg.abort_on_divergence:
+            raise DivergenceError(
+                f"{event.method} diverged at epoch {event.epoch}: "
+                + ", ".join(fatal),
+                report,
+            )
+
+    # ------------------------------------------------------------------
+    def _check_loss(self, loss: float, report: HealthReport) -> None:
+        cfg = self.config
+        if not math.isfinite(loss):
+            report.anomalies.append("nan_loss")
+            return
+        if (
+            self._best_loss is not None
+            and self._epochs_seen > cfg.divergence_grace
+            and loss > cfg.divergence_factor * max(abs(self._best_loss), 1e-8)
+        ):
+            report.anomalies.append("loss_divergence")
+        if self._best_loss is None or loss < self._best_loss - cfg.plateau_min_delta:
+            self._best_loss = loss if self._best_loss is None else min(self._best_loss, loss)
+            self._plateau = 0
+        else:
+            self._plateau += 1
+            if self._plateau >= cfg.plateau_patience:
+                report.anomalies.append("plateau")
+
+    def _check_gradients(self, grad_norms: Dict[str, float], report: HealthReport) -> None:
+        if not grad_norms:
+            return
+        cfg = self.config
+        values = list(grad_norms.values())
+        if any(not math.isfinite(v) for v in values):
+            report.anomalies.append("grad_nan")
+            return
+        total = math.sqrt(sum(v * v for v in values))
+        report.metrics["grad_norm_total"] = total
+        if total > cfg.grad_explosion_threshold:
+            report.anomalies.append("grad_explosion")
+        elif total < cfg.grad_vanish_threshold and self._epochs_seen > cfg.divergence_grace:
+            report.anomalies.append("grad_vanish")
+
+    def _probe(self, event: EpochEvent, report: HealthReport) -> None:
+        cfg = self.config
+        embeddings = event.embeddings()
+        if embeddings is None:
+            return
+        embeddings = np.asarray(embeddings)
+        if embeddings.ndim != 2 or min(embeddings.shape) < 2:
+            return
+        if not np.all(np.isfinite(embeddings)):
+            report.anomalies.append("nan_embeddings")
+            return
+        report.metrics.update(
+            embedding_health_metrics(
+                embeddings, data=event.data, max_alignment_pairs=cfg.max_alignment_pairs
+            )
+        )
+        if report.metrics["collapse_score"] > cfg.collapse_threshold:
+            report.anomalies.append("spectral_collapse")
+        if report.metrics["dead_dimension_ratio"] > cfg.dead_dimension_threshold:
+            report.anomalies.append("dead_dimensions")
+
+    def _record(self, report: HealthReport) -> None:
+        recorder = active_recorder()
+        if recorder is None:
+            return
+        recorder.health_event(**report.payload())
+        for anomaly in report.anomalies:
+            recorder.counter(f"health.anomaly.{anomaly}")

@@ -39,6 +39,8 @@ import numpy as np
 
 _tls = threading.local()
 
+_UNRESOLVED = object()
+
 
 @dataclass
 class EpochEvent:
@@ -70,6 +72,17 @@ class EpochEvent:
         ``None`` when unavailable or not requested.
     model:
         The live model, for probe hooks (may be ``None``).
+    data:
+        The training data the loop is iterating (a
+        :class:`~repro.graph.data.Graph` for node-level methods), for hooks
+        that need structure — the health monitor reads positive pairs off
+        its edges.  ``None`` when the emitting loop has no data handle.
+    embeddings_fn:
+        Zero-argument callable returning the current frozen embeddings
+        (``None`` when the emitting loop cannot embed mid-training).  Never
+        called by the emit path itself: a hook that wants embeddings calls
+        :meth:`embeddings`, which invokes it at most once per event, so
+        loops pay for an inference forward only when a probe is attached.
     """
 
     method: str
@@ -80,6 +93,22 @@ class EpochEvent:
     grad_norms: Dict[str, float] = field(default_factory=dict)
     update_ratio: Optional[float] = None
     model: object = None
+    data: object = None
+    embeddings_fn: Optional[Callable[[], np.ndarray]] = None
+    _embeddings: object = field(default=_UNRESOLVED, repr=False)
+
+    def embeddings(self) -> Optional[np.ndarray]:
+        """The epoch's frozen embeddings, computed lazily and cached.
+
+        Returns ``None`` when the emitting loop provided no
+        ``embeddings_fn``.  Multiple hooks on one event share a single
+        inference forward.
+        """
+        if self._embeddings is _UNRESOLVED:
+            self._embeddings = (
+                None if self.embeddings_fn is None else self.embeddings_fn()
+            )
+        return self._embeddings
 
 
 @runtime_checkable
@@ -177,6 +206,8 @@ def emit_epoch(
     seconds: Optional[float] = None,
     model=None,
     optimizer=None,
+    data=None,
+    embeddings_fn: Optional[Callable[[], np.ndarray]] = None,
     extra_hooks: Tuple[EpochHook, ...] = (),
 ) -> None:
     """Dispatch one epoch to every active hook (no-op when there are none)."""
@@ -199,6 +230,8 @@ def emit_epoch(
         grad_norms=grad_norms,
         update_ratio=update_ratio,
         model=model,
+        data=data,
+        embeddings_fn=embeddings_fn,
     )
     for hook in hooks:
         hook.on_epoch(event)

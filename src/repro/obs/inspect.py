@@ -9,6 +9,7 @@ and span-attributed op breakdowns included.
 from __future__ import annotations
 
 import json
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -26,6 +27,7 @@ class Run:
     spans: List[dict] = field(default_factory=list)
     counters: List[dict] = field(default_factory=list)
     gauges: List[dict] = field(default_factory=list)
+    health: List[dict] = field(default_factory=list)
 
     @property
     def run_id(self) -> str:
@@ -46,13 +48,36 @@ class Run:
         return names
 
 
-def load_run(path: str | Path) -> Run:
-    """Load one run directory (tolerating a missing/partial event file)."""
+def load_run(path: str | Path, strict: bool = True) -> Run:
+    """Load one run directory (tolerating a missing/partial event file).
+
+    With ``strict=False`` a missing or corrupt ``manifest.json`` — the
+    signature of a run whose process died mid-write — degrades to a stub
+    manifest with status ``unknown`` (plus a one-line warning on stderr)
+    instead of raising, so one crashed run cannot take down
+    ``repro runs list``.  Events are still parsed either way.
+    """
     directory = Path(path)
     manifest_path = directory / "manifest.json"
-    if not manifest_path.exists():
-        raise FileNotFoundError(f"no manifest.json under {directory}")
-    run = Run(directory=directory, manifest=json.loads(manifest_path.read_text()))
+    manifest: Optional[Dict[str, object]] = None
+    try:
+        manifest = json.loads(manifest_path.read_text())
+        if not isinstance(manifest, dict):
+            raise json.JSONDecodeError("manifest is not an object", "", 0)
+    except FileNotFoundError:
+        if strict:
+            raise FileNotFoundError(f"no manifest.json under {directory}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        if strict:
+            raise ValueError(f"corrupt manifest.json under {directory}: {exc}") from exc
+    if manifest is None:
+        print(
+            f"warning: skipping corrupt/partial manifest.json under {directory} "
+            "(run surfaced with status unknown)",
+            file=sys.stderr,
+        )
+        manifest = {"run_id": directory.name, "status": "unknown"}
+    run = Run(directory=directory, manifest=manifest)
     events_path = directory / "events.jsonl"
     if events_path.exists():
         with open(events_path) as handle:
@@ -69,6 +94,7 @@ def load_run(path: str | Path) -> Run:
                     "span": run.spans,
                     "counter": run.counters,
                     "gauge": run.gauges,
+                    "health": run.health,
                 }.get(event.get("type"))
                 if bucket is not None:
                     bucket.append(event)
@@ -76,14 +102,18 @@ def load_run(path: str | Path) -> Run:
 
 
 def list_runs(root: str | Path) -> List[Run]:
-    """All runs under ``root``, oldest first."""
+    """All runs under ``root``, oldest first.
+
+    Crashed runs with a corrupt or partial manifest are kept (status
+    ``unknown``, warned once on stderr) rather than aborting the listing.
+    """
     directory = Path(root)
     if not directory.exists():
         return []
     runs = []
     for child in sorted(directory.iterdir()):
-        if (child / "manifest.json").exists():
-            runs.append(load_run(child))
+        if (child / "manifest.json").exists() or (child / "events.jsonl").exists():
+            runs.append(load_run(child, strict=False))
     return runs
 
 
@@ -91,7 +121,7 @@ def find_run(root: str | Path, run_id: str) -> Run:
     """Load the run whose id equals — or uniquely starts with — ``run_id``."""
     exact = Path(root) / run_id
     if (exact / "manifest.json").exists():
-        return load_run(exact)
+        return load_run(exact, strict=False)
     matches = [r for r in list_runs(root) if r.run_id.startswith(run_id)]
     if len(matches) == 1:
         return matches[0]
@@ -168,6 +198,60 @@ def _series_block(run: Run, key: str, label: str) -> List[str]:
     ]
 
 
+def _last_gauges(gauges: List[dict]) -> Dict[str, float]:
+    last: Dict[str, float] = {}
+    for gauge in gauges:
+        name = gauge.get("name")
+        value = gauge.get("value")
+        if isinstance(name, str) and isinstance(value, (int, float)):
+            last[name] = float(value)
+    return last
+
+
+def _health_block(run: Run) -> List[str]:
+    """The training-health section: latest verdict plus probe trajectories."""
+    if not run.health:
+        return []
+    last = run.health[-1]
+    anomalies = last.get("anomalies") or []
+    lines = ["", f"health ({len(run.health)} reports):"]
+    lines.append(
+        f"  last verdict             {last.get('status', '?')} "
+        f"(epoch {last.get('epoch', '?')})"
+        + (f"  anomalies: {', '.join(anomalies)}" if anomalies else "")
+    )
+    counts: Dict[str, int] = {}
+    for report in run.health:
+        for anomaly in report.get("anomalies") or []:
+            counts[anomaly] = counts.get(anomaly, 0) + 1
+    if counts:
+        lines.append(
+            "  anomaly totals           "
+            + ", ".join(f"{name} x{count}" for name, count in sorted(counts.items()))
+        )
+    for metric in (
+        "alignment",
+        "uniformity",
+        "effective_rank",
+        "collapse_score",
+        "dead_dimension_ratio",
+        "grad_norm_total",
+    ):
+        series = [
+            float(report["metrics"][metric])
+            for report in run.health
+            if isinstance(report.get("metrics"), dict)
+            and isinstance(report["metrics"].get(metric), (int, float))
+        ]
+        if not series:
+            continue
+        lines.append(
+            f"  {metric:<16} {sparkline(series)}  "
+            f"first {series[0]:.4f}  last {series[-1]:.4f}"
+        )
+    return lines
+
+
 def _serving_block(counters: Dict[str, float], gauges: List[dict]) -> List[str]:
     """The serving section: cache hit rate plus queue batching economics.
 
@@ -201,10 +285,20 @@ def _serving_block(counters: Dict[str, float], gauges: List[dict]) -> List[str]:
     for name in ("serve.requests.nodes", "serve.requests.graphs"):
         if counters.get(name):
             lines.append(f"  {name:<24} {counters[name]:g}")
-    depth = None
-    for gauge in gauges:
-        if gauge.get("name") == "serve.queue.depth":
-            depth = gauge.get("value")
+    last = _last_gauges(gauges)
+    wait_p50 = last.get("serve.queue.wait_ms.p50")
+    wait_p99 = last.get("serve.queue.wait_ms.p99")
+    if wait_p50 is not None and wait_p99 is not None:
+        lines.append(
+            f"  queue wait               p50 {wait_p50:.2f}ms / p99 {wait_p99:.2f}ms"
+        )
+    size_p50 = last.get("serve.queue.batch_size.p50")
+    size_p99 = last.get("serve.queue.batch_size.p99")
+    if size_p50 is not None and size_p99 is not None:
+        lines.append(
+            f"  batch size               p50 {size_p50:g} / p99 {size_p99:g}"
+        )
+    depth = last.get("serve.queue.depth")
     if depth is not None:
         lines.append(f"  queue depth (last)       {depth:g}")
     return lines
@@ -260,6 +354,8 @@ def render_show(run: Run, span_limit: int = 12, op_limit: int = 6) -> str:
                 lines.append(f"{indent}  {op:<32} {seconds:.4f}s")
         if len(run.spans) > span_limit:
             lines.append(f"  ... {len(run.spans) - span_limit} more spans")
+
+    lines.extend(_health_block(run))
 
     counters: Dict[str, float] = {}
     for event in run.counters:

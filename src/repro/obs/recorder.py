@@ -62,6 +62,7 @@ class MetricsRecorder:
         self.gauges: Dict[str, float] = {}
         self.epochs: List[EpochRecord] = []
         self.spans: List[SpanRecord] = []
+        self.health_events: List[dict] = []
         self._started = time.perf_counter()
         self._last_epoch_time = self._started
         self._last_bytes = self._profiled_bytes()
@@ -137,6 +138,26 @@ class MetricsRecorder:
                 "gauge", name=name, value=float(value), tags=tags or {}
             )
 
+    def health_event(
+        self,
+        method: str,
+        epoch: int,
+        status: str,
+        metrics: Optional[Dict[str, float]] = None,
+        anomalies: Optional[List[str]] = None,
+    ) -> None:
+        """Record one :class:`~repro.obs.health.HealthMonitor` verdict."""
+        event = {
+            "method": str(method),
+            "epoch": int(epoch),
+            "status": str(status),
+            "metrics": dict(metrics or {}),
+            "anomalies": [str(a) for a in (anomalies or [])],
+        }
+        self.health_events.append(event)
+        if self.writer is not None:
+            self.writer.write_event("health", **event)
+
     def span(self, record: SpanRecord) -> None:
         self.spans.append(record)
         if self.writer is not None:
@@ -161,8 +182,21 @@ class MetricsRecorder:
 
     def summary(self) -> Dict[str, object]:
         """JSON-ready aggregate view (what the manifest embeds on finish)."""
+        if self.health_events:
+            anomalies: Dict[str, int] = {}
+            for event in self.health_events:
+                for anomaly in event.get("anomalies", []):
+                    anomalies[anomaly] = anomalies.get(anomaly, 0) + 1
+            health: Optional[Dict[str, object]] = {
+                "reports": len(self.health_events),
+                "last_status": self.health_events[-1].get("status"),
+                "anomalies": anomalies,
+            }
+        else:
+            health = None
         return {
             "epochs": len(self.epochs),
+            **({"health": health} if health is not None else {}),
             "methods": sorted({r.method for r in self.epochs}),
             "final_loss": self.epochs[-1].loss if self.epochs else None,
             "total_epoch_seconds": sum(r.epoch_seconds for r in self.epochs),

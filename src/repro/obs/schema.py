@@ -40,6 +40,15 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Tuple[bool, tuple]]] = {
         "ops": (True, (dict,)),
         "bytes_touched": (True, _NUMBER),
     },
+    "health": {
+        "type": (True, (str,)),
+        "ts": (True, _NUMBER),
+        "method": (True, (str,)),
+        "epoch": (True, (int,)),
+        "status": (True, (str,)),
+        "metrics": (True, (dict,)),
+        "anomalies": (True, (list,)),
+    },
     "counter": {
         "type": (True, (str,)),
         "ts": (True, _NUMBER),
@@ -71,7 +80,9 @@ MANIFEST_SCHEMA: Dict[str, Tuple[bool, tuple]] = {
     "error": (False, (str,)),
 }
 
-RUN_STATUSES = ("running", "ok", "oom", "error")
+RUN_STATUSES = ("running", "ok", "oom", "error", "diverged")
+
+HEALTH_EVENT_STATUSES = ("ok", "warn", "diverged")
 
 
 class SchemaError(ValueError):
@@ -111,9 +122,17 @@ def validate_event(event: dict) -> None:
     unknown = set(event) - set(spec)
     if unknown:
         raise SchemaError(f"{label}: unknown fields {sorted(unknown)}")
-    for mapping_field in ("parts", "grad_norms", "ops"):
+    for mapping_field in ("parts", "grad_norms", "ops", "metrics"):
         if mapping_field in event:
             _check_numeric_mapping(event[mapping_field], f"{label}.{mapping_field}")
+    if event_type == "health":
+        if event["status"] not in HEALTH_EVENT_STATUSES:
+            raise SchemaError(
+                f"{label}: status {event['status']!r} not in {HEALTH_EVENT_STATUSES}"
+            )
+        for anomaly in event["anomalies"]:
+            if not isinstance(anomaly, str):
+                raise SchemaError(f"{label}.anomalies: expected str entries, got {anomaly!r}")
 
 
 def validate_manifest(manifest: dict) -> None:

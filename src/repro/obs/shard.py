@@ -10,6 +10,9 @@ every shard — in canonical cell order — into its own
 
 * **epoch** rows are appended to the parent's epoch series verbatim
   (original timestamps preserved) and the ``epochs`` counter advances;
+* **health** verdicts are appended to the parent's ``health_events``
+  verbatim, like epoch rows (their ``health.anomaly.*`` companions arrive
+  as ordinary counters and sum);
 * **spans** are re-parented under the span that was open when the pool was
   launched (the table span): the worker-relative name gains the parent's
   span path as a prefix and the recorded depth shifts by the parent's
@@ -118,6 +121,19 @@ def merge_events(
             payload["parts"] = dict(payload["parts"] or {})
             payload["grad_norms"] = dict(payload["grad_norms"] or {})
             _forward(recorder, "epoch", payload)
+        elif event_type == "health":
+            payload = {
+                "ts": event.get("ts"),
+                "method": str(event.get("method", "?")),
+                "epoch": int(event.get("epoch", 0)),
+                "status": str(event.get("status", "ok")),
+                "metrics": dict(event.get("metrics") or {}),
+                "anomalies": [str(a) for a in (event.get("anomalies") or [])],
+            }
+            recorder.health_events.append(
+                {key: value for key, value in payload.items() if key != "ts"}
+            )
+            _forward(recorder, "health", payload)
         elif event_type == "span":
             name = str(event.get("name", ""))
             if span_prefix:

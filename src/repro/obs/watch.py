@@ -1,0 +1,260 @@
+"""Live run watching: tail an in-flight run's events and render its health.
+
+``repro runs watch <run_id>`` follows a run *while it trains*: the
+:class:`RunWatcher` incrementally tails ``events.jsonl`` (line-buffered by
+:class:`~repro.obs.writer.RunWriter`, so epoch rows appear promptly) and —
+shard-aware — any ``shards/*.jsonl`` fragments that
+:func:`repro.parallel.run_cells` workers stream under the run directory
+before the parent merges them, so a process-pool sweep is watchable while
+the pool is still draining.
+
+Reading is crash- and race-tolerant by construction: :class:`EventTail`
+only consumes *complete* lines (a partially written trailing line stays
+buffered until its newline arrives) and skips lines that fail to parse, so
+tailing a file mid-``write()`` can never corrupt the view or double-read.
+
+Rendering reuses the ``repro runs show`` sparkline vocabulary: refreshing
+loss/epoch-seconds curves, the latest :mod:`repro.obs.health` verdict with
+its anomaly list, and probe-metric trajectories (effective rank,
+alignment, uniformity) when a :class:`~repro.obs.health.HealthMonitor` is
+attached to the run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO
+
+from .inspect import sparkline
+
+_ANSI_CLEAR = "\x1b[2J\x1b[H"
+
+
+class EventTail:
+    """Incremental JSONL reader tolerant of partial trailing lines.
+
+    Each :meth:`poll` reads whatever bytes were appended since the last
+    poll and yields only the newline-terminated lines; an incomplete tail
+    (a writer mid-``write``) is buffered and completed by a later poll.
+    Unparseable complete lines are skipped, mirroring
+    :func:`~repro.obs.inspect.load_run`'s crash tolerance.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._offset = 0
+        self._buffer = b""
+
+    def poll(self) -> List[dict]:
+        """Parse and return every complete event appended since last poll."""
+        if not self.path.exists():
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            chunk = handle.read()
+        self._offset += len(chunk)
+        self._buffer += chunk
+        events: List[dict] = []
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline < 0:
+                return events
+            raw, self._buffer = self._buffer[:newline], self._buffer[newline + 1 :]
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                events.append(json.loads(raw.decode()))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue  # malformed line (interleaved writers); keep going
+
+
+class RunWatcher:
+    """Accumulating view over one run directory's event stream(s).
+
+    Tails ``events.jsonl`` plus any ``shards/*.jsonl`` worker fragments
+    (shard-aware discovery re-globs every poll, so shards appearing after
+    the watch started are picked up).  Merged shard events would appear
+    twice — once from the shard, once replayed into ``events.jsonl`` — so
+    epoch/health rows are deduplicated on ``(source ts, method, epoch)``.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self._tails: Dict[Path, EventTail] = {}
+        self._seen: set = set()
+        self.epochs: List[dict] = []
+        self.health: List[dict] = []
+        self.events_seen = 0
+
+    # ------------------------------------------------------------------
+    def manifest(self) -> dict:
+        """The run manifest, or ``{}`` while absent/corrupt (still writing)."""
+        path = self.directory / "manifest.json"
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def status(self) -> str:
+        return str(self.manifest().get("status", "unknown"))
+
+    def _event_files(self) -> List[Path]:
+        paths = [self.directory / "events.jsonl"]
+        shards = self.directory / "shards"
+        if shards.is_dir():
+            paths.extend(sorted(shards.glob("*.jsonl")))
+        return paths
+
+    def poll(self) -> int:
+        """Drain every event stream once; returns how many events arrived."""
+        arrived = 0
+        for path in self._event_files():
+            tail = self._tails.setdefault(path, EventTail(path))
+            for event in tail.poll():
+                arrived += 1
+                self._ingest(event)
+        self.events_seen += arrived
+        return arrived
+
+    def _ingest(self, event: dict) -> None:
+        event_type = event.get("type")
+        if event_type not in ("epoch", "health"):
+            return
+        key = (event_type, event.get("ts"), event.get("method"), event.get("epoch"))
+        if key in self._seen:
+            return  # shard row later replayed into the parent events.jsonl
+        self._seen.add(key)
+        (self.epochs if event_type == "epoch" else self.health).append(event)
+
+    # ------------------------------------------------------------------
+    def series(self, key: str) -> List[float]:
+        """Per-epoch series of ``loss``/``epoch_seconds``, arrival order."""
+        return [
+            float(row[key])
+            for row in self.epochs
+            if isinstance(row.get(key), (int, float))
+        ]
+
+    def health_series(self, metric: str) -> List[float]:
+        return [
+            float(row["metrics"][metric])
+            for row in self.health
+            if isinstance(row.get("metrics"), dict)
+            and isinstance(row["metrics"].get(metric), (int, float))
+        ]
+
+
+def _curve_line(label: str, values: List[float]) -> Optional[str]:
+    if not values:
+        return None
+    return (
+        f"  {label:<16} {sparkline(values)}  "
+        f"first {values[0]:.4f}  last {values[-1]:.4f}  min {min(values):.4f}"
+    )
+
+
+def render_watch(watcher: RunWatcher, updates: int = 0) -> str:
+    """One refresh frame of the live view."""
+    manifest = watcher.manifest()
+    run_id = manifest.get("run_id", watcher.directory.name)
+    lines = [
+        f"watching {run_id}  (update {updates}, {watcher.events_seen} events)",
+        f"  method {manifest.get('method', '?')}  "
+        f"dataset {manifest.get('dataset', '?')}  "
+        f"status {manifest.get('status', 'unknown')}",
+    ]
+    if manifest.get("error"):
+        lines.append(f"  error: {manifest['error']}")
+
+    loss = watcher.series("loss")
+    if loss:
+        lines.append("")
+        lines.append(f"epochs {len(watcher.epochs)}:")
+        for text in (
+            _curve_line("loss", loss),
+            _curve_line("epoch seconds", watcher.series("epoch_seconds")),
+        ):
+            if text:
+                lines.append(text)
+
+    if watcher.health:
+        last = watcher.health[-1]
+        anomalies = last.get("anomalies") or []
+        lines.append("")
+        lines.append(
+            f"health: {last.get('status', '?')} at epoch {last.get('epoch', '?')}"
+            + (f"  anomalies: {', '.join(anomalies)}" if anomalies else "")
+        )
+        for metric in ("effective_rank", "alignment", "uniformity"):
+            text = _curve_line(metric, watcher.health_series(metric))
+            if text:
+                lines.append(text)
+    return "\n".join(lines)
+
+
+def find_run_directory(root: str | Path, run_id: str) -> Path:
+    """The run directory whose name equals or uniquely starts with ``run_id``.
+
+    Unlike :func:`~repro.obs.inspect.find_run` this never parses the
+    manifest — a run being watched may not have finished writing one.
+    """
+    root = Path(root)
+    exact = root / run_id
+    if exact.is_dir():
+        return exact
+    matches = (
+        [d for d in sorted(root.iterdir()) if d.is_dir() and d.name.startswith(run_id)]
+        if root.is_dir()
+        else []
+    )
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise FileNotFoundError(f"no run directory matching {run_id!r} under {root}")
+    raise ValueError(
+        f"ambiguous run id {run_id!r}: matches " + ", ".join(d.name for d in matches)
+    )
+
+
+def watch_run(
+    root: str | Path,
+    run_id: str,
+    interval: float = 1.0,
+    max_updates: Optional[int] = None,
+    stream: Optional[TextIO] = None,
+    clear: bool = True,
+) -> RunWatcher:
+    """Follow a run until it leaves status ``running`` (or ``max_updates``).
+
+    Renders a refreshed frame after every poll interval.  ``max_updates``
+    bounds the loop for tests and non-interactive callers; ``clear=False``
+    appends frames instead of redrawing (for dumb terminals and pipes).
+    Returns the final :class:`RunWatcher` so callers can inspect what was
+    seen.
+    """
+    stream = stream if stream is not None else sys.stdout
+    watcher = RunWatcher(find_run_directory(root, run_id))
+    updates = 0
+    while True:
+        # Read the status *before* draining: when the manifest is already
+        # sealed here, every event was written before the seal, so this
+        # iteration's poll is guaranteed to be the complete final drain.
+        status = watcher.status()
+        watcher.poll()
+        updates += 1
+        frame = render_watch(watcher, updates=updates)
+        if clear:
+            stream.write(_ANSI_CLEAR + frame + "\n")
+        else:
+            stream.write(frame + "\n\n")
+        stream.flush()
+        if status not in ("running", "unknown"):
+            break  # the manifest was sealed: the run is over
+        if max_updates is not None and updates >= max_updates:
+            break
+        time.sleep(interval)
+    return watcher

@@ -27,6 +27,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterator, Optional
 
+from .health import DivergenceError
 from .recorder import MetricsRecorder, record
 from .schema import SCHEMA_VERSION
 
@@ -105,7 +106,10 @@ class RunWriter:
         }
         if extra:
             self.manifest.update(extra)
-        self._events = open(self.directory / "events.jsonl", "a")
+        # Line-buffered on top of the per-event flush below: even if some
+        # code path writes without flushing, a complete line hits the file
+        # as soon as it is written, so `repro runs watch` tails promptly.
+        self._events = open(self.directory / "events.jsonl", "a", buffering=1)
         self._write_manifest()
 
     def _write_manifest(self) -> None:
@@ -151,8 +155,10 @@ def telemetry_run(
     Installs a :class:`MetricsRecorder` (thread-locally, so every
     instrumented training loop and span inside the block reports into it)
     whose events stream through a :class:`RunWriter`.  On exit the manifest
-    is sealed with status ``ok``, ``oom`` (on :class:`MemoryError`), or
-    ``error`` (any other exception); exceptions propagate either way.
+    is sealed with status ``ok``, ``oom`` (on :class:`MemoryError`),
+    ``diverged`` (on :class:`~repro.obs.health.DivergenceError`, the health
+    monitor's abort), or ``error`` (any other exception); exceptions
+    propagate either way.
     """
     writer = RunWriter(
         root,
@@ -171,6 +177,10 @@ def telemetry_run(
     except MemoryError as exc:
         session.__exit__(MemoryError, exc, None)
         writer.finish(status="oom", summary=recorder.summary(), error=str(exc) or "MemoryError")
+        raise
+    except DivergenceError as exc:
+        session.__exit__(DivergenceError, exc, None)
+        writer.finish(status="diverged", summary=recorder.summary(), error=str(exc))
         raise
     except BaseException as exc:
         session.__exit__(type(exc), exc, None)

@@ -218,7 +218,16 @@ def _run_pool(cells: List[C], fn: Callable[[C], R], jobs: int, label: str) -> Li
 
     shard_dir: Optional[str] = None
     if recorder is not None:
-        shard_dir = tempfile.mkdtemp(prefix="repro-telemetry-shards-")
+        # Persisted runs shard under runs/<run_id>/shards/ so that
+        # `repro runs watch` can tail worker progress while the pool is
+        # still draining; in-memory recorders fall back to a tempdir.
+        # Either way the shards are deleted once merged.
+        run_dir = getattr(recorder.writer, "directory", None)
+        if run_dir is not None:
+            shard_dir = str(Path(run_dir) / "shards")
+            Path(shard_dir).mkdir(parents=True, exist_ok=True)
+        else:
+            shard_dir = tempfile.mkdtemp(prefix="repro-telemetry-shards-")
 
     if _FORK_STATE:
         raise RuntimeError("run_cells is not reentrant within one process")

@@ -34,12 +34,23 @@ from ..obs.spans import SpanRecord
 
 
 class _Request:
-    __slots__ = ("graph", "future", "recorder")
+    __slots__ = ("graph", "future", "recorder", "submitted")
 
     def __init__(self, graph, future: Future, recorder) -> None:
         self.graph = graph
         self.future = future
         self.recorder = recorder
+        self.submitted = time.perf_counter()
+
+
+# Distribution windows keep the most recent samples only: long-lived
+# services would otherwise grow without bound, and recent traffic is what
+# the p50/p99 gauges are meant to describe.
+_DISTRIBUTION_WINDOW = 2048
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
 
 
 def split_batch_output(
@@ -92,6 +103,8 @@ class MicroBatchQueue:
         self.batches = 0
         self.requests = 0
         self.coalesced = 0
+        self._wait_ms: List[float] = []
+        self._batch_sizes: List[float] = []
         self._worker: Optional[threading.Thread] = None
         if start:
             self._worker = threading.Thread(
@@ -149,13 +162,20 @@ class MicroBatchQueue:
     def stats(self) -> Dict[str, float]:
         with self._cond:
             total = self.requests
-            return {
+            stats = {
                 "requests": float(total),
                 "batches": float(self.batches),
                 "coalesced": float(self.coalesced),
                 "mean_batch_size": (total / self.batches) if self.batches else 0.0,
                 "depth": float(len(self._pending)),
             }
+            if self._wait_ms:
+                stats["wait_ms_p50"] = _percentile(self._wait_ms, 50)
+                stats["wait_ms_p99"] = _percentile(self._wait_ms, 99)
+            if self._batch_sizes:
+                stats["batch_size_p50"] = _percentile(self._batch_sizes, 50)
+                stats["batch_size_p99"] = _percentile(self._batch_sizes, 99)
+            return stats
 
     # ------------------------------------------------------------------
     def _take_locked(self) -> List[_Request]:
@@ -182,6 +202,7 @@ class MicroBatchQueue:
 
     def _run_batch(self, requests: List[_Request], depth: int = 0) -> None:
         start = time.perf_counter()
+        waits = [(start - request.submitted) * 1000.0 for request in requests]
         try:
             if len(requests) == 1:
                 outputs = [self._forward(GraphBatch.from_graphs([requests[0].graph]))]
@@ -197,6 +218,10 @@ class MicroBatchQueue:
         with self._cond:
             self.batches += 1
             self.coalesced += max(len(requests) - 1, 0)
+            self._wait_ms.extend(waits)
+            del self._wait_ms[:-_DISTRIBUTION_WINDOW]
+            self._batch_sizes.append(float(len(requests)))
+            del self._batch_sizes[:-_DISTRIBUTION_WINDOW]
         self._record(requests, len(requests), time.perf_counter() - start, depth)
 
     def _record(
@@ -214,6 +239,15 @@ class MicroBatchQueue:
             recorder.counter("serve.queue.coalesced", float(size - 1))
         recorder.gauge("serve.queue.depth", float(depth))
         recorder.gauge("serve.queue.last_batch_size", float(size))
+        with self._cond:
+            wait_samples = list(self._wait_ms)
+            size_samples = list(self._batch_sizes)
+        if wait_samples:
+            recorder.gauge("serve.queue.wait_ms.p50", _percentile(wait_samples, 50))
+            recorder.gauge("serve.queue.wait_ms.p99", _percentile(wait_samples, 99))
+        if size_samples:
+            recorder.gauge("serve.queue.batch_size.p50", _percentile(size_samples, 50))
+            recorder.gauge("serve.queue.batch_size.p99", _percentile(size_samples, 99))
         recorder.span(
             SpanRecord(name="serve/batch", seconds=seconds, ops={}, depth=0)
         )

@@ -1,0 +1,265 @@
+"""Tests for the training-health monitor: probes, anomalies, divergence.
+
+Two contracts matter.  First, the monitor *sees* real training: probes
+stream for GCMAE and the contrastive/generative baselines through the one
+shared emit funnel.  Second, the monitor only *observes*: a monitored run
+is bit-identical to an unmonitored one, and costs nothing when detached.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import DGI, GRACE, GraphMAE
+from repro.core.config import GCMAEConfig
+from repro.core.trainer import train_gcmae
+from repro.graph.generators import (
+    CitationGraphSpec,
+    add_planted_splits,
+    make_citation_graph,
+)
+from repro.obs import (
+    DivergenceError,
+    HealthConfig,
+    HealthMonitor,
+    embedding_health_metrics,
+    record,
+    telemetry_run,
+    use_hooks,
+    validate_event,
+)
+from repro.obs.health import FATAL_ANOMALIES
+from repro.obs.hooks import EpochEvent
+
+
+@pytest.fixture(scope="module")
+def graph():
+    spec = CitationGraphSpec(100, 24, 3, average_degree=4.0)
+    return add_planted_splits(make_citation_graph(spec, seed=0), seed=0)
+
+
+def event(epoch, loss, grad_norms=None, embeddings=None, data=None):
+    return EpochEvent(
+        method="X",
+        epoch=epoch,
+        loss=loss,
+        grad_norms=grad_norms or {},
+        data=data,
+        embeddings_fn=(lambda: embeddings) if embeddings is not None else None,
+    )
+
+
+class TestAnomalyDetectors:
+    def test_nan_loss_is_fatal(self):
+        monitor = HealthMonitor()
+        monitor.on_epoch(event(0, float("nan")))
+        assert monitor.last_report.status == "diverged"
+        assert monitor.last_report.anomalies == ["nan_loss"]
+
+    def test_loss_divergence_after_grace(self):
+        monitor = HealthMonitor(HealthConfig(divergence_grace=3, probe_every=0))
+        for epoch in range(4):
+            monitor.on_epoch(event(epoch, 1.0 - 0.1 * epoch))
+        monitor.on_epoch(event(4, 50.0))  # > 10x the best loss, past grace
+        assert "loss_divergence" in monitor.last_report.anomalies
+        assert monitor.last_report.status == "diverged"
+
+    def test_early_spike_within_grace_not_flagged(self):
+        monitor = HealthMonitor(HealthConfig(divergence_grace=5, probe_every=0))
+        monitor.on_epoch(event(0, 1.0))
+        monitor.on_epoch(event(1, 80.0))  # warmup noise: inside the grace window
+        assert "loss_divergence" not in monitor.last_report.anomalies
+
+    def test_grad_explosion_and_nan(self):
+        monitor = HealthMonitor()
+        monitor.on_epoch(event(0, 1.0, grad_norms={"encoder": 2e6}))
+        assert "grad_explosion" in monitor.last_report.anomalies
+        monitor.on_epoch(event(1, 1.0, grad_norms={"encoder": float("inf")}))
+        assert "grad_nan" in monitor.last_report.anomalies
+
+    def test_grad_vanish_only_after_grace(self):
+        monitor = HealthMonitor(HealthConfig(divergence_grace=2, probe_every=0))
+        for epoch in range(5):
+            monitor.on_epoch(event(epoch, 1.0 - 0.1 * epoch, grad_norms={"all": 1e-12}))
+        assert "grad_vanish" not in monitor.reports[0].anomalies
+        assert "grad_vanish" in monitor.last_report.anomalies
+        assert monitor.last_report.status == "warn"  # vanish is not fatal
+
+    def test_plateau_counts_consecutive_stalls(self):
+        monitor = HealthMonitor(HealthConfig(plateau_patience=3, probe_every=0))
+        monitor.on_epoch(event(0, 1.0))
+        for epoch in range(1, 4):
+            monitor.on_epoch(event(epoch, 1.0))
+        assert "plateau" in monitor.last_report.anomalies
+        assert monitor.anomaly_counts()["plateau"] == 1
+
+    def test_grad_norm_total_recorded(self):
+        monitor = HealthMonitor()
+        monitor.on_epoch(event(0, 1.0, grad_norms={"a": 3.0, "b": 4.0}))
+        assert monitor.last_report.metrics["grad_norm_total"] == pytest.approx(5.0)
+
+
+class TestProbes:
+    def test_probe_every_gates_the_forward(self):
+        calls = []
+        rng = np.random.default_rng(0)
+        emb = rng.normal(size=(30, 8))
+
+        def embeddings_fn():
+            calls.append(1)
+            return emb
+
+        monitor = HealthMonitor(HealthConfig(probe_every=2))
+        for epoch in range(4):
+            monitor.on_epoch(
+                EpochEvent(method="X", epoch=epoch, loss=1.0, embeddings_fn=embeddings_fn)
+            )
+        assert len(calls) == 2  # epochs 2 and 4 of 4 (1-based count)
+        probed = [r for r in monitor.reports if "effective_rank" in r.metrics]
+        assert len(probed) == 2
+
+    def test_probe_every_zero_never_calls(self):
+        monitor = HealthMonitor(HealthConfig(probe_every=0))
+        monitor.on_epoch(
+            EpochEvent(
+                method="X",
+                epoch=0,
+                loss=1.0,
+                embeddings_fn=lambda: pytest.fail("probe ran with probe_every=0"),
+            )
+        )
+        assert monitor.last_report.status == "ok"
+
+    def test_collapsed_embeddings_flagged(self):
+        collapsed = np.ones((40, 8))  # rank-1 and zero-variance everywhere
+        monitor = HealthMonitor()
+        monitor.on_epoch(event(0, 1.0, embeddings=collapsed))
+        report = monitor.last_report
+        assert "spectral_collapse" in report.anomalies
+        assert "dead_dimensions" in report.anomalies
+        assert report.status == "warn"  # collapse is a drift, never fatal
+        assert report.metrics["dead_dimension_ratio"] == 1.0
+
+    def test_nan_embeddings_flagged(self):
+        bad = np.full((20, 4), np.nan)
+        monitor = HealthMonitor()
+        monitor.on_epoch(event(0, 1.0, embeddings=bad))
+        assert "nan_embeddings" in monitor.last_report.anomalies
+
+    def test_metrics_include_alignment_with_graph(self, graph):
+        rng = np.random.default_rng(0)
+        metrics = embedding_health_metrics(rng.normal(size=(graph.num_nodes, 16)), graph)
+        for key in (
+            "alignment",
+            "uniformity",
+            "effective_rank",
+            "collapse_score",
+            "dead_dimension_ratio",
+            "feature_norm_mean",
+        ):
+            assert math.isfinite(metrics[key]), key
+
+
+METHOD_FACTORIES = {
+    "DGI": lambda: DGI(hidden_dim=16, epochs=4),
+    "GRACE": lambda: GRACE(hidden_dim=16, projector_dim=8, epochs=4),
+    "GraphMAE": lambda: GraphMAE(hidden_dim=16, heads=2, epochs=4),
+}
+
+TINY_GCMAE = GCMAEConfig(conv_type="gcn", heads=1, hidden_dim=16, embed_dim=16, epochs=4)
+
+
+class TestRealTraining:
+    @pytest.mark.parametrize("name", sorted(METHOD_FACTORIES), ids=str)
+    def test_baselines_stream_probes(self, graph, name):
+        monitor = HealthMonitor()
+        with use_hooks(monitor):
+            METHOD_FACTORIES[name]().fit(graph, seed=0)
+        assert len(monitor.reports) == 4
+        for report in monitor.reports:
+            assert report.method == name
+            for key in ("alignment", "uniformity", "effective_rank", "grad_norm_total"):
+                assert math.isfinite(report.metrics[key]), key
+
+    def test_gcmae_streams_probes(self, graph):
+        monitor = HealthMonitor()
+        with use_hooks(monitor):
+            train_gcmae(graph, TINY_GCMAE, seed=0)
+        assert [r.epoch for r in monitor.reports] == [0, 1, 2, 3]
+        assert all("effective_rank" in r.metrics for r in monitor.reports)
+
+    @pytest.mark.parametrize("name", sorted(METHOD_FACTORIES), ids=str)
+    def test_monitoring_is_bit_identical(self, graph, name):
+        factory = METHOD_FACTORIES[name]
+        plain = factory().fit(graph, seed=3)
+        with use_hooks(HealthMonitor()):
+            monitored = factory().fit(graph, seed=3)
+        np.testing.assert_array_equal(plain.embeddings, monitored.embeddings)
+        assert plain.loss_history == monitored.loss_history
+
+    def test_gcmae_monitoring_is_bit_identical(self, graph):
+        plain = train_gcmae(graph, TINY_GCMAE, seed=3)
+        with use_hooks(HealthMonitor()):
+            monitored = train_gcmae(graph, TINY_GCMAE, seed=3)
+        assert plain.loss_history == monitored.loss_history
+        np.testing.assert_array_equal(
+            plain.model.embed(graph.adjacency, graph.features),
+            monitored.model.embed(graph.adjacency, graph.features),
+        )
+
+
+class TestDivergenceAbort:
+    def test_fatal_anomaly_raises_when_configured(self):
+        monitor = HealthMonitor(HealthConfig(abort_on_divergence=True))
+        with pytest.raises(DivergenceError) as info:
+            monitor.on_epoch(event(0, float("nan")))
+        assert info.value.report.status == "diverged"
+        assert "nan_loss" in str(info.value)
+
+    def test_abort_seals_manifest_as_diverged(self, tmp_path):
+        monitor = HealthMonitor(HealthConfig(abort_on_divergence=True))
+        with pytest.raises(DivergenceError):
+            with telemetry_run(tmp_path, method="X", dataset="y") as rec:
+                with use_hooks(monitor):
+                    monitor.on_epoch(event(0, float("nan")))
+        manifest = json.loads((tmp_path / rec.run_id / "manifest.json").read_text())
+        assert manifest["status"] == "diverged"
+        assert "nan_loss" in manifest["error"]
+
+    def test_warn_anomalies_never_abort(self):
+        monitor = HealthMonitor(HealthConfig(abort_on_divergence=True, plateau_patience=1))
+        monitor.on_epoch(event(0, 1.0))
+        monitor.on_epoch(event(1, 1.0))  # plateau: warn-only
+        assert monitor.last_report.status == "warn"
+        assert "plateau" not in FATAL_ANOMALIES
+
+
+class TestHealthEventsPersisted:
+    def test_events_validate_and_summarize(self, tmp_path):
+        with telemetry_run(tmp_path, method="X", dataset="y") as rec:
+            monitor = HealthMonitor()
+            with use_hooks(monitor):
+                monitor.on_epoch(event(0, 1.0, embeddings=np.ones((20, 4))))
+        run_dir = tmp_path / rec.run_id
+        events = [
+            json.loads(line)
+            for line in (run_dir / "events.jsonl").read_text().splitlines()
+        ]
+        health = [e for e in events if e["type"] == "health"]
+        assert len(health) == 1
+        for item in events:
+            validate_event(item)
+        assert health[0]["status"] == "warn"
+        assert "spectral_collapse" in health[0]["anomalies"]
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["summary"]["health"]["last_status"] == "warn"
+
+    def test_recorder_collects_health_without_writer(self):
+        with record() as recorder:
+            monitor = HealthMonitor()
+            with use_hooks(monitor):
+                monitor.on_epoch(event(0, 1.0))
+        assert len(recorder.health_events) == 1
+        assert recorder.health_events[0]["status"] == "ok"

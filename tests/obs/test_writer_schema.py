@@ -129,6 +129,19 @@ class TestTelemetryRun:
             "events.jsonl", "manifest.json",
         ]
 
+    def test_events_flushed_line_buffered_before_close(self, tmp_path):
+        """A live tail must see each epoch row without waiting for finish()."""
+        with telemetry_run(tmp_path, method="X", dataset="y") as rec:
+            emit_epoch("X", 0, 1.0)
+            events_path = tmp_path / rec.run_id / "events.jsonl"
+            lines = events_path.read_text().splitlines()
+            epoch_rows = [
+                json.loads(line) for line in lines
+                if json.loads(line)["type"] == "epoch"
+            ]
+            assert [e["epoch"] for e in epoch_rows] == [0]
+            assert lines[-1].endswith("}")  # no partial trailing line
+
     def test_reader_skips_truncated_lines(self, tmp_path):
         with telemetry_run(tmp_path, method="X", dataset="y") as rec:
             emit_epoch("X", 0, 1.0)
@@ -171,6 +184,29 @@ class TestSchemaValidation:
         }
         with pytest.raises(SchemaError, match="str -> number"):
             validate_event(event)
+
+    def test_bad_health_status_rejected(self):
+        event = {
+            "type": "health", "ts": 0.0, "method": "X", "epoch": 0,
+            "status": "melted", "metrics": {}, "anomalies": [],
+        }
+        with pytest.raises(SchemaError, match="status"):
+            validate_event(event)
+
+    def test_health_event_validates(self):
+        validate_event({
+            "type": "health", "ts": 0.0, "method": "X", "epoch": 3,
+            "status": "warn", "metrics": {"effective_rank": 5.0},
+            "anomalies": ["plateau"],
+        })
+
+    def test_diverged_manifest_status_accepted(self):
+        manifest = {
+            "schema_version": 1, "run_id": "r", "method": "m", "dataset": "d",
+            "seed": 0, "config": {}, "package_version": "1.0.0",
+            "started_at": "now", "ended_at": None, "status": "diverged",
+        }
+        validate_manifest(manifest)
 
     def test_bad_manifest_status_rejected(self):
         manifest = {

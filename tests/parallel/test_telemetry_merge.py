@@ -81,6 +81,33 @@ class TestMergeEvents:
         recorder = MetricsRecorder()
         assert merge_events(recorder, [{"type": "mystery", "x": 1}]) == 0
 
+    def test_health_rows_append_verbatim(self):
+        recorder = MetricsRecorder()
+        merged = merge_events(recorder, [
+            {"type": "health", "ts": 123.456, "method": "GCMAE", "epoch": 2,
+             "status": "warn", "metrics": {"effective_rank": 7.5},
+             "anomalies": ["plateau"]},
+            {"type": "counter", "name": "health.anomaly.plateau", "value": 1.0},
+        ])
+        assert merged == 2
+        assert recorder.health_events == [
+            {"method": "GCMAE", "epoch": 2, "status": "warn",
+             "metrics": {"effective_rank": 7.5}, "anomalies": ["plateau"]},
+        ]
+        assert recorder.counters["health.anomaly.plateau"] == 1.0
+
+    def test_health_anomaly_counters_sum_across_shards(self):
+        recorder = MetricsRecorder()
+        shard_events = [
+            {"type": "health", "ts": 1.0, "method": "DGI", "epoch": 0,
+             "status": "diverged", "metrics": {}, "anomalies": ["nan_loss"]},
+            {"type": "counter", "name": "health.anomaly.nan_loss", "value": 1.0},
+        ]
+        merge_events(recorder, shard_events)
+        merge_events(recorder, shard_events)
+        assert len(recorder.health_events) == 2
+        assert recorder.counters["health.anomaly.nan_loss"] == 2.0
+
 
 class TestParallelRunRecord:
     def test_merged_run_is_schema_valid(self, tmp_path, monkeypatch):
@@ -107,6 +134,9 @@ class TestParallelRunRecord:
             validate_event(event)
         validate_manifest(json.loads((run_dir / "manifest.json").read_text()))
 
+        # Worker shards streamed under the run dir (for `repro runs watch`)
+        # are cleaned up once merged.
+        assert not (run_dir / "shards").exists()
         spans = [e["name"] for e in events if e["type"] == "span"]
         assert "table4/DGI/cora-like/seed0" in spans
         assert "table4/GCMAE/cora-like/seed0" in spans

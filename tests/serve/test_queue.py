@@ -112,6 +112,38 @@ class TestCoalescing:
         assert counters["serve.queue.coalesced"] == 2.0
         assert "serve/batch" in span_names
 
+    def test_wait_and_batch_size_distributions(self, forward):
+        queue = MicroBatchQueue(forward, max_batch=4, start=False)
+        with record() as recorder:
+            futures = [queue.submit(make_ring_graph(6, seed=i)) for i in range(6)]
+            queue.flush()
+            gauges = dict(recorder.gauges)
+        for future in futures:
+            future.result(timeout=0)
+        stats = queue.stats()
+        # Two flushed batches of sizes 4 and 2.
+        assert stats["batch_size_p50"] == 3.0
+        assert stats["batch_size_p99"] == pytest.approx(4.0, abs=0.1)
+        assert stats["wait_ms_p50"] >= 0.0
+        assert stats["wait_ms_p99"] >= stats["wait_ms_p50"]
+        for name in (
+            "serve.queue.wait_ms.p50",
+            "serve.queue.wait_ms.p99",
+            "serve.queue.batch_size.p50",
+            "serve.queue.batch_size.p99",
+        ):
+            assert name in gauges and gauges[name] >= 0.0
+
+    def test_distribution_window_is_bounded(self, forward, monkeypatch):
+        monkeypatch.setattr("repro.serve.queue._DISTRIBUTION_WINDOW", 8)
+        queue = MicroBatchQueue(forward, max_batch=1, start=False)
+        graph = make_ring_graph(6, seed=0)
+        for _ in range(13):
+            queue.submit(graph)
+        queue.flush()
+        assert len(queue._wait_ms) == 8
+        assert len(queue._batch_sizes) == 8
+
 
 class TestLifecycle:
     def test_forward_error_propagates_to_all_futures(self):

@@ -39,6 +39,29 @@ class TestParser:
         assert _build_parser().parse_args(["report", "--jobs", "3"]).jobs == 3
         assert _build_parser().parse_args(["table", "4"]).jobs is None
 
+    def test_health_flags(self):
+        args = _build_parser().parse_args(
+            ["pretrain", "GCMAE", "cora-like", "--health", "--health-every", "5",
+             "--abort-on-divergence"]
+        )
+        assert args.health and args.health_every == 5 and args.abort_on_divergence
+        assert not _build_parser().parse_args(["pretrain", "GCMAE", "cora-like"]).health
+
+    def test_runs_watch_args(self):
+        args = _build_parser().parse_args(
+            ["runs", "watch", "abc", "--interval", "0.5", "--max-updates", "2",
+             "--no-clear"]
+        )
+        assert args.run_id == "abc" and args.interval == 0.5
+        assert args.max_updates == 2 and args.no_clear
+
+    def test_bench_args(self):
+        args = _build_parser().parse_args(
+            ["bench", "check", "--threshold", "25", "--report-only"]
+        )
+        assert args.threshold == 25.0 and args.report_only
+        assert _build_parser().parse_args(["bench", "trend"]).bench_dir == "benchmarks"
+
 
 class TestCommands:
     def test_datasets_command(self, capsys):
@@ -94,6 +117,64 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "served 8-dim embeddings for 3 nodes" in out
         assert "hit rate 0.50" in out  # second pass served from cache
+
+    def test_pretrain_health_streams_and_watch_renders(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import json
+
+        from repro.experiments import registry
+
+        def tiny_methods(profile):
+            from repro.baselines import DGI
+            return {"DGI": lambda: DGI(hidden_dim=8, epochs=2)}
+
+        monkeypatch.setattr(registry, "node_ssl_methods", tiny_methods)
+        runs = tmp_path / "runs"
+        main([
+            "pretrain", "DGI", "cora-like", "--output", str(tmp_path / "e.npz"),
+            "--telemetry-dir", str(runs), "--health",
+        ])
+        run_dir = next(runs.iterdir())
+        events = [
+            json.loads(line)
+            for line in (run_dir / "events.jsonl").read_text().splitlines()
+        ]
+        health = [e for e in events if e["type"] == "health"]
+        assert len(health) == 2 and health[-1]["metrics"]["effective_rank"] > 0
+        capsys.readouterr()
+        main(["runs", "watch", run_dir.name, "--root", str(runs), "--no-clear"])
+        out = capsys.readouterr().out
+        assert "watching" in out and "health:" in out
+
+    def test_abort_on_divergence_requires_health(self):
+        with pytest.raises(SystemExit, match="requires --health"):
+            main([
+                "pretrain", "DGI", "cora-like", "--abort-on-divergence",
+            ])
+
+    def test_bench_cycle(self, tmp_path, capsys):
+        import json
+
+        bench = tmp_path / "benchmarks"
+        bench.mkdir()
+        for value in (4.0, 1.0):  # second sweep: injected slowdown
+            (bench / "BENCH_kernels.json").write_text(
+                json.dumps({"spmm": {"speedup": value}})
+            )
+            main(["bench", "record", "--bench-dir", str(bench)])
+        main(["bench", "trend", "--bench-dir", str(bench)])
+        main(["bench", "diff", "--bench-dir", str(bench)])
+        with pytest.raises(SystemExit):
+            main(["bench", "check", "--bench-dir", str(bench)])
+        main(["bench", "check", "--bench-dir", str(bench), "--report-only"])
+        out = capsys.readouterr().out
+        assert "kernels.spmm.speedup" in out
+        assert "regressed" in out
+
+    def test_bench_record_without_artifacts_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no BENCH"):
+            main(["bench", "record", "--bench-dir", str(tmp_path / "none")])
 
     def test_jobs_flag_sets_executor_default(self, monkeypatch, capsys):
         from repro import parallel

@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: ci test lint perf bench-gc bench-kernels bench-parallel bench-serving bench bench-history runs-demo
+.PHONY: ci test lint perf bench-gc bench-kernels bench-parallel bench-serving bench bench-history runs-demo spec-smoke
 
 ci:
 	scripts/ci.sh
@@ -38,3 +38,6 @@ bench-history:
 
 runs-demo:
 	$(PYTHON) scripts/runs_demo.py runs
+
+spec-smoke:
+	$(PYTHON) scripts/spec_smoke.py specruns

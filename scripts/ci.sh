@@ -79,4 +79,7 @@ PYTHONPATH=src python -m pytest tests/engine/test_resume.py -q
 echo "== telemetry sample run (runs/<id>/, schema-validated) =="
 python scripts/runs_demo.py runs
 
+echo "== spec smoke (2-cell toy spec via 'repro run --jobs 2', merged telemetry) =="
+python scripts/spec_smoke.py specruns
+
 echo "== ci.sh: all stages passed =="

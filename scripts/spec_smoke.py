@@ -1,0 +1,96 @@
+"""Run a 2-cell toy spec through ``repro run --jobs 2`` and audit the run.
+
+This is the ``make spec-smoke`` entry point and the CI spec-smoke stage: a
+tiny declarative spec (one method, one dataset, two seeds) executed through
+the real CLI with a 2-worker pool and a telemetry directory.  It then
+re-reads the persisted run and asserts what the spec platform promises:
+
+* one schema-valid run (manifest + every event) for the whole sweep,
+* the manifest's ``spec`` key carries the expanded plan with the variant's
+  fully-resolved config,
+* both cells' worker-shard events were merged back into the parent's
+  ``events.jsonl`` (spans for seed 0 *and* seed 1, no leftover ``shards/``).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs import validate_event, validate_manifest  # noqa: E402
+
+SPEC = """\
+name: spec-smoke
+protocol: classification
+datasets: [cora-like]
+seeds: [0, 1]
+methods:
+  - name: DGI
+    overrides: {epochs: 2, hidden_dim: 16}
+"""
+
+
+def main(root: str = "specruns") -> None:
+    root_dir = Path(root)
+    root_dir.mkdir(parents=True, exist_ok=True)
+    spec_path = root_dir / "spec_smoke.yaml"
+    spec_path.write_text(SPEC)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_NO_CACHE"] = "1"
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "run", str(spec_path),
+            "--jobs", "2", "--telemetry-dir", str(root_dir),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        raise SystemExit(f"repro run exited with {proc.returncode}")
+
+    run_dirs = [d for d in root_dir.iterdir() if (d / "manifest.json").exists()]
+    if len(run_dirs) != 1:
+        raise SystemExit(f"expected exactly one run under {root_dir}, found {run_dirs}")
+    run_dir = run_dirs[0]
+
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    validate_manifest(manifest)
+    plan = manifest.get("spec")
+    if plan is None:
+        raise SystemExit("manifest is missing the expanded plan under 'spec'")
+    if plan["name"] != "spec-smoke" or plan["num_cells"] != 2:
+        raise SystemExit(f"unexpected plan: {plan['name']} / {plan['num_cells']} cells")
+    config = plan["variants"][0]["config"]
+    if config.get("epochs") != 2 or config.get("hidden_dim") != 16:
+        raise SystemExit(f"variant config not resolved from overrides: {config}")
+
+    seeds_seen = set()
+    for line in (run_dir / "events.jsonl").read_text().splitlines():
+        event = json.loads(line)
+        validate_event(event)
+        if event["type"] == "span":
+            for seed in (0, 1):
+                if event["name"].endswith(f"seed{seed}"):
+                    seeds_seen.add(seed)
+    if seeds_seen != {0, 1}:
+        raise SystemExit(f"expected merged spans for seeds 0 and 1, saw {seeds_seen}")
+    if (run_dir / "shards").exists():
+        raise SystemExit("worker shard directory was not cleaned up after merge")
+
+    print(
+        f"spec-smoke: {run_dir}/ schema-valid; plan recorded with resolved "
+        "config; both cells' shard events merged"
+    )
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:])

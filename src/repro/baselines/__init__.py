@@ -25,6 +25,38 @@ from .graph_level import (
 from .mae import GraphMAE, MaskGAE, S2GAE, SeeGera
 from .supervised import SupervisedGNN, SupervisedResult
 
+from ..registry import config_kwargs, register_method
+
+# Graph-protocol variants of node methods (Table 7): the node method is
+# pretrained on the block-diagonal batch and its node embeddings are
+# mean/max-pooled per graph by GraphLevelWrapper.  Registered here rather
+# than on the classes because the builder is the wrapper, not the class.
+register_method(
+    "MVGRL",
+    protocol="graph",
+    tags=("contrastive",),
+    order=330,
+    cls=MVGRL,
+    defaults=lambda p: {"hidden_dim": 64, "epochs": min(p.graph_epochs, 40)},
+    builder=lambda cfg: GraphLevelWrapper(MVGRL(**config_kwargs(cfg)), name="MVGRL"),
+)
+register_method(
+    "GraphMAE",
+    protocol="graph",
+    tags=("mae",),
+    order=350,
+    cls=GraphMAE,
+    defaults=lambda p: {
+        "hidden_dim": 64,
+        "epochs": p.graph_epochs,
+        "conv_type": "gin",
+        "heads": 1,
+    },
+    builder=lambda cfg: GraphLevelWrapper(
+        GraphMAE(**config_kwargs(cfg)), name="GraphMAE"
+    ),
+)
+
 __all__ = [
     "AUGMENTATIONS",
     "BGRL",

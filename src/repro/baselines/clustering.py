@@ -30,6 +30,7 @@ from ..gnn.encoder import GNNEncoder
 from ..graph.data import Graph
 from ..nn import Adam, Linear, MLP, Tensor, functional as F, no_grad
 from ..obs.hooks import emit_epoch
+from ..registry import register_method
 from ._common import engine_fit
 
 
@@ -42,6 +43,12 @@ def _smoothed_features(graph: Graph, power: int) -> np.ndarray:
     return np.asarray(smoothed)
 
 
+@register_method(
+    "GC-VGE",
+    tags=("clustering",),
+    order=200,
+    defaults=lambda p: {"epochs": p.epochs},
+)
 class GCVGE(Method):
     """GC-VGE: variational graph embedding with DEC-style cluster sharpening."""
 
@@ -162,6 +169,12 @@ class GCVGE(Method):
         return result
 
 
+@register_method(
+    "SCGC",
+    tags=("clustering",),
+    order=210,
+    defaults=lambda p: {"epochs": p.epochs},
+)
 class SCGC(Method):
     """SCGC: contrastive clustering over low-pass filtered features."""
 
@@ -239,6 +252,7 @@ class SCGC(Method):
         return result
 
 
+@register_method("GCC", tags=("clustering",), order=220)
 class GCC:
     """GCC: alternate k-means with a least-squares projection to centroids."""
 

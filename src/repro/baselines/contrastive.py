@@ -37,6 +37,7 @@ from ..graph.data import Graph
 from ..nn import Adam, MLP, Tensor, functional as F, no_grad
 from ..nn.init import xavier_uniform
 from ..nn.module import Module, Parameter
+from ..registry import register_method
 from ._common import engine_fit
 
 
@@ -51,6 +52,12 @@ class _BilinearDiscriminator(Module):
         return (nodes @ self.weight) @ summary
 
 
+@register_method(
+    "DGI",
+    tags=("contrastive",),
+    order=100,
+    defaults=lambda p: {"hidden_dim": p.hidden_dim, "epochs": p.epochs},
+)
 class DGI(Method):
     """Deep Graph Infomax."""
 
@@ -118,6 +125,12 @@ class DGI(Method):
         return result
 
 
+@register_method(
+    "GRACE",
+    tags=("contrastive",),
+    order=120,
+    defaults=lambda p: {"hidden_dim": p.hidden_dim, "epochs": p.epochs},
+)
 class GRACE(Method):
     """GRACE: graph contrastive learning with two corrupted views."""
 
@@ -195,6 +208,12 @@ class GRACE(Method):
         return result
 
 
+@register_method(
+    "MVGRL",
+    tags=("contrastive",),
+    order=110,
+    defaults=lambda p: {"hidden_dim": p.hidden_dim, "epochs": min(p.epochs, 100)},
+)
 class MVGRL(Method):
     """MVGRL: contrasting the adjacency view against a PPR diffusion view."""
 
@@ -302,6 +321,12 @@ class MVGRL(Method):
         return result
 
 
+@register_method(
+    "CCA-SSG",
+    tags=("contrastive",),
+    order=130,
+    defaults=lambda p: {"hidden_dim": p.hidden_dim, "epochs": min(p.epochs, 60)},
+)
 class CCASSG(Method):
     """CCA-SSG: invariance plus decorrelation over standardised embeddings."""
 

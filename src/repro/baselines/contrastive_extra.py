@@ -29,9 +29,16 @@ from ..graph.data import Graph
 from ..graph.sparse import to_csr
 from ..nn import Adam, MLP, Tensor, functional as F, no_grad
 from ..nn.module import Module
+from ..registry import register_method
 from ._common import engine_fit
 
 
+@register_method(
+    "BGRL",
+    tags=("contrastive", "extension"),
+    order=400,
+    defaults=lambda p: {"hidden_dim": p.hidden_dim, "epochs": p.epochs},
+)
 class BGRL(Method):
     """Bootstrapped graph latents: no negatives, EMA target network."""
 
@@ -142,6 +149,12 @@ def degree_centrality_weights(adjacency: sp.csr_matrix) -> np.ndarray:
     return (log_degree[coo.row] + log_degree[coo.col]) / 2.0
 
 
+@register_method(
+    "GCA",
+    tags=("contrastive", "extension"),
+    order=410,
+    defaults=lambda p: {"hidden_dim": p.hidden_dim, "epochs": p.epochs},
+)
 class GCA(Method):
     """Graph contrastive learning with adaptive (centrality-aware) augmentation."""
 

@@ -44,6 +44,7 @@ from ..graph.data import GraphDataset
 from ..nn import Adam, MLP, Tensor, functional as F, no_grad
 from ..nn.init import xavier_uniform
 from ..nn.module import Module, Parameter
+from ..registry import register_method
 from ._common import engine_fit
 
 
@@ -153,6 +154,13 @@ class _GraphContrastiveBase(Method):
         return result
 
 
+@register_method(
+    "GraphCL",
+    protocol="graph",
+    tags=("contrastive",),
+    order=310,
+    defaults=lambda p: {"epochs": p.graph_epochs},
+)
 class GraphCL(_GraphContrastiveBase):
     """GraphCL with uniformly sampled augmentation pairs."""
 
@@ -207,6 +215,13 @@ class GraphCL(_GraphContrastiveBase):
         self._after_epoch(state.extras["pair"], epoch_loss)
 
 
+@register_method(
+    "JOAO",
+    protocol="graph",
+    tags=("contrastive",),
+    order=320,
+    defaults=lambda p: {"epochs": p.graph_epochs},
+)
 class JOAO(GraphCL):
     """JOAO: GraphCL whose augmentation-pair distribution tracks hardness."""
 
@@ -242,6 +257,13 @@ class JOAO(GraphCL):
         }
 
 
+@register_method(
+    "Infograph",
+    protocol="graph",
+    tags=("contrastive",),
+    order=300,
+    defaults=lambda p: {"epochs": p.graph_epochs},
+)
 class InfoGraph(_GraphContrastiveBase):
     """InfoGraph: node-vs-graph-summary mutual information across the batch."""
 
@@ -299,6 +321,13 @@ class InfoGraph(_GraphContrastiveBase):
         return loss, {}
 
 
+@register_method(
+    "InfoGCL",
+    protocol="graph",
+    tags=("contrastive",),
+    order=340,
+    defaults=lambda p: {"epochs": p.graph_epochs},
+)
 class InfoGCL(_GraphContrastiveBase):
     """InfoGCL-style anchor-vs-light-augmentation contrast.
 

@@ -24,9 +24,16 @@ from ..gnn.encoder import GNNEncoder, _build_conv
 from ..graph.augment import mask_node_features
 from ..graph.data import Graph
 from ..nn import Adam, MLP, Tensor, functional as F, no_grad
+from ..registry import register_method
 from ._common import engine_fit
 
 
+@register_method(
+    "GraphMAE2",
+    tags=("mae", "extension"),
+    order=420,
+    defaults=lambda p: {"hidden_dim": p.hidden_dim, "epochs": p.epochs},
+)
 class GraphMAE2(Method):
     """GraphMAE2: multi-view re-mask decoding plus latent regularisation."""
 

@@ -21,6 +21,7 @@ from ..eval.metrics import accuracy
 from ..gnn.encoder import GNNEncoder
 from ..graph.data import Graph
 from ..nn import Adam, Tensor, functional as F, no_grad
+from ..registry import register_method
 
 
 @dataclass
@@ -33,6 +34,18 @@ class SupervisedResult:
     epochs_run: int
 
 
+@register_method(
+    "GCN",
+    tags=("supervised",),
+    order=10,
+    defaults=lambda p: {"conv_type": "gcn"},
+)
+@register_method(
+    "GAT",
+    tags=("supervised",),
+    order=20,
+    defaults=lambda p: {"conv_type": "gat"},
+)
 class SupervisedGNN(Method):
     """A GNN classifier trained with cross-entropy and early stopping.
 

@@ -7,6 +7,7 @@ Commands
 ``evaluate``   — evaluate saved (or freshly trained) embeddings on a task.
 ``table``      — regenerate one of the paper's tables (1, 4-10).
 ``figure``     — regenerate one of the paper's figures (1, 4, 5, 6).
+``run``        — execute a declarative YAML/JSON run spec (see docs/SPECS.md).
 ``report``     — run everything and write EXPERIMENTS.md.
 ``runs``       — list / show / diff / watch persisted telemetry runs.
 ``serve``      — load a checkpoint and serve embeddings (cache + batching).
@@ -107,6 +108,27 @@ def _build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=[1, 4, 5, 6])
     _add_jobs_argument(figure)
+
+    run = sub.add_parser(
+        "run", help="execute a YAML/JSON run spec (method x dataset x seed grid)"
+    )
+    run.add_argument("spec", help="path to the spec file (.yaml/.yml/.json)")
+    run.add_argument(
+        "--profile",
+        default=None,
+        help="profile name overriding the spec's (default: spec, then REPRO_PROFILE)",
+    )
+    run.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded plan (variants, resolved configs, cells) and exit",
+    )
+    run.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="persist the whole sweep as one run record under DIR/<run_id>/",
+    )
+    _add_jobs_argument(run)
 
     report = sub.add_parser("report", help="write EXPERIMENTS.md from all runs")
     report.add_argument("--output", default=None)
@@ -295,14 +317,22 @@ def _health_hooks(args):
 
 
 def _get_method(name: str, profile):
-    from .experiments.registry import node_ssl_methods
+    """Build one node-protocol SSL method; returns (instance, resolved config).
 
-    factories = node_ssl_methods(profile)
-    if name not in factories:
+    The config is the registry entry's profile-tuned frozen dataclass, so
+    ``--telemetry-dir`` manifests record the actual hyperparameters rather
+    than whatever attributes the method object happens to expose.
+    """
+    from .experiments.registry import method_entries
+
+    entries = {entry.name: entry for entry in method_entries("node")}
+    if name not in entries:
         raise SystemExit(
-            f"unknown method {name!r}; available: {', '.join(sorted(factories))}"
+            f"unknown method {name!r}; available: {', '.join(sorted(entries))}"
         )
-    return factories[name]()
+    entry = entries[name]
+    config = entry.default_config(profile)
+    return entry.build(config), config
 
 
 def _cmd_datasets() -> None:
@@ -322,14 +352,14 @@ def _cmd_pretrain(args) -> None:
 
     profile = current_profile()
     graph = load_node_dataset(args.dataset, seed=args.seed)
-    method = _get_method(args.method, profile)
+    method, config = _get_method(args.method, profile)
     print(f"pretraining {args.method} on {args.dataset} (profile {profile.name}) ...")
     with _telemetry(
         args,
         args.method,
         args.dataset,
         args.seed,
-        config=getattr(method, "config", method),
+        config=config,
     ) as recorder, _checkpointing(args), _health_hooks(args):
         result = method.fit(graph, seed=args.seed)
     if recorder is not None:
@@ -348,13 +378,13 @@ def _cmd_evaluate(args) -> None:
 
     profile = current_profile()
     graph = load_node_dataset(args.dataset, seed=args.seed)
-    method = _get_method(args.method, profile)
+    method, config = _get_method(args.method, profile)
     telemetry = _telemetry(
         args,
         args.method,
         args.dataset,
         args.seed,
-        config=getattr(method, "config", method),
+        config=config,
     )
 
     if args.task == "linkpred":
@@ -398,6 +428,33 @@ def _cmd_table(args) -> None:
         else:
             table = getattr(ex, f"run_table{number}")()
     print(table.to_text())
+
+
+def _cmd_run(args) -> None:
+    from .spec import (
+        SpecError,
+        expand_spec,
+        load_spec,
+        render_plan,
+        resolve_profile,
+        run_spec,
+    )
+
+    try:
+        spec = load_spec(args.spec)
+        profile = resolve_profile(args.profile, spec.profile)
+        if args.dry_run:
+            print(render_plan(expand_spec(spec, profile)))
+            return
+        table = run_spec(
+            spec, profile=profile, jobs=args.jobs, telemetry_dir=args.telemetry_dir
+        )
+    except SpecError as exc:
+        raise SystemExit(f"spec error: {exc}") from None
+    print(table.to_text())
+    run_id = getattr(table, "run_id", None)
+    if run_id is not None:
+        print(f"telemetry: {args.telemetry_dir}/{run_id}/")
 
 
 def _cmd_runs(args) -> None:
@@ -524,6 +581,8 @@ def main(argv: Optional[List[str]] = None) -> None:
         _cmd_table(args)
     elif args.command == "figure":
         _cmd_figure(args.number)
+    elif args.command == "run":
+        _cmd_run(args)
     elif args.command == "report":
         _cmd_report(args)
     elif args.command == "runs":

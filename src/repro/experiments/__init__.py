@@ -10,7 +10,7 @@ from .efficiency import (
 )
 from .encoder_variants import VARIANT_ROWS, run_table8
 from .extension_methods import extension_methods, run_extension_comparison
-from .extensions import DESIGN_VARIANTS, run_design_ablation
+from .extensions import DESIGN_VARIANTS, design_ablation_spec, run_design_ablation
 from .figures import (
     Figure1Panel,
     run_figure1,
@@ -18,9 +18,9 @@ from .figures import (
     run_figure5,
     run_figure6,
 )
-from .graph_classification import run_table7
+from .graph_classification import run_table7, table7_spec
 from .link_prediction import run_table5
-from .node_classification import fit_node_method, run_table4
+from .node_classification import fit_node_method, run_table4, table4_spec
 from .node_clustering import run_table6
 from .profiles import FAST, FULL, PROFILES, Profile, current_profile
 from .registry import (
@@ -78,4 +78,7 @@ __all__ = [
     "run_table9",
     "run_table9_breakdown",
     "supervised_methods",
+    "design_ablation_spec",
+    "table4_spec",
+    "table7_spec",
 ]

@@ -10,26 +10,26 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..baselines import BGRL, GCA, GraphMAE2
-from ..core import GCMAEMethod
 from ..eval.classification import evaluate_probe
 from ..graph.datasets import load_node_dataset
 from ..parallel import run_cells
+from ..registry import METHODS
 from .cache import cached_fit
 from .profiles import Profile, current_profile
-from .registry import gcmae_config
+from .registry import node_ssl_methods  # noqa: F401  (imports register methods)
 from .results import ExperimentTable
 
 
 def extension_methods(profile: Profile) -> Dict[str, Callable[[], object]]:
-    """Factories for the related-work extension methods plus GCMAE."""
-    h, e = profile.hidden_dim, profile.epochs
-    return {
-        "BGRL": lambda: BGRL(hidden_dim=h, epochs=e),
-        "GCA": lambda: GCA(hidden_dim=h, epochs=e),
-        "GraphMAE2": lambda: GraphMAE2(hidden_dim=h, epochs=e),
-        "GCMAE": lambda: GCMAEMethod(gcmae_config(profile)),
-    }
+    """Factories for the related-work extension methods plus GCMAE.
+
+    Derived from the registry's ``extension`` tag (BGRL, GCA, GraphMAE2),
+    with GCMAE appended as the anchor the extensions are compared against.
+    """
+    entries = METHODS.entries("node", tags=("extension",))
+    factories = {e.name: e.factory(profile) for e in entries}
+    factories["GCMAE"] = METHODS.get("GCMAE", "node").factory(profile)
+    return factories
 
 
 def run_extension_comparison(

@@ -15,6 +15,27 @@ from .registry import graph_ssl_methods, graph_task_datasets
 from .results import ExperimentTable
 
 
+def table7_spec(
+    profile: Profile,
+    datasets: Optional[List[str]] = None,
+    methods: Optional[List[str]] = None,
+):
+    """The Table 7 run spec (graph-classification protocol)."""
+    from ..spec import parse_spec
+
+    datasets = datasets if datasets is not None else graph_task_datasets(profile)
+    methods = methods if methods is not None else list(graph_ssl_methods(profile))
+    return parse_spec(
+        {
+            "name": "table7",
+            "title": "Table 7 — graph classification accuracy (%)",
+            "protocol": "graph-classification",
+            "datasets": list(datasets),
+            "methods": list(methods),
+        }
+    )
+
+
 def run_table7(
     profile: Optional[Profile] = None,
     datasets: Optional[List[str]] = None,
@@ -24,8 +45,30 @@ def run_table7(
     """Reproduce Table 7: graph-level SSL -> 5-fold-CV linear SVM accuracy.
 
     SeeGera and MaskGAE are absent, matching the paper ("source code
-    unavailable" for graph classification).
+    unavailable" for graph classification).  A thin wrapper since PR 9:
+    emits :func:`table7_spec` and executes it through
+    :func:`repro.spec.run_spec` (bit-identical to the legacy in-line
+    runner, which ``tests/spec`` asserts).
     """
+    from ..spec import run_spec
+
+    profile = profile if profile is not None else current_profile()
+    spec = table7_spec(profile, datasets=datasets, methods=methods)
+    table = run_spec(spec, profile=profile, jobs=jobs)
+    for dataset_name in spec.datasets:
+        best = table.best_row(dataset_name)
+        if best is not None:
+            table.notes.append(f"best on {dataset_name}: {best}")
+    return table
+
+
+def _run_table7_legacy(
+    profile: Optional[Profile] = None,
+    datasets: Optional[List[str]] = None,
+    methods: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentTable:
+    """The pre-spec in-line implementation, kept as the equivalence oracle."""
     profile = profile if profile is not None else current_profile()
     datasets = datasets if datasets is not None else graph_task_datasets(profile)
     methods = methods if methods is not None else list(graph_ssl_methods(profile))

@@ -1,41 +1,52 @@
-"""Method registry: build every compared method for a given profile.
+"""Method factories for the experiment layer, derived from ``repro.registry``.
 
 The table runners iterate these factories so that adding a method to the
-comparison never requires touching the harness.
+comparison never requires touching the harness.  Since PR 9 the category
+tuples and factory dicts below are *derived* from the method registry's
+tags and listing order — a baseline that registers itself (see
+``repro.registry.register_method``) appears here automatically; nothing in
+this module is hand-maintained.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from ..baselines import (
-    CCASSG,
-    DGI,
-    GCC,
-    GCVGE,
-    GRACE,
-    GraphCL,
-    GraphLevelWrapper,
-    GraphMAE,
-    InfoGCL,
-    InfoGraph,
-    JOAO,
-    MVGRL,
-    MaskGAE,
-    S2GAE,
-    SCGC,
-    SeeGera,
-    SupervisedGNN,
-)
-from ..core import GCMAEConfig, GCMAEMethod
+# Importing the baselines and the GCMAE trainer is what populates the
+# registry: every method registers itself at import.
+from .. import baselines  # noqa: F401
+from ..core import GCMAEConfig  # importing repro.core pulls in the trainer
+from ..registry import METHODS, MethodEntry
 from .profiles import Profile
 
-# Category labels used in the tables (paper Section 5.1).
-CONTRASTIVE_NODE = ("DGI", "MVGRL", "GRACE", "CCA-SSG")
-MAE_NODE = ("GraphMAE", "SeeGera", "S2GAE", "MaskGAE")
-CLUSTERING_METHODS = ("GC-VGE", "SCGC", "GCC")
-CONTRASTIVE_GRAPH = ("Infograph", "GraphCL", "JOAO", "MVGRL", "InfoGCL")
-MAE_GRAPH = ("GraphMAE", "S2GAE")
+# The tags whose methods the SSL comparison tables iterate (clustering
+# specialists have their own Table 6; extensions sit outside the paper).
+_TABLE_TAGS = ("contrastive", "mae", "hybrid")
+
+
+def _category(protocol: str, tag: str) -> tuple:
+    """Table rows of one paradigm, excluding related-work extensions."""
+    return METHODS.names(protocol, tags=(tag,), exclude_tags=("extension",))
+
+
+# Category labels used in the tables (paper Section 5.1), in the paper's
+# editorial row order (the registry's ``order`` values encode it).
+CONTRASTIVE_NODE = _category("node", "contrastive")
+MAE_NODE = _category("node", "mae")
+CLUSTERING_METHODS = _category("node", "clustering")
+CONTRASTIVE_GRAPH = _category("graph", "contrastive")
+MAE_GRAPH = _category("graph", "mae")
+
+
+def method_entries(protocol: str = "node") -> List[MethodEntry]:
+    """The SSL methods of one protocol's comparison table, in row order."""
+    return METHODS.entries(
+        protocol, any_tags=_TABLE_TAGS, exclude_tags=("extension", "clustering")
+    )
+
+
+def _factories(entries: List[MethodEntry], profile: Profile) -> Dict[str, Callable]:
+    return {e.name: e.factory(profile) for e in entries}
 
 
 def gcmae_config(profile: Profile, **overrides) -> GCMAEConfig:
@@ -45,78 +56,27 @@ def gcmae_config(profile: Profile, **overrides) -> GCMAEConfig:
     512) in every profile — Figure 6 shows width is decisive for it — while
     the profile controls epochs and seeds.
     """
-    base = GCMAEConfig(epochs=profile.gcmae_epochs)
-    return base.with_overrides(**overrides) if overrides else base
+    return METHODS.get("GCMAE", "node").config(profile, overrides)
 
 
 def node_ssl_methods(profile: Profile) -> Dict[str, Callable[[], object]]:
     """Factories for every node-level SSL method, keyed by display name."""
-    h, e = profile.hidden_dim, profile.epochs
-    return {
-        "DGI": lambda: DGI(hidden_dim=h, epochs=e),
-        "MVGRL": lambda: MVGRL(hidden_dim=h, epochs=min(e, 100)),
-        "GRACE": lambda: GRACE(hidden_dim=h, epochs=e),
-        "CCA-SSG": lambda: CCASSG(hidden_dim=h, epochs=min(e, 60)),
-        # GraphMAE's published protocol trains far longer than the others
-        # (1500 epochs on Cora); with its full-graph GAT encoder this is what
-        # makes it the slowest method in Table 9.
-        "GraphMAE": lambda: GraphMAE(hidden_dim=h, epochs=max(3 * e, 180)),
-        "SeeGera": lambda: SeeGera(hidden_dim=h, epochs=max(e, 100)),
-        "S2GAE": lambda: S2GAE(hidden_dim=h, epochs=max(e, 100)),
-        # MaskGAE's edge objective converges slowly (it sees a masked graph
-        # each step); it needs the longer budget to reach its Table 5 form.
-        "MaskGAE": lambda: MaskGAE(hidden_dim=h, epochs=max(2 * e, 160), edge_mask_rate=0.5),
-        "GCMAE": lambda: GCMAEMethod(gcmae_config(profile)),
-    }
+    return _factories(method_entries("node"), profile)
 
 
-def supervised_methods(profile: Profile) -> Dict[str, Callable[[], SupervisedGNN]]:
+def supervised_methods(profile: Profile) -> Dict[str, Callable[[], object]]:
     """GCN and GAT supervised baselines (node classification only)."""
-    return {
-        "GCN": lambda: SupervisedGNN("gcn"),
-        "GAT": lambda: SupervisedGNN("gat"),
-    }
+    return _factories(METHODS.entries("node", tags=("supervised",)), profile)
 
 
 def clustering_methods(profile: Profile) -> Dict[str, Callable[[], object]]:
     """The three deep-clustering specialists of Table 6."""
-    e = profile.epochs
-    return {
-        "GC-VGE": lambda: GCVGE(epochs=e),
-        "SCGC": lambda: SCGC(epochs=e),
-        "GCC": lambda: GCC(),
-    }
+    return _factories(METHODS.entries("node", tags=("clustering",)), profile)
 
 
 def graph_ssl_methods(profile: Profile) -> Dict[str, Callable[[], object]]:
     """Factories for every graph-level SSL method (Table 7)."""
-    e = profile.graph_epochs
-    return {
-        "Infograph": lambda: InfoGraph(epochs=e),
-        "GraphCL": lambda: GraphCL(epochs=e),
-        "JOAO": lambda: JOAO(epochs=e),
-        "MVGRL": lambda: GraphLevelWrapper(
-            MVGRL(hidden_dim=64, epochs=min(e, 40)), name="MVGRL"
-        ),
-        "InfoGCL": lambda: InfoGCL(epochs=e),
-        "GraphMAE": lambda: GraphLevelWrapper(
-            GraphMAE(hidden_dim=64, epochs=e, conv_type="gin", heads=1),
-            name="GraphMAE",
-        ),
-        "S2GAE": lambda: S2GAE(hidden_dim=64, epochs=e),
-        "GCMAE": lambda: GCMAEMethod(
-            gcmae_config(
-                profile,
-                hidden_dim=64,
-                embed_dim=64,
-                epochs=profile.graph_epochs,
-                conv_type="gin",
-                # Train on block-diagonal mini-batches of whole graphs, which
-                # keeps InfoNCE tractable without slicing any graph apart.
-                graph_batch_size=64,
-            )
-        ),
-    }
+    return _factories(method_entries("graph"), profile)
 
 
 def node_task_datasets(profile: Profile) -> List[str]:

@@ -16,9 +16,8 @@ import scipy.sparse as sp
 from ..nn.layers import Dropout, PReLU, resolve_activation
 from ..nn.module import Module, ModuleList
 from ..nn.tensor import Tensor, no_grad
+from ..registry import ENCODERS, register_encoder
 from .conv import GATConv, GCNConv, GINConv, SAGEConv, structure_operand
-
-CONV_TYPES = ("gcn", "sage", "gat", "gin")
 
 
 def ensure_features(features) -> Tensor:
@@ -26,6 +25,39 @@ def ensure_features(features) -> Tensor:
     if isinstance(features, Tensor):
         return features
     return Tensor(np.asarray(features))
+
+
+# Conv-layer builders share one signature:
+# ``fn(in_features, out_features, rng, heads, final) -> Module``.
+@register_encoder("gcn", order=10)
+def _gcn_conv(in_features, out_features, rng, heads=1, final=False):
+    return GCNConv(in_features, out_features, rng=rng)
+
+
+@register_encoder("sage", order=20)
+def _sage_conv(in_features, out_features, rng, heads=1, final=False):
+    return SAGEConv(in_features, out_features, rng=rng)
+
+
+@register_encoder("gat", order=30)
+def _gat_conv(in_features, out_features, rng, heads=1, final=False):
+    # Hidden GAT layers concatenate heads; the final layer averages them.
+    if final:
+        return GATConv(in_features, out_features, heads=heads, concat=False, rng=rng)
+    if out_features % heads != 0:
+        raise ValueError(
+            f"hidden size {out_features} not divisible by {heads} attention heads"
+        )
+    return GATConv(in_features, out_features // heads, heads=heads, concat=True, rng=rng)
+
+
+@register_encoder("gin", order=40)
+def _gin_conv(in_features, out_features, rng, heads=1, final=False):
+    return GINConv(in_features, out_features, rng=rng)
+
+
+# Derived from the encoder registry (Figure 6 sweeps these four backbones).
+CONV_TYPES = ENCODERS.names()
 
 
 def _build_conv(
@@ -36,22 +68,9 @@ def _build_conv(
     heads: int = 1,
     final: bool = False,
 ):
-    if conv_type == "gcn":
-        return GCNConv(in_features, out_features, rng=rng)
-    if conv_type == "sage":
-        return SAGEConv(in_features, out_features, rng=rng)
-    if conv_type == "gat":
-        # Hidden GAT layers concatenate heads; the final layer averages them.
-        if final:
-            return GATConv(in_features, out_features, heads=heads, concat=False, rng=rng)
-        if out_features % heads != 0:
-            raise ValueError(
-                f"hidden size {out_features} not divisible by {heads} attention heads"
-            )
-        return GATConv(in_features, out_features // heads, heads=heads, concat=True, rng=rng)
-    if conv_type == "gin":
-        return GINConv(in_features, out_features, rng=rng)
-    raise ValueError(f"unknown conv type {conv_type!r}; use one of {CONV_TYPES}")
+    if conv_type not in ENCODERS:
+        raise ValueError(f"unknown conv type {conv_type!r}; use one of {CONV_TYPES}")
+    return ENCODERS.get(conv_type)(in_features, out_features, rng, heads, final)
 
 
 class GNNEncoder(Module):

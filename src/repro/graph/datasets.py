@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from ..registry import DATASETS, register_dataset
 from .data import Graph, GraphDataset
 from .generators import (
     CitationGraphSpec,
@@ -29,6 +30,7 @@ from .generators import (
 # ---------------------------------------------------------------------------
 # Node-task datasets (Table 2 substitutes)
 # ---------------------------------------------------------------------------
+@register_dataset("cora-like", tags=("node",), order=10)
 def cora_like(seed: int = 0) -> Graph:
     """Cora substitute: 2708→600 nodes, 7 classes, homophilous, clean features."""
     spec = CitationGraphSpec(
@@ -45,6 +47,7 @@ def cora_like(seed: int = 0) -> Graph:
     return add_planted_splits(graph, train_per_class=15, num_val=100, seed=seed)
 
 
+@register_dataset("citeseer-like", tags=("node",), order=20)
 def citeseer_like(seed: int = 0) -> Graph:
     """Citeseer substitute: sparser and noisier, the hardest citation graph."""
     spec = CitationGraphSpec(
@@ -61,6 +64,7 @@ def citeseer_like(seed: int = 0) -> Graph:
     return add_planted_splits(graph, train_per_class=15, num_val=100, seed=seed)
 
 
+@register_dataset("pubmed-like", tags=("node",), order=30)
 def pubmed_like(seed: int = 0) -> Graph:
     """PubMed substitute: bigger, 3 classes, mid-strength features."""
     spec = CitationGraphSpec(
@@ -77,6 +81,7 @@ def pubmed_like(seed: int = 0) -> Graph:
     return add_planted_splits(graph, train_per_class=20, num_val=120, seed=seed)
 
 
+@register_dataset("reddit-like", tags=("node",), order=40)
 def reddit_like(seed: int = 0) -> Graph:
     """Reddit substitute: the large, dense, very separable social graph."""
     spec = CitationGraphSpec(
@@ -94,11 +99,11 @@ def reddit_like(seed: int = 0) -> Graph:
     return add_planted_splits(graph, train_per_class=30, num_val=200, seed=seed)
 
 
+# Derived from the dataset registry: the loaders above register themselves
+# and this mapping (kept for its long-standing public name) lists them in
+# the paper's Table 2 order.
 NODE_DATASETS: Dict[str, Callable[[int], Graph]] = {
-    "cora-like": cora_like,
-    "citeseer-like": citeseer_like,
-    "pubmed-like": pubmed_like,
-    "reddit-like": reddit_like,
+    e.name: e.value for e in DATASETS.entries(tags=("node",))
 }
 
 
@@ -115,6 +120,7 @@ def load_node_dataset(name: str, seed: int = 0) -> Graph:
 # ---------------------------------------------------------------------------
 # Graph-classification datasets (Table 3 substitutes)
 # ---------------------------------------------------------------------------
+@register_dataset("imdb-b-like", tags=("graph",), order=110)
 def imdb_b_like(seed: int = 0) -> GraphDataset:
     """IMDB-BINARY substitute: 2 classes split by ego-network density."""
     families = [
@@ -126,6 +132,7 @@ def imdb_b_like(seed: int = 0) -> GraphDataset:
     )
 
 
+@register_dataset("imdb-m-like", tags=("graph",), order=120)
 def imdb_m_like(seed: int = 0) -> GraphDataset:
     """IMDB-MULTI substitute: 3 classes at three density/structure levels."""
     families = [
@@ -138,6 +145,7 @@ def imdb_m_like(seed: int = 0) -> GraphDataset:
     )
 
 
+@register_dataset("collab-like", tags=("graph",), order=130)
 def collab_like(seed: int = 0) -> GraphDataset:
     """COLLAB substitute: 3 collaboration-network families."""
     families = [
@@ -150,6 +158,7 @@ def collab_like(seed: int = 0) -> GraphDataset:
     )
 
 
+@register_dataset("mutag-like", tags=("graph",), order=140)
 def mutag_like(seed: int = 0) -> GraphDataset:
     """MUTAG substitute: molecule-ish graphs, rings vs trees."""
     families = [
@@ -161,6 +170,7 @@ def mutag_like(seed: int = 0) -> GraphDataset:
     )
 
 
+@register_dataset("reddit-b-like", tags=("graph",), order=150)
 def reddit_b_like(seed: int = 0) -> GraphDataset:
     """REDDIT-BINARY substitute: thread (star-like) vs discussion (random)."""
     families = [
@@ -172,6 +182,7 @@ def reddit_b_like(seed: int = 0) -> GraphDataset:
     )
 
 
+@register_dataset("nci1-like", tags=("graph",), order=160)
 def nci1_like(seed: int = 0) -> GraphDataset:
     """NCI1 substitute: chemical-like graphs, low vs high ring density."""
     families = [
@@ -184,12 +195,7 @@ def nci1_like(seed: int = 0) -> GraphDataset:
 
 
 GRAPH_DATASETS: Dict[str, Callable[[int], GraphDataset]] = {
-    "imdb-b-like": imdb_b_like,
-    "imdb-m-like": imdb_m_like,
-    "collab-like": collab_like,
-    "mutag-like": mutag_like,
-    "reddit-b-like": reddit_b_like,
-    "nci1-like": nci1_like,
+    e.name: e.value for e in DATASETS.entries(tags=("graph",))
 }
 
 

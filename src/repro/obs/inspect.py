@@ -304,6 +304,57 @@ def _serving_block(counters: Dict[str, float], gauges: List[dict]) -> List[str]:
     return lines
 
 
+def _config_block(manifest: Dict[str, object]) -> List[str]:
+    """The resolved-config section: the actual hyperparameters of the run."""
+    config = manifest.get("config")
+    if not isinstance(config, dict) or not config:
+        return []
+    lines = ["", "config (resolved):"]
+    for key in sorted(config):
+        lines.append(f"  {key:<24} {config[key]!r}")
+    return lines
+
+
+def _spec_block(manifest: Dict[str, object]) -> List[str]:
+    """The expanded-plan section of a spec-driven run (``repro run``)."""
+    spec = manifest.get("spec")
+    if not isinstance(spec, dict):
+        return []
+    lines = [
+        "",
+        f"spec {spec.get('name')} ({spec.get('protocol')}, "
+        f"profile {spec.get('profile')}):",
+        f"  datasets                 {', '.join(spec.get('datasets', []))}",
+        f"  seeds                    "
+        f"{', '.join(str(s) for s in spec.get('seeds', []))}",
+        f"  cells                    {spec.get('num_cells')}",
+    ]
+    variants = spec.get("variants")
+    if isinstance(variants, list):
+        lines.append(f"  variants ({len(variants)}):")
+        for variant in variants:
+            if not isinstance(variant, dict):
+                continue
+            label = variant.get("label")
+            method = variant.get("method")
+            tail = f" [{method}]" if method != label else ""
+            digest = variant.get("config_digest")
+            lines.append(f"    {label}{tail}  config {digest}")
+            config = variant.get("config")
+            if isinstance(config, dict) and config:
+                rendered = ", ".join(f"{k}={config[k]!r}" for k in sorted(config))
+                lines.append(f"      {rendered}")
+    marks = spec.get("marks")
+    if isinstance(marks, list) and marks:
+        lines.append(
+            "  pre-marked               "
+            + "; ".join(
+                f"{row} x {column} -> {mark}" for row, column, mark in marks
+            )
+        )
+    return lines
+
+
 def render_show(run: Run, span_limit: int = 12, op_limit: int = 6) -> str:
     """The ``repro runs show`` report: curves, grad norms, span breakdown."""
     m = run.manifest
@@ -316,6 +367,8 @@ def render_show(run: Run, span_limit: int = 12, op_limit: int = 6) -> str:
     ]
     if m.get("error"):
         lines.append(f"  error: {m['error']}")
+    lines.extend(_config_block(m))
+    lines.extend(_spec_block(m))
 
     if run.epochs:
         lines.append("")

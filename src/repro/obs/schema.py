@@ -78,6 +78,9 @@ MANIFEST_SCHEMA: Dict[str, Tuple[bool, tuple]] = {
     "status": (True, (str,)),
     "summary": (False, (dict,)),
     "error": (False, (str,)),
+    # Present on spec-driven runs (``repro run``): the expanded plan with
+    # every variant's fully-resolved post-override config.
+    "spec": (False, (dict,)),
 }
 
 RUN_STATUSES = ("running", "ok", "oom", "error", "diverged")

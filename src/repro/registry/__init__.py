@@ -1,0 +1,72 @@
+"""Decorator-based registries for methods, datasets, encoders, protocols.
+
+This package is a *leaf*: it imports nothing from the rest of ``repro`` at
+module level, so any module may register itself here without import cycles.
+Call :func:`ensure_registered` before querying to guarantee every
+registering module has been imported.
+"""
+
+from .config import (
+    ConfigError,
+    apply_overrides,
+    coerce_value,
+    config_dict,
+    config_digest,
+    config_from_dict,
+    config_kwargs,
+    derive_config_class,
+    merged_parameters,
+)
+from .core import (
+    DATASETS,
+    ENCODERS,
+    PROTOCOLS,
+    Entry,
+    Registry,
+    RegistryError,
+    register_dataset,
+    register_encoder,
+    register_protocol,
+)
+from .methods import METHODS, SSL_TAGS, MethodEntry, MethodRegistry, register_method
+
+__all__ = [
+    "ConfigError",
+    "DATASETS",
+    "ENCODERS",
+    "Entry",
+    "METHODS",
+    "MethodEntry",
+    "MethodRegistry",
+    "PROTOCOLS",
+    "Registry",
+    "RegistryError",
+    "SSL_TAGS",
+    "apply_overrides",
+    "coerce_value",
+    "config_dict",
+    "config_digest",
+    "config_from_dict",
+    "config_kwargs",
+    "derive_config_class",
+    "ensure_registered",
+    "merged_parameters",
+    "register_dataset",
+    "register_encoder",
+    "register_method",
+    "register_protocol",
+]
+
+
+def ensure_registered() -> None:
+    """Import every module that registers something, exactly once.
+
+    Registration happens at import of the defining module; this makes the
+    full population available to callers (the spec runner, the CLI) that
+    may be reached before ``repro.baselines`` has been imported.
+    """
+    import repro.baselines  # noqa: F401  (methods)
+    import repro.core.trainer  # noqa: F401  (GCMAE)
+    import repro.gnn.encoder  # noqa: F401  (encoders)
+    import repro.graph.datasets  # noqa: F401  (datasets)
+    import repro.spec.protocols  # noqa: F401  (eval protocols)

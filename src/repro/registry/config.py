@@ -1,0 +1,206 @@
+"""Schema'd config store: frozen dataclass configs derived from constructors.
+
+Every registered method gets a frozen dataclass config whose fields mirror
+its constructor parameters (names, defaults, and the types *implied by*
+those defaults), following the GraphGym ``config_store`` idea: the class
+definition is the schema, nothing is written twice.  ``GCMAEConfig`` —
+which predates this module and is hand-written — participates through the
+same helpers, since they operate on any frozen dataclass.
+
+The helpers carry a *path* argument (``methods[1].overrides.lr``) so that a
+bad key or type in a run spec fails fast at parse time with the offending
+location, instead of as a bare ``TypeError`` deep inside a worker process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import json
+from typing import Any, Dict, Mapping
+
+
+class ConfigError(ValueError):
+    """A config field failed validation; the message carries the spec path."""
+
+
+_DERIVED: Dict[type, type] = {}
+
+
+def merged_parameters(cls: type) -> Dict[str, inspect.Parameter]:
+    """Constructor parameters of ``cls``, following ``**kwargs`` up the MRO.
+
+    Subclasses like ``JOAO(joint_gamma=..., **kwargs)`` forward the rest of
+    their knobs to a parent constructor; the merged view lists the child's
+    own parameters first, then each ancestor's, stopping at the first
+    constructor that does not forward ``**kwargs``.
+    """
+    merged: Dict[str, inspect.Parameter] = {}
+    for klass in cls.__mro__:
+        init = klass.__dict__.get("__init__")
+        if init is None:
+            continue
+        forwards = False
+        for pname, param in inspect.signature(init).parameters.items():
+            if pname == "self":
+                continue
+            if param.kind is inspect.Parameter.VAR_KEYWORD:
+                forwards = True
+                continue
+            if param.kind is inspect.Parameter.VAR_POSITIONAL:
+                continue
+            merged.setdefault(pname, param)
+        if not forwards:
+            break
+    return merged
+
+
+def derive_config_class(cls: type, name: str | None = None) -> type:
+    """Build (and cache) a frozen dataclass mirroring ``cls``'s constructor.
+
+    Every parameter must carry a default: a registered method has to be
+    constructible from its config alone, with the profile layered on top as
+    overrides.  List defaults become tuples so the config stays hashable.
+    """
+    cached = _DERIVED.get(cls)
+    if cached is not None:
+        return cached
+    spec = []
+    for pname, param in merged_parameters(cls).items():
+        default = param.default
+        if default is inspect.Parameter.empty:
+            raise ConfigError(
+                f"{cls.__name__}.{pname} has no default; registered methods "
+                "must be fully constructible from defaults"
+            )
+        if isinstance(default, list):
+            default = tuple(default)
+        spec.append((pname, Any, dataclasses.field(default=default)))
+    config_cls = dataclasses.make_dataclass(
+        (name or cls.__name__) + "Config", spec, frozen=True
+    )
+    config_cls.__doc__ = (
+        f"Auto-derived config for {cls.__name__}; fields mirror its constructor."
+    )
+    _DERIVED[cls] = config_cls
+    return config_cls
+
+
+def _deep_tuple(value):
+    if isinstance(value, (list, tuple)):
+        return tuple(_deep_tuple(v) for v in value)
+    return value
+
+
+def coerce_value(value, reference, path: str):
+    """Validate ``value`` against the type implied by a field's default.
+
+    ``bool`` and ``int`` are strict (and mutually exclusive — a YAML
+    ``true`` is not an epoch count), ``float`` accepts ints, tuple fields
+    accept lists (YAML has no tuples), and ``None`` defaults accept
+    anything since they imply no type.
+    """
+    if reference is None:
+        return _deep_tuple(value) if isinstance(value, list) else value
+    if isinstance(reference, bool):
+        if not isinstance(value, bool):
+            raise ConfigError(
+                f"{path}: expected bool, got {type(value).__name__} ({value!r})"
+            )
+        return value
+    if isinstance(reference, int):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigError(
+                f"{path}: expected int, got {type(value).__name__} ({value!r})"
+            )
+        return value
+    if isinstance(reference, float):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigError(
+                f"{path}: expected float, got {type(value).__name__} ({value!r})"
+            )
+        return float(value)
+    if isinstance(reference, str):
+        if not isinstance(value, str):
+            raise ConfigError(
+                f"{path}: expected str, got {type(value).__name__} ({value!r})"
+            )
+        return value
+    if isinstance(reference, tuple):
+        if not isinstance(value, (list, tuple)):
+            raise ConfigError(
+                f"{path}: expected a sequence, got {type(value).__name__} ({value!r})"
+            )
+        return _deep_tuple(value)
+    return value
+
+
+def _field_reference(config, f: dataclasses.Field):
+    """The value whose type a field's overrides are checked against."""
+    if f.default is not dataclasses.MISSING:
+        return f.default
+    if f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+        return f.default_factory()  # type: ignore[misc]
+    return getattr(config, f.name)
+
+
+def apply_overrides(config, overrides: Mapping[str, Any], path: str = "overrides"):
+    """Return ``config`` with ``overrides`` applied, validating each key.
+
+    Unknown keys and type mismatches raise :class:`ConfigError` tagged with
+    ``path`` plus the offending key.  The dataclass's own ``__post_init__``
+    (GCMAEConfig validates ranges there) still runs via ``replace``; its
+    errors are re-raised with the path prepended.
+    """
+    if not overrides:
+        return config
+    known = {f.name: f for f in dataclasses.fields(config)}
+    converted = {}
+    for key, value in overrides.items():
+        if key not in known:
+            raise ConfigError(
+                f"{path}.{key}: unknown config field for {type(config).__name__}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        converted[key] = coerce_value(
+            value, _field_reference(config, known[key]), f"{path}.{key}"
+        )
+    try:
+        return dataclasses.replace(config, **converted)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"{path}: {exc}") from None
+
+
+def config_kwargs(config) -> Dict[str, Any]:
+    """The config's fields as constructor keyword arguments (raw values)."""
+    return {f.name: getattr(config, f.name) for f in dataclasses.fields(config)}
+
+
+def config_dict(config) -> Dict[str, Any]:
+    """A JSON-safe dict of the config (tuples become lists, recursively)."""
+
+    def jsonify(value):
+        if isinstance(value, (tuple, list)):
+            return [jsonify(v) for v in value]
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return config_dict(value)
+        return value
+
+    return {f.name: jsonify(getattr(config, f.name)) for f in dataclasses.fields(config)}
+
+
+def config_from_dict(config_cls: type, data: Mapping[str, Any], path: str = "config"):
+    """Rebuild a config from a (possibly partial) JSON dict.
+
+    Round-trip guarantee: ``config_from_dict(C, config_dict(c)) == c`` for
+    any config ``c`` of class ``C`` — lists load back as tuples, and every
+    key is validated the same way spec overrides are.
+    """
+    return apply_overrides(config_cls(), dict(data), path=path)
+
+
+def config_digest(config) -> str:
+    """A short stable digest of the config's JSON form (cache-key suffix)."""
+    payload = json.dumps(config_dict(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:10]

@@ -1,0 +1,144 @@
+"""Generic named registries (datasets, encoders, eval protocols).
+
+A :class:`Registry` maps names to values with optional tags and an explicit
+``order`` used wherever the registry's contents are listed — the paper's
+tables present methods and datasets in a fixed editorial order that has
+nothing to do with import order, so listing order is data, not accident.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class RegistryError(KeyError):
+    """Unknown or duplicate registry name."""
+
+    def __str__(self) -> str:  # KeyError repr()s its message; keep it readable
+        return self.args[0] if self.args else ""
+
+
+@dataclasses.dataclass(frozen=True)
+class Entry:
+    """One registered value with its listing metadata."""
+
+    name: str
+    value: Any
+    tags: Tuple[str, ...]
+    order: float
+    seq: int
+
+
+class Registry:
+    """A named collection supporting decorator registration and tag queries."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, Entry] = {}
+        self._seq = 0
+
+    def register(
+        self,
+        name: str,
+        value: Any = None,
+        *,
+        tags: Iterable[str] = (),
+        order: Optional[float] = None,
+        replace: bool = False,
+    ) -> Any:
+        """Register ``value`` under ``name``; usable as a decorator.
+
+        ``order`` controls listing position (lower first); omitted, it falls
+        back to registration sequence.  Re-registering a name raises unless
+        ``replace=True`` — silent shadowing hides registration bugs.
+        """
+
+        def add(obj: Any) -> Any:
+            if name in self._entries and not replace:
+                raise RegistryError(
+                    f"{self.kind} {name!r} is already registered; "
+                    "pass replace=True to override"
+                )
+            self._entries[name] = Entry(
+                name=name,
+                value=obj,
+                tags=tuple(tags),
+                order=float(self._seq if order is None else order),
+                seq=self._seq,
+            )
+            self._seq += 1
+            return obj
+
+        if value is not None:
+            return add(value)
+        return add
+
+    def get(self, name: str) -> Any:
+        return self.entry(name).value
+
+    def entry(self, name: str) -> Entry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; available: {sorted(self._entries)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def entries(self, *, tags: Iterable[str] = ()) -> List[Entry]:
+        """Entries carrying every tag in ``tags``, in listing order."""
+        wanted = set(tags)
+        found = [e for e in self._entries.values() if wanted <= set(e.tags)]
+        return sorted(found, key=lambda e: (e.order, e.seq))
+
+    def names(self, *, tags: Iterable[str] = ()) -> Tuple[str, ...]:
+        return tuple(e.name for e in self.entries(tags=tags))
+
+
+# The process-wide instances.  Methods get their own richer registry in
+# .methods; these three share the generic shape.
+DATASETS = Registry("dataset")
+ENCODERS = Registry("encoder")
+PROTOCOLS = Registry("eval protocol")
+
+
+def register_dataset(
+    name: str,
+    loader: Optional[Callable] = None,
+    *,
+    tags: Iterable[str] = (),
+    order: Optional[float] = None,
+):
+    """Register a dataset loader (``fn(seed) -> Graph | GraphDataset``)."""
+    return DATASETS.register(name, loader, tags=tags, order=order)
+
+
+def register_encoder(
+    name: str,
+    builder: Optional[Callable] = None,
+    *,
+    tags: Iterable[str] = (),
+    order: Optional[float] = None,
+):
+    """Register an encoder conv-layer builder by conv-type name."""
+    return ENCODERS.register(name, builder, tags=tags, order=order)
+
+
+def register_protocol(
+    name: str,
+    protocol: Any = None,
+    *,
+    tags: Iterable[str] = (),
+    order: Optional[float] = None,
+):
+    """Register an eval protocol (see ``repro.spec.protocols``)."""
+    return PROTOCOLS.register(name, protocol, tags=tags, order=order)

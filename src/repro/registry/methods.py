@@ -1,0 +1,200 @@
+"""The method registry: every compared method registers itself at import.
+
+Entries are keyed by ``(name, protocol)`` because several methods appear in
+both the node- and graph-level tables with different tuned defaults (MVGRL
+trains 100 epochs at the profile width for Table 4 but 40 epochs at width
+64 behind a readout wrapper for Table 7).  Each entry carries:
+
+* ``tags`` — the paper's paradigm taxonomy (``contrastive`` / ``mae`` /
+  ``clustering`` / ``supervised`` / ``hybrid``) plus ``extension`` for
+  related-work methods outside the paper's tables,
+* ``order`` — the editorial row order of the tables (Section 5.1),
+* ``config_cls`` — a frozen dataclass schema (auto-derived unless the
+  method brings its own, as GCMAE does),
+* ``defaults`` — the profile-dependent overrides the experiment layer has
+  always applied (epoch budgets, widths),
+* ``builder`` — config -> method instance.
+
+``repro.experiments.registry`` re-derives its category tuples and factory
+dicts from these entries, and ``repro.spec`` resolves run specs against
+them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from .config import apply_overrides, config_kwargs, derive_config_class
+from .core import RegistryError
+
+# Tags that mark a self-supervised pretraining paradigm (everything the
+# node/graph SSL tables compare; supervised baselines sit outside).
+SSL_TAGS = ("contrastive", "mae", "clustering", "hybrid")
+
+
+@dataclasses.dataclass(frozen=True)
+class MethodEntry:
+    """One (method, protocol) registration."""
+
+    name: str
+    protocol: str
+    tags: Tuple[str, ...]
+    order: float
+    seq: int
+    cls: Optional[type]
+    config_cls: type
+    defaults: Optional[Callable[[Any], Dict[str, Any]]]
+    builder: Callable[[Any], Any]
+
+    def default_config(self, profile) -> Any:
+        """The profile-tuned config (class defaults + registered defaults)."""
+        overrides = self.defaults(profile) if self.defaults is not None else {}
+        return apply_overrides(
+            self.config_cls(), overrides, path=f"{self.name}.defaults"
+        )
+
+    def config(self, profile, overrides=None, path: Optional[str] = None) -> Any:
+        """The resolved config for ``profile`` with user overrides applied."""
+        cfg = self.default_config(profile)
+        if overrides:
+            cfg = apply_overrides(
+                cfg, dict(overrides), path=path or f"{self.name}.overrides"
+            )
+        return cfg
+
+    def build(self, config) -> Any:
+        return self.builder(config)
+
+    def factory(self, profile, overrides=None) -> Callable[[], Any]:
+        """A zero-argument factory, the shape the table runners consume."""
+        cfg = self.config(profile, overrides)
+        builder = self.builder
+        return lambda: builder(cfg)
+
+
+class MethodRegistry:
+    """Methods keyed by ``(name, protocol)`` with tag/order queries."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str], MethodEntry] = {}
+        self._seq = 0
+
+    def add(self, entry: MethodEntry, replace: bool = False) -> None:
+        key = (entry.name, entry.protocol)
+        if key in self._entries and not replace:
+            raise RegistryError(
+                f"method {entry.name!r} is already registered for protocol "
+                f"{entry.protocol!r}; pass replace=True to override"
+            )
+        self._entries[key] = entry
+
+    def get(self, name: str, protocol: str = "node") -> MethodEntry:
+        try:
+            return self._entries[(name, protocol)]
+        except KeyError:
+            available = sorted(n for n, p in self._entries if p == protocol)
+            raise RegistryError(
+                f"unknown method {name!r} for protocol {protocol!r}; "
+                f"available: {available}"
+            ) from None
+
+    def has(self, name: str, protocol: str = "node") -> bool:
+        return (name, protocol) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(
+        self,
+        protocol: Optional[str] = None,
+        *,
+        tags: Iterable[str] = (),
+        any_tags: Iterable[str] = (),
+        exclude_tags: Iterable[str] = (),
+    ) -> List[MethodEntry]:
+        """Entries in listing order, filtered by protocol and tags.
+
+        ``tags`` must all be present, ``any_tags`` needs at least one match
+        (when non-empty), ``exclude_tags`` must all be absent.
+        """
+        need, some, avoid = set(tags), set(any_tags), set(exclude_tags)
+        found = []
+        for entry in self._entries.values():
+            have = set(entry.tags)
+            if protocol is not None and entry.protocol != protocol:
+                continue
+            if not need <= have:
+                continue
+            if some and not (some & have):
+                continue
+            if avoid & have:
+                continue
+            found.append(entry)
+        return sorted(found, key=lambda e: (e.order, e.seq))
+
+    def names(self, protocol: Optional[str] = None, **kwargs) -> Tuple[str, ...]:
+        return tuple(e.name for e in self.entries(protocol, **kwargs))
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+
+METHODS = MethodRegistry()
+
+
+def register_method(
+    name: str,
+    *,
+    protocol: str = "node",
+    tags: Iterable[str] = (),
+    order: Optional[float] = None,
+    config_cls: Optional[type] = None,
+    defaults: Optional[Callable[[Any], Dict[str, Any]]] = None,
+    builder: Optional[Callable[[Any], Any]] = None,
+    cls: Optional[type] = None,
+    registry: Optional[MethodRegistry] = None,
+):
+    """Register a method class, as a decorator or a direct call.
+
+    Decorator form (the common case — the config schema is derived from the
+    decorated class's constructor and the builder just calls it)::
+
+        @register_method("GRACE", tags=("contrastive",), order=120,
+                         defaults=lambda p: {"hidden_dim": p.hidden_dim,
+                                             "epochs": p.epochs})
+        class GRACE(Method): ...
+
+    Direct form, for wrapper registrations whose builder is not simply the
+    class constructor (``cls`` is the underlying class)::
+
+        register_method("MVGRL", protocol="graph", cls=MVGRL,
+                        builder=lambda cfg: GraphLevelWrapper(...), ...)
+    """
+    reg = registry if registry is not None else METHODS
+
+    def add(klass: type) -> type:
+        seq = reg.next_seq()
+        schema = config_cls if config_cls is not None else derive_config_class(klass)
+        build = builder if builder is not None else (
+            lambda cfg: klass(**config_kwargs(cfg))
+        )
+        reg.add(
+            MethodEntry(
+                name=name,
+                protocol=protocol,
+                tags=tuple(tags),
+                order=float(seq if order is None else order),
+                seq=seq,
+                cls=klass,
+                config_cls=schema,
+                defaults=defaults,
+                builder=build,
+            )
+        )
+        return klass
+
+    if cls is not None:
+        return add(cls)
+    return add

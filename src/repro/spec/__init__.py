@@ -1,0 +1,46 @@
+"""Declarative run specs: describe a sweep, expand it, execute it.
+
+``repro run spec.yaml --jobs 8`` (and the table wrappers in
+``repro.experiments``) route through this package:
+
+* :mod:`repro.spec.model` — the spec schema (:class:`RunSpec`), parsing
+  with path-tagged errors, and grid expansion into a :class:`RunPlan`;
+* :mod:`repro.spec.protocols` — the registered eval protocols
+  (classification / clustering / linkpred / graph-classification);
+* :mod:`repro.spec.runner` — execution through the parallel cell pool,
+  with the expanded plan persisted into the telemetry manifest.
+
+See ``docs/SPECS.md`` for the file format and guarantees.
+"""
+
+from . import protocols  # noqa: F401  (registers the eval protocols)
+from .model import (
+    MethodSpec,
+    RunPlan,
+    RunSpec,
+    SkipRule,
+    SpecError,
+    Variant,
+    expand_spec,
+    load_spec,
+    parse_spec,
+)
+from .protocols import CellContext, EvalProtocol
+from .runner import render_plan, resolve_profile, run_spec
+
+__all__ = [
+    "CellContext",
+    "EvalProtocol",
+    "MethodSpec",
+    "RunPlan",
+    "RunSpec",
+    "SkipRule",
+    "SpecError",
+    "Variant",
+    "expand_spec",
+    "load_spec",
+    "parse_spec",
+    "render_plan",
+    "resolve_profile",
+    "run_spec",
+]

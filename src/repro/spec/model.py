@@ -1,0 +1,472 @@
+"""Run specs: a declarative description of one experiment sweep.
+
+A spec names an eval protocol, a set of methods (with optional config
+overrides and grid axes), datasets and seeds; :func:`expand_spec` resolves
+it against the method registry into a concrete :class:`RunPlan` — one
+variant per (method, grid combination) with a fully-resolved frozen config,
+one cell per (variant, dataset, seed) — which ``repro.spec.runner``
+executes through the parallel cell pool.
+
+Specs are plain dicts (typically loaded from YAML or JSON via
+:func:`load_spec`)::
+
+    name: table4
+    protocol: classification
+    datasets: [cora-like, citeseer-like]
+    methods:
+      - GCN
+      - name: GCMAE
+        overrides: {mask_rate: 0.75}
+        grid: {hidden_dim: [128, 256]}
+    skip:
+      - {method: MVGRL, dataset: reddit-like, mark: OOM}
+
+Every validation error — unknown keys, wrong types, overrides that do not
+match the method's config schema — raises :class:`SpecError` carrying the
+offending path (``methods[1].overrides.lr``), at parse/expand time in the
+parent process, never as a bare ``TypeError`` inside a worker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+class SpecError(ValueError):
+    """A run spec is malformed; the message carries the offending path."""
+
+
+# ---------------------------------------------------------------------------
+# Spec dataclasses
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class MethodSpec:
+    """One method line of a spec: name, display label, overrides, grid."""
+
+    name: str
+    label: str
+    overrides: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    grid: Mapping[str, Tuple[Any, ...]] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass(frozen=True)
+class SkipRule:
+    """Declaratively void cells (the paper's pre-marked "OOM" entries)."""
+
+    method: Optional[str] = None
+    dataset: Optional[str] = None
+    mark: str = "OOM"
+
+    def matches(self, method: str, label: str, dataset: str) -> bool:
+        if self.method is not None and self.method not in (method, label):
+            return False
+        if self.dataset is not None and self.dataset != dataset:
+            return False
+        return True
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """A parsed, validated run spec (still unresolved against a profile)."""
+
+    name: str
+    protocol: str
+    methods: Tuple[MethodSpec, ...]
+    title: Optional[str] = None
+    profile: Optional[str] = None
+    datasets: Optional[Tuple[str, ...]] = None
+    seeds: Optional[Tuple[int, ...]] = None
+    grid: Mapping[str, Tuple[Any, ...]] = dataclasses.field(default_factory=dict)
+    skip: Tuple[SkipRule, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+_SPEC_KEYS = {
+    "name", "title", "protocol", "profile", "datasets", "methods",
+    "grid", "seeds", "skip",
+}
+_METHOD_KEYS = {"name", "label", "overrides", "grid"}
+_SKIP_KEYS = {"method", "dataset", "mark"}
+
+
+def _expect(value: Any, types: tuple, path: str, what: str) -> Any:
+    if not isinstance(value, types) or isinstance(value, bool) and bool not in types:
+        raise SpecError(
+            f"{path}: expected {what}, got {type(value).__name__} ({value!r})"
+        )
+    return value
+
+
+def _parse_string_list(value: Any, path: str) -> Tuple[str, ...]:
+    _expect(value, (list, tuple), path, "a list of strings")
+    out = []
+    for index, item in enumerate(value):
+        out.append(_expect(item, (str,), f"{path}[{index}]", "a string"))
+    return tuple(out)
+
+
+def _parse_overrides(value: Any, path: str) -> Dict[str, Any]:
+    _expect(value, (dict,), path, "a mapping of config field -> value")
+    overrides: Dict[str, Any] = {}
+    for key, item in value.items():
+        _expect(key, (str,), f"{path}.{key}", "a string key")
+        overrides[key] = item
+    return overrides
+
+
+def _parse_grid(value: Any, path: str) -> Dict[str, Tuple[Any, ...]]:
+    _expect(value, (dict,), path, "a mapping of config field -> list of values")
+    grid: Dict[str, Tuple[Any, ...]] = {}
+    for key, values in value.items():
+        _expect(key, (str,), f"{path}.{key}", "a string key")
+        _expect(values, (list, tuple), f"{path}.{key}", "a list of values")
+        if not values:
+            raise SpecError(f"{path}.{key}: grid axis must list at least one value")
+        grid[key] = tuple(values)
+    return grid
+
+
+def _parse_method(value: Any, path: str) -> MethodSpec:
+    if isinstance(value, str):
+        return MethodSpec(name=value, label=value)
+    _expect(value, (dict,), path, "a method name or mapping")
+    unknown = set(value) - _METHOD_KEYS
+    if unknown:
+        raise SpecError(
+            f"{path}: unknown keys {sorted(unknown)}; allowed: {sorted(_METHOD_KEYS)}"
+        )
+    if "name" not in value:
+        raise SpecError(f"{path}: missing required key 'name'")
+    name = _expect(value["name"], (str,), f"{path}.name", "a string")
+    label = value.get("label", name)
+    _expect(label, (str,), f"{path}.label", "a string")
+    overrides = _parse_overrides(value.get("overrides", {}), f"{path}.overrides")
+    grid = _parse_grid(value.get("grid", {}), f"{path}.grid")
+    return MethodSpec(name=name, label=label, overrides=overrides, grid=grid)
+
+
+def _parse_skip(value: Any, path: str) -> SkipRule:
+    _expect(value, (dict,), path, "a mapping with method/dataset/mark")
+    unknown = set(value) - _SKIP_KEYS
+    if unknown:
+        raise SpecError(
+            f"{path}: unknown keys {sorted(unknown)}; allowed: {sorted(_SKIP_KEYS)}"
+        )
+    if "method" not in value and "dataset" not in value:
+        raise SpecError(f"{path}: a skip rule needs 'method' and/or 'dataset'")
+    method = value.get("method")
+    dataset = value.get("dataset")
+    if method is not None:
+        _expect(method, (str,), f"{path}.method", "a string")
+    if dataset is not None:
+        _expect(dataset, (str,), f"{path}.dataset", "a string")
+    mark = _expect(value.get("mark", "OOM"), (str,), f"{path}.mark", "a string")
+    return SkipRule(method=method, dataset=dataset, mark=mark)
+
+
+def parse_spec(data: Any, path: str = "spec") -> RunSpec:
+    """Validate a plain-dict spec into a :class:`RunSpec`.
+
+    Raises :class:`SpecError` with the offending path on any unknown key or
+    type mismatch.  Override *values* are validated against the method's
+    config schema later, in :func:`expand_spec` (that needs the registry).
+    """
+    _expect(data, (dict,), path, "a mapping")
+    unknown = set(data) - _SPEC_KEYS
+    if unknown:
+        raise SpecError(
+            f"{path}: unknown keys {sorted(unknown)}; allowed: {sorted(_SPEC_KEYS)}"
+        )
+    for key in ("name", "methods"):
+        if key not in data:
+            raise SpecError(f"{path}: missing required key {key!r}")
+    name = _expect(data["name"], (str,), f"{path}.name", "a string")
+    if not name:
+        raise SpecError(f"{path}.name: must be a non-empty string")
+    protocol = _expect(
+        data.get("protocol", "classification"), (str,), f"{path}.protocol", "a string"
+    )
+    title = data.get("title")
+    if title is not None:
+        _expect(title, (str,), f"{path}.title", "a string")
+    profile = data.get("profile")
+    if profile is not None:
+        _expect(profile, (str,), f"{path}.profile", "a string")
+    datasets = data.get("datasets")
+    if datasets is not None:
+        datasets = _parse_string_list(datasets, f"{path}.datasets")
+    methods_raw = _expect(data["methods"], (list, tuple), f"{path}.methods", "a list")
+    if not methods_raw:
+        raise SpecError(f"{path}.methods: must list at least one method")
+    methods = tuple(
+        _parse_method(m, f"{path}.methods[{i}]") for i, m in enumerate(methods_raw)
+    )
+    grid = _parse_grid(data.get("grid", {}), f"{path}.grid")
+    seeds = data.get("seeds")
+    if seeds is not None:
+        _expect(seeds, (list, tuple), f"{path}.seeds", "a list of integers")
+        parsed = []
+        for index, seed in enumerate(seeds):
+            parsed.append(
+                _expect(seed, (int,), f"{path}.seeds[{index}]", "an integer")
+            )
+        seeds = tuple(parsed)
+    skip_raw = data.get("skip", [])
+    _expect(skip_raw, (list, tuple), f"{path}.skip", "a list of skip rules")
+    skip = tuple(_parse_skip(s, f"{path}.skip[{i}]") for i, s in enumerate(skip_raw))
+    return RunSpec(
+        name=name,
+        protocol=protocol,
+        methods=methods,
+        title=title,
+        profile=profile,
+        datasets=datasets,
+        seeds=seeds,
+        grid=grid,
+        skip=skip,
+    )
+
+
+def load_spec(path: str | Path) -> RunSpec:
+    """Load and parse a spec file (``.yaml``/``.yml`` via PyYAML, ``.json``)."""
+    file_path = Path(path)
+    try:
+        text = file_path.read_text()
+    except OSError as exc:
+        raise SpecError(f"cannot read spec file {file_path}: {exc}") from None
+    if file_path.suffix == ".json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"{file_path}: invalid JSON: {exc}") from None
+    else:
+        try:
+            import yaml
+        except ImportError:  # pragma: no cover - pyyaml ships with the env
+            raise SpecError(
+                f"{file_path}: reading YAML specs requires PyYAML; "
+                "install it or use a .json spec"
+            ) from None
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise SpecError(f"{file_path}: invalid YAML: {exc}") from None
+    return parse_spec(data, path=file_path.name)
+
+
+# ---------------------------------------------------------------------------
+# Expansion: spec + profile -> plan
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Variant:
+    """One table row: a method at one fully-resolved config."""
+
+    label: str
+    method: str
+    supervised: bool
+    entry: Any  # MethodEntry
+    config: Any
+    digest_suffix: str  # "" when the config equals the profile default
+
+    def build(self) -> Any:
+        return self.entry.build(self.config)
+
+
+@dataclasses.dataclass(frozen=True)
+class RunPlan:
+    """A spec resolved against a profile: variants, columns, cells, marks."""
+
+    spec: RunSpec
+    profile: Any
+    protocol: Any  # EvalProtocol
+    datasets: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    variants: Tuple[Variant, ...]
+    columns: Tuple[str, ...]
+    cells: Tuple[Tuple[int, str, int], ...]  # (variant index, dataset, seed)
+    marks: Tuple[Tuple[str, str, str], ...]  # (row, column, mark)
+
+    @property
+    def title(self) -> str:
+        return self.spec.title or self.spec.name
+
+    def dataset_columns(self, dataset: str) -> List[str]:
+        suffixes = self.protocol.metric_suffixes
+        if suffixes:
+            return [f"{dataset}:{suffix}" for suffix in suffixes]
+        return [dataset]
+
+    def manifest(self) -> Dict[str, Any]:
+        """A JSON-safe record of the plan, with per-variant resolved configs."""
+        from ..registry import config_dict, config_digest
+
+        return {
+            "name": self.spec.name,
+            "title": self.title,
+            "protocol": self.spec.protocol,
+            "profile": self.profile.name,
+            "datasets": list(self.datasets),
+            "seeds": [int(seed) for seed in self.seeds],
+            "variants": [
+                {
+                    "label": v.label,
+                    "method": v.method,
+                    "supervised": v.supervised,
+                    "config": config_dict(v.config),
+                    "config_digest": config_digest(v.config),
+                }
+                for v in self.variants
+            ],
+            "num_cells": len(self.cells),
+            "marks": [list(mark) for mark in self.marks],
+        }
+
+
+def _grid_combos(
+    axes: Mapping[str, Tuple[Any, ...]],
+) -> List[Dict[str, Any]]:
+    if not axes:
+        return [{}]
+    names = list(axes)
+    return [
+        dict(zip(names, values))
+        for values in itertools.product(*(axes[name] for name in names))
+    ]
+
+
+def _combo_suffix(combo: Mapping[str, Any]) -> str:
+    parts = ", ".join(f"{key}={value}" for key, value in combo.items())
+    return f" ({parts})"
+
+
+def expand_spec(spec: RunSpec, profile) -> RunPlan:
+    """Resolve a spec against a profile into a concrete :class:`RunPlan`.
+
+    Looks every method up in the registry, applies overrides and expands
+    grid axes into one variant per combination (labels gain a ``(k=v)``
+    suffix only when a grid yields more than one combination), resolves
+    datasets/seeds, and pre-computes the skipped cells' marks.  All config
+    validation happens here, with spec-relative error paths.
+    """
+    from ..registry import (
+        METHODS,
+        PROTOCOLS,
+        ConfigError,
+        RegistryError,
+        apply_overrides,
+        config_digest,
+        ensure_registered,
+    )
+
+    ensure_registered()
+    try:
+        protocol = PROTOCOLS.get(spec.protocol)
+    except RegistryError:
+        raise SpecError(
+            f"spec.protocol: unknown eval protocol {spec.protocol!r}; "
+            f"available: {list(PROTOCOLS.names())}"
+        ) from None
+
+    datasets = (
+        spec.datasets
+        if spec.datasets is not None
+        else tuple(protocol.default_datasets(profile))
+    )
+    seeds = spec.seeds if spec.seeds is not None else tuple(profile.seeds)
+
+    variants: List[Variant] = []
+    seen_labels: Dict[str, str] = {}
+    for index, method in enumerate(spec.methods):
+        where = f"methods[{index}]"
+        try:
+            entry = METHODS.get(method.name, protocol.kind)
+        except RegistryError as exc:
+            raise SpecError(f"{where}.name: {exc}") from None
+        supervised = "supervised" in entry.tags
+        if supervised and not protocol.supports_supervised:
+            raise SpecError(
+                f"{where}.name: {method.name!r} is a supervised baseline; "
+                f"protocol {spec.protocol!r} does not take supervised rows"
+            )
+        try:
+            base = entry.config(profile, method.overrides, path=f"{where}.overrides")
+        except ConfigError as exc:
+            raise SpecError(str(exc)) from None
+        axes = {**spec.grid, **method.grid}
+        combos = _grid_combos(axes)
+        default = entry.default_config(profile)
+        for combo in combos:
+            if combo:
+                try:
+                    config = apply_overrides(base, combo, path=f"{where}.grid")
+                except ConfigError as exc:
+                    raise SpecError(str(exc)) from None
+            else:
+                config = base
+            label = method.label + (_combo_suffix(combo) if len(combos) > 1 else "")
+            if label in seen_labels:
+                raise SpecError(
+                    f"{where}: duplicate row label {label!r} "
+                    f"(already produced by {seen_labels[label]}); "
+                    "give one of the entries an explicit 'label'"
+                )
+            seen_labels[label] = where
+            suffix = "" if config == default else f"-{config_digest(config)}"
+            variants.append(
+                Variant(
+                    label=label,
+                    method=method.name,
+                    supervised=supervised,
+                    entry=entry,
+                    config=config,
+                    digest_suffix=suffix,
+                )
+            )
+
+    columns: List[str] = []
+    suffixes = protocol.metric_suffixes
+    for dataset in datasets:
+        if suffixes:
+            columns.extend(f"{dataset}:{suffix}" for suffix in suffixes)
+        else:
+            columns.append(dataset)
+
+    cells: List[Tuple[int, str, int]] = []
+    marks: List[Tuple[str, str, str]] = []
+    for vi, variant in enumerate(variants):
+        for dataset in datasets:
+            rule = next(
+                (
+                    r
+                    for r in spec.skip
+                    if r.matches(variant.method, variant.label, dataset)
+                ),
+                None,
+            )
+            if rule is not None:
+                if suffixes:
+                    for suffix in suffixes:
+                        marks.append((variant.label, f"{dataset}:{suffix}", rule.mark))
+                else:
+                    marks.append((variant.label, dataset, rule.mark))
+                continue
+            for seed in seeds:
+                cells.append((vi, dataset, int(seed)))
+
+    return RunPlan(
+        spec=spec,
+        profile=profile,
+        protocol=protocol,
+        datasets=tuple(datasets),
+        seeds=tuple(int(s) for s in seeds),
+        variants=tuple(variants),
+        columns=tuple(columns),
+        cells=tuple(cells),
+        marks=tuple(marks),
+    )

@@ -95,7 +95,7 @@ class TestTableRunners:
     def test_table7_oom_on_later_seed_voids_cell(self, monkeypatch):
         """An OOM on any seed marks the whole cell OOM — earlier seeds'
         scores must not be reported as a partial mean."""
-        from repro.experiments import graph_classification as gc_module
+        from repro.registry import METHODS, MethodEntry, derive_config_class
 
         class FlakyMethod:
             calls = 0
@@ -113,8 +113,20 @@ class TestTableRunners:
 
             name = "Flaky"
 
-        monkeypatch.setattr(
-            gc_module, "graph_ssl_methods", lambda profile: {"Flaky": FlakyMethod}
+        monkeypatch.setitem(
+            METHODS._entries,
+            ("Flaky", "graph"),
+            MethodEntry(
+                name="Flaky",
+                protocol="graph",
+                tags=("contrastive",),
+                order=999.0,
+                seq=999,
+                cls=FlakyMethod,
+                config_cls=derive_config_class(FlakyMethod),
+                defaults=None,
+                builder=lambda cfg: FlakyMethod(),
+            ),
         )
         two_seeds = Profile(
             name="micro2",

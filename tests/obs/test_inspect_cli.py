@@ -193,16 +193,16 @@ class TestRunsCLI:
         assert "diff one -> two" in capsys.readouterr().out
 
     def test_pretrain_telemetry_dir(self, tmp_path, monkeypatch, capsys):
-        from repro.experiments import registry
+        import dataclasses
 
-        def tiny_methods(profile):
-            from repro.baselines import DGI
-            return {"DGI": lambda: DGI(hidden_dim=8, epochs=2)}
+        from repro.registry import METHODS, ensure_registered
 
-        monkeypatch.setattr(registry, "node_ssl_methods", tiny_methods)
-        monkeypatch.setattr(
-            "repro.experiments.node_classification.node_ssl_methods", tiny_methods
+        ensure_registered()
+        tiny = dataclasses.replace(
+            METHODS.get("DGI", "node"),
+            defaults=lambda profile: {"hidden_dim": 8, "epochs": 2},
         )
+        monkeypatch.setitem(METHODS._entries, ("DGI", "node"), tiny)
         runs_dir = tmp_path / "runs"
         main([
             "pretrain", "DGI", "cora-like",

@@ -1,0 +1,150 @@
+"""The config store: derivation, coercion, overrides, JSON round-trips."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.registry import (
+    ConfigError,
+    apply_overrides,
+    coerce_value,
+    config_dict,
+    config_digest,
+    config_from_dict,
+    config_kwargs,
+    derive_config_class,
+    merged_parameters,
+)
+
+
+class Base:
+    def __init__(self, hidden_dim=64, epochs=10, rates=(0.1, 0.2)):
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.rates = rates
+
+
+class Child(Base):
+    def __init__(self, gamma=2.0, epochs=20, **kwargs):
+        super().__init__(epochs=epochs, **kwargs)
+        self.gamma = gamma
+
+
+class NoForward(Base):
+    def __init__(self, alpha=0.5):
+        super().__init__()
+        self.alpha = alpha
+
+
+class NoDefault:
+    def __init__(self, required):
+        self.required = required
+
+
+class TestDerivation:
+    def test_fields_mirror_constructor(self):
+        cfg_cls = derive_config_class(Base)
+        cfg = cfg_cls()
+        assert cfg.hidden_dim == 64 and cfg.epochs == 10 and cfg.rates == (0.1, 0.2)
+
+    def test_follows_kwargs_up_the_mro(self):
+        cfg = derive_config_class(Child)()
+        # Child's own params first, then the forwarded parent's; the
+        # child's epochs default wins.
+        assert config_kwargs(cfg) == {
+            "gamma": 2.0, "epochs": 20, "hidden_dim": 64, "rates": (0.1, 0.2),
+        }
+
+    def test_stops_at_non_forwarding_constructor(self):
+        assert set(merged_parameters(NoForward)) == {"alpha"}
+
+    def test_cached_per_class(self):
+        assert derive_config_class(Base) is derive_config_class(Base)
+
+    def test_missing_default_rejected(self):
+        with pytest.raises(ConfigError, match="required"):
+            derive_config_class(NoDefault)
+
+    def test_frozen(self):
+        cfg = derive_config_class(Base)()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.epochs = 5
+
+
+class TestCoercion:
+    def test_int_strict(self):
+        assert coerce_value(5, 10, "p") == 5
+        with pytest.raises(ConfigError, match="p: expected int"):
+            coerce_value(5.0, 10, "p")
+        with pytest.raises(ConfigError, match="p: expected int"):
+            coerce_value(True, 10, "p")
+
+    def test_bool_strict(self):
+        assert coerce_value(False, True, "p") is False
+        with pytest.raises(ConfigError, match="p: expected bool"):
+            coerce_value(1, True, "p")
+
+    def test_float_accepts_int(self):
+        assert coerce_value(3, 0.5, "p") == 3.0
+        with pytest.raises(ConfigError, match="p: expected float"):
+            coerce_value("x", 0.5, "p")
+
+    def test_tuple_accepts_list_deeply(self):
+        assert coerce_value([[1, 2], [3]], ((0,),), "p") == ((1, 2), (3,))
+        with pytest.raises(ConfigError, match="p: expected a sequence"):
+            coerce_value(7, (1, 2), "p")
+
+    def test_none_default_unconstrained(self):
+        assert coerce_value("anything", None, "p") == "anything"
+        assert coerce_value([1, 2], None, "p") == (1, 2)
+
+
+class TestOverrides:
+    def test_unknown_key_carries_path(self):
+        cfg = derive_config_class(Base)()
+        with pytest.raises(ConfigError, match=r"spot\.nope: unknown config field"):
+            apply_overrides(cfg, {"nope": 1}, path="spot")
+
+    def test_type_mismatch_carries_path(self):
+        cfg = derive_config_class(Base)()
+        with pytest.raises(ConfigError, match=r"spot\.epochs: expected int"):
+            apply_overrides(cfg, {"epochs": "many"}, path="spot")
+
+    def test_applies_and_preserves(self):
+        cfg = apply_overrides(derive_config_class(Base)(), {"epochs": 3})
+        assert cfg.epochs == 3 and cfg.hidden_dim == 64
+
+    def test_empty_overrides_identity(self):
+        cfg = derive_config_class(Base)()
+        assert apply_overrides(cfg, {}) is cfg
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        cfg_cls = derive_config_class(Child)
+        cfg = apply_overrides(cfg_cls(), {"rates": [0.3, 0.4], "gamma": 1.5})
+        data = json.loads(json.dumps(config_dict(cfg)))
+        assert config_from_dict(cfg_cls, data) == cfg
+
+    def test_digest_stable_and_sensitive(self):
+        cfg_cls = derive_config_class(Base)
+        assert config_digest(cfg_cls()) == config_digest(cfg_cls())
+        assert config_digest(cfg_cls()) != config_digest(
+            apply_overrides(cfg_cls(), {"epochs": 3})
+        )
+
+    def test_gcmae_config_participates(self):
+        from repro.core import GCMAEConfig
+
+        cfg = GCMAEConfig(mask_rate=0.6, structure_terms=("bce",))
+        data = json.loads(json.dumps(config_dict(cfg)))
+        rebuilt = config_from_dict(GCMAEConfig, data)
+        assert rebuilt == cfg
+        assert rebuilt.structure_terms == ("bce",)
+
+    def test_gcmae_post_init_errors_carry_path(self):
+        from repro.core import GCMAEConfig
+
+        with pytest.raises(ConfigError, match="cfg"):
+            apply_overrides(GCMAEConfig(), {"mask_rate": 7.0}, path="cfg")

@@ -1,0 +1,86 @@
+"""The generic registry: decorator registration, tags, ordering, errors."""
+
+import pytest
+
+from repro.registry import (
+    DATASETS,
+    ENCODERS,
+    PROTOCOLS,
+    Registry,
+    RegistryError,
+    ensure_registered,
+)
+
+
+@pytest.fixture(autouse=True)
+def registered():
+    ensure_registered()
+
+
+class TestRegistry:
+    def test_decorator_registration(self):
+        reg = Registry("thing")
+
+        @reg.register("alpha", tags=("a",), order=20)
+        def alpha():
+            return "alpha"
+
+        @reg.register("beta", tags=("a", "b"), order=10)
+        def beta():
+            return "beta"
+
+        assert reg.get("alpha") is alpha
+        assert "beta" in reg
+        assert len(reg) == 2
+
+    def test_direct_registration(self):
+        reg = Registry("thing")
+        reg.register("x", 42)
+        assert reg.get("x") == 42
+
+    def test_listing_order_and_tags(self):
+        reg = Registry("thing")
+        reg.register("late", 1, order=30)
+        reg.register("early", 2, tags=("t",), order=10)
+        reg.register("mid", 3, tags=("t",), order=20)
+        assert reg.names() == ("early", "mid", "late")
+        assert reg.names(tags=("t",)) == ("early", "mid")
+
+    def test_registration_order_breaks_ties(self):
+        reg = Registry("thing")
+        reg.register("first", 1)
+        reg.register("second", 2)
+        assert reg.names() == ("first", "second")
+
+    def test_duplicate_rejected_unless_replace(self):
+        reg = Registry("thing")
+        reg.register("x", 1)
+        with pytest.raises(RegistryError, match="already registered"):
+            reg.register("x", 2)
+        reg.register("x", 2, replace=True)
+        assert reg.get("x") == 2
+
+    def test_unknown_name_lists_available(self):
+        reg = Registry("thing")
+        reg.register("known", 1)
+        with pytest.raises(RegistryError, match="known"):
+            reg.get("missing")
+
+
+class TestPopulatedRegistries:
+    def test_datasets_cover_tables_2_and_3(self):
+        assert DATASETS.names(tags=("node",)) == (
+            "cora-like", "citeseer-like", "pubmed-like", "reddit-like",
+        )
+        assert DATASETS.names(tags=("graph",)) == (
+            "imdb-b-like", "imdb-m-like", "collab-like",
+            "mutag-like", "reddit-b-like", "nci1-like",
+        )
+
+    def test_encoders_cover_figure_6_backbones(self):
+        assert ENCODERS.names() == ("gcn", "sage", "gat", "gin")
+
+    def test_eval_protocols_registered(self):
+        assert PROTOCOLS.names() == (
+            "classification", "linkpred", "clustering", "graph-classification",
+        )

@@ -1,0 +1,95 @@
+"""The method registry and the category tuples the tables derive from it."""
+
+import pytest
+
+from repro.experiments.registry import (
+    CLUSTERING_METHODS,
+    CONTRASTIVE_GRAPH,
+    CONTRASTIVE_NODE,
+    MAE_GRAPH,
+    MAE_NODE,
+    graph_ssl_methods,
+    method_entries,
+    node_ssl_methods,
+    supervised_methods,
+)
+from repro.experiments.profiles import Profile
+from repro.registry import METHODS, RegistryError, ensure_registered
+
+MICRO = Profile(
+    name="micro",
+    hidden_dim=16,
+    epochs=2,
+    gcmae_epochs=2,
+    num_seeds=1,
+    graph_epochs=2,
+    include_reddit=False,
+)
+
+
+@pytest.fixture(autouse=True)
+def registered():
+    ensure_registered()
+
+
+class TestCategoryTuples:
+    """The tables' category rows come straight from registry tags + order.
+
+    These pin the paper's editorial row order (Section 5.1); a method that
+    re-registers with a different ``order`` shows up here first.
+    """
+
+    def test_node_categories(self):
+        assert CONTRASTIVE_NODE == ("DGI", "MVGRL", "GRACE", "CCA-SSG")
+        assert MAE_NODE == ("GraphMAE", "SeeGera", "S2GAE", "MaskGAE")
+        assert CLUSTERING_METHODS == ("GC-VGE", "SCGC", "GCC")
+
+    def test_graph_categories(self):
+        assert CONTRASTIVE_GRAPH == (
+            "Infograph", "GraphCL", "JOAO", "MVGRL", "InfoGCL",
+        )
+        assert MAE_GRAPH == ("GraphMAE", "S2GAE")
+
+    def test_table_rows_are_categories_plus_gcmae(self):
+        assert tuple(e.name for e in method_entries("node")) == (
+            CONTRASTIVE_NODE + MAE_NODE + ("GCMAE",)
+        )
+        assert tuple(e.name for e in method_entries("graph")) == (
+            CONTRASTIVE_GRAPH + MAE_GRAPH + ("GCMAE",)
+        )
+
+    def test_extensions_stay_out_of_the_tables(self):
+        assert METHODS.names(tags=("extension",)) == ("BGRL", "GCA", "GraphMAE2")
+        for name in ("BGRL", "GCA", "GraphMAE2"):
+            assert name not in [e.name for e in method_entries("node")]
+
+
+class TestEntries:
+    def test_keyed_by_name_and_protocol(self):
+        node = METHODS.get("GraphMAE", "node")
+        graph = METHODS.get("GraphMAE", "graph")
+        assert node is not graph
+        assert node.protocol == "node" and graph.protocol == "graph"
+
+    def test_unknown_method_lists_protocol_peers(self):
+        with pytest.raises(RegistryError, match="protocol 'node'"):
+            METHODS.get("Infograph", "node")
+
+    def test_supervised_baselines(self):
+        assert tuple(supervised_methods(MICRO)) == ("GCN", "GAT")
+
+    def test_factories_honour_profile_defaults(self):
+        entry = METHODS.get("DGI", "node")
+        cfg = entry.default_config(MICRO)
+        assert cfg.hidden_dim == MICRO.hidden_dim
+        assert cfg.epochs == MICRO.epochs
+        method = entry.factory(MICRO)()
+        assert type(method).__name__ == "DGI"
+
+    def test_factory_dicts_match_entry_order(self):
+        assert list(node_ssl_methods(MICRO)) == [
+            e.name for e in method_entries("node")
+        ]
+        assert list(graph_ssl_methods(MICRO)) == [
+            e.name for e in method_entries("graph")
+        ]

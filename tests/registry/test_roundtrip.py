@@ -1,0 +1,84 @@
+"""Satellite guarantee: every registered method's config survives JSON.
+
+For each ``(method, protocol)`` entry the auto-derived config serializes
+to JSON, reloads, and rebuilds an instance whose training is bit-identical
+to one built from the original config — same first-epoch loss, same final
+embeddings.  A method whose constructor grows a parameter the schema
+misses, or whose config loses information in serialization, fails here.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.profiles import Profile
+from repro.graph.datasets import load_graph_dataset, load_node_dataset
+from repro.obs import record
+from repro.registry import (
+    METHODS,
+    config_dict,
+    config_digest,
+    config_from_dict,
+    ensure_registered,
+)
+
+MICRO = Profile(
+    name="micro",
+    hidden_dim=16,
+    epochs=2,
+    gcmae_epochs=2,
+    num_seeds=1,
+    graph_epochs=2,
+    include_reddit=False,
+)
+
+# Applied when the schema has the field — keeps every fit under a second.
+SPEED = {"epochs": 1, "hidden_dim": 16, "gcmae_epochs": 1, "patience": 1}
+
+ensure_registered()
+ENTRIES = sorted(METHODS._entries.values(), key=lambda e: (e.protocol, e.name))
+
+
+@pytest.fixture(autouse=True)
+def no_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+
+def micro_config(entry):
+    fields = {f.name for f in dataclasses.fields(entry.config_cls)}
+    return entry.config(MICRO, {k: v for k, v in SPEED.items() if k in fields})
+
+
+def run_once(entry, config):
+    """Build from ``config`` and train one cell; return (loss, embeddings)."""
+    method = entry.build(config)
+    with record() as rec:
+        if "supervised" in entry.tags:
+            outcome = method.evaluate(load_node_dataset("cora-like", seed=0), seed=0)
+            embeddings = np.array([outcome.test_accuracy])
+        elif entry.protocol == "graph":
+            data = load_graph_dataset("mutag-like", seed=0)
+            embeddings = method.fit_graphs(data, seed=0).embeddings
+        else:
+            graph = load_node_dataset("cora-like", seed=0)
+            embeddings = method.fit(graph, seed=0).embeddings
+    return rec.epochs[0].loss, embeddings
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[f"{e.name}:{e.protocol}" for e in ENTRIES]
+)
+def test_config_round_trips_and_rebuilds_identically(entry):
+    config = micro_config(entry)
+
+    payload = json.dumps(config_dict(config), sort_keys=True)
+    rebuilt = config_from_dict(entry.config_cls, json.loads(payload))
+    assert rebuilt == config
+    assert config_digest(rebuilt) == config_digest(config)
+
+    loss, embeddings = run_once(entry, config)
+    loss2, embeddings2 = run_once(entry, rebuilt)
+    assert loss2 == loss  # bit-identical, not approximately equal
+    np.testing.assert_array_equal(embeddings2, embeddings)

@@ -1,0 +1,234 @@
+"""Spec parsing, validation paths, and expansion into run plans."""
+
+import json
+
+import pytest
+
+from repro.experiments.profiles import Profile
+from repro.spec import (
+    MethodSpec,
+    SkipRule,
+    SpecError,
+    expand_spec,
+    load_spec,
+    parse_spec,
+)
+
+MICRO = Profile(
+    name="micro",
+    hidden_dim=16,
+    epochs=2,
+    gcmae_epochs=2,
+    num_seeds=1,
+    graph_epochs=2,
+    include_reddit=False,
+)
+
+
+def spec_dict(**extra):
+    base = {
+        "name": "toy",
+        "protocol": "classification",
+        "datasets": ["cora-like"],
+        "methods": ["DGI"],
+    }
+    base.update(extra)
+    return base
+
+
+class TestParsing:
+    def test_minimal_spec(self):
+        spec = parse_spec({"name": "toy", "methods": ["DGI"]})
+        assert spec.protocol == "classification"  # the default
+        assert spec.methods == (MethodSpec(name="DGI", label="DGI"),)
+        assert spec.datasets is None and spec.seeds is None
+
+    def test_method_mapping_form(self):
+        spec = parse_spec(spec_dict(methods=[
+            {"name": "GCMAE", "label": "wide", "overrides": {"hidden_dim": 512},
+             "grid": {"mask_rate": [0.5, 0.75]}},
+        ]))
+        method = spec.methods[0]
+        assert method.label == "wide"
+        assert method.overrides == {"hidden_dim": 512}
+        assert method.grid == {"mask_rate": (0.5, 0.75)}
+
+    def test_skip_rules(self):
+        spec = parse_spec(spec_dict(skip=[
+            {"method": "MVGRL", "dataset": "reddit-like"},
+            {"dataset": "nci1-like", "mark": "n/a"},
+        ]))
+        assert spec.skip[0] == SkipRule(method="MVGRL", dataset="reddit-like")
+        assert spec.skip[1].mark == "n/a"
+
+    @pytest.mark.parametrize(
+        "data, path", [
+            ({"name": "x", "methods": ["DGI"], "bogus": 1}, "spec:"),
+            ({"methods": ["DGI"]}, "spec: missing required key 'name'"),
+            ({"name": "x"}, "spec: missing required key 'methods'"),
+            ({"name": "x", "methods": []}, "spec.methods:"),
+            ({"name": "x", "methods": [7]}, r"spec\.methods\[0\]:"),
+            ({"name": "x", "methods": [{"label": "no-name"}]},
+             r"spec\.methods\[0\]: missing required key 'name'"),
+            ({"name": "x", "methods": [{"name": "DGI", "nope": 1}]},
+             r"spec\.methods\[0\]: unknown keys \['nope'\]"),
+            ({"name": "x", "methods": ["DGI"], "grid": {"epochs": []}},
+             r"spec\.grid\.epochs:"),
+            ({"name": "x", "methods": ["DGI"], "seeds": [0, "one"]},
+             r"spec\.seeds\[1\]: expected an integer"),
+            ({"name": "x", "methods": ["DGI"], "seeds": [True]},
+             r"spec\.seeds\[0\]: expected an integer"),
+            ({"name": "x", "methods": ["DGI"], "datasets": "cora-like"},
+             r"spec\.datasets: expected a list"),
+            ({"name": "x", "methods": ["DGI"], "skip": [{}]},
+             r"spec\.skip\[0\]: a skip rule needs"),
+        ],
+    )
+    def test_errors_carry_paths(self, data, path):
+        with pytest.raises(SpecError, match=path):
+            parse_spec(data)
+
+
+class TestLoading:
+    def test_yaml(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("name: toy\nmethods: [DGI, GRACE]\nseeds: [0, 1]\n")
+        spec = load_spec(path)
+        assert [m.name for m in spec.methods] == ["DGI", "GRACE"]
+        assert spec.seeds == (0, 1)
+
+    def test_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec_dict()))
+        assert load_spec(path).name == "toy"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SpecError, match="cannot read spec file"):
+            load_spec(tmp_path / "absent.yaml")
+
+    def test_parse_errors_name_the_file(self, tmp_path):
+        path = tmp_path / "bad.yaml"
+        path.write_text("name: toy\nmethods: [DGI]\nbogus: 1\n")
+        with pytest.raises(SpecError, match="bad.yaml"):
+            load_spec(path)
+
+    def test_shipped_example_parses(self):
+        spec = load_spec("examples/spec_table4.yaml")
+        assert spec.name == "table4"
+        assert len(spec.methods) == 11
+
+
+class TestExpansion:
+    def test_variant_order_and_cells(self):
+        plan = expand_spec(
+            parse_spec(spec_dict(methods=["GCN", "DGI"], seeds=[0, 1])), MICRO
+        )
+        assert [v.label for v in plan.variants] == ["GCN", "DGI"]
+        assert plan.variants[0].supervised and not plan.variants[1].supervised
+        # variant -> dataset -> seed order, matching the legacy runners
+        assert plan.cells == (
+            (0, "cora-like", 0), (0, "cora-like", 1),
+            (1, "cora-like", 0), (1, "cora-like", 1),
+        )
+
+    def test_profile_defaults_fill_datasets_and_seeds(self):
+        plan = expand_spec(parse_spec({"name": "toy", "methods": ["DGI"]}), MICRO)
+        assert plan.datasets == ("cora-like", "citeseer-like", "pubmed-like")
+        assert plan.seeds == tuple(MICRO.seeds)
+
+    def test_default_config_has_no_digest_suffix(self):
+        plan = expand_spec(parse_spec(spec_dict()), MICRO)
+        assert plan.variants[0].digest_suffix == ""
+
+    def test_overridden_config_gets_digest_suffix(self):
+        plan = expand_spec(
+            parse_spec(spec_dict(methods=[
+                {"name": "DGI", "overrides": {"epochs": 1}},
+            ])),
+            MICRO,
+        )
+        assert plan.variants[0].digest_suffix.startswith("-")
+        assert plan.variants[0].config.epochs == 1
+
+    def test_grid_expands_with_label_suffixes(self):
+        plan = expand_spec(
+            parse_spec(spec_dict(methods=[
+                {"name": "GCMAE", "grid": {"mask_rate": [0.5, 0.75]}},
+            ])),
+            MICRO,
+        )
+        assert [v.label for v in plan.variants] == [
+            "GCMAE (mask_rate=0.5)", "GCMAE (mask_rate=0.75)",
+        ]
+        assert [v.config.mask_rate for v in plan.variants] == [0.5, 0.75]
+
+    def test_single_combo_grid_keeps_plain_label(self):
+        plan = expand_spec(
+            parse_spec(spec_dict(methods=[
+                {"name": "DGI", "grid": {"epochs": [1]}},
+            ])),
+            MICRO,
+        )
+        assert plan.variants[0].label == "DGI"
+
+    def test_spec_grid_crosses_every_method(self):
+        plan = expand_spec(
+            parse_spec(spec_dict(methods=["DGI", "GRACE"], grid={"epochs": [1, 2]})),
+            MICRO,
+        )
+        assert len(plan.variants) == 4
+
+    def test_skip_rules_become_marks_not_cells(self):
+        plan = expand_spec(
+            parse_spec(spec_dict(
+                methods=["DGI", "MVGRL"],
+                datasets=["cora-like", "reddit-like"],
+                seeds=[0],
+                skip=[{"method": "MVGRL", "dataset": "reddit-like"}],
+            )),
+            MICRO,
+        )
+        assert plan.marks == (("MVGRL", "reddit-like", "OOM"),)
+        assert (1, "reddit-like", 0) not in plan.cells
+
+    def test_metric_suffix_columns(self):
+        plan = expand_spec(
+            parse_spec(spec_dict(protocol="linkpred", seeds=[0])), MICRO
+        )
+        assert plan.columns == ("cora-like:AUC", "cora-like:AP")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(SpecError, match="duplicate row label 'DGI'"):
+            expand_spec(parse_spec(spec_dict(methods=["DGI", "DGI"])), MICRO)
+
+    @pytest.mark.parametrize(
+        "data, path", [
+            (spec_dict(methods=["NotAMethod"]), r"methods\[0\]\.name:"),
+            (spec_dict(protocol="nope"), "spec.protocol: unknown eval protocol"),
+            (spec_dict(methods=[{"name": "DGI", "overrides": {"lr": 0.1}}]),
+             r"methods\[0\]\.overrides\.lr: unknown config field"),
+            (spec_dict(methods=[{"name": "DGI", "overrides": {"epochs": "x"}}]),
+             r"methods\[0\]\.overrides\.epochs: expected int"),
+            (spec_dict(methods=[{"name": "DGI", "grid": {"lr": [0.1]}}]),
+             r"methods\[0\]\.grid\.lr: unknown config field"),
+            (spec_dict(protocol="linkpred", methods=["GCN"]),
+             r"methods\[0\]\.name: 'GCN' is a supervised baseline"),
+        ],
+    )
+    def test_expansion_errors_carry_paths(self, data, path):
+        with pytest.raises(SpecError, match=path):
+            expand_spec(parse_spec(data), MICRO)
+
+    def test_manifest_is_json_safe(self):
+        plan = expand_spec(
+            parse_spec(spec_dict(methods=[
+                {"name": "DGI", "overrides": {"epochs": 1}},
+            ], seeds=[0])),
+            MICRO,
+        )
+        manifest = json.loads(json.dumps(plan.manifest()))
+        assert manifest["name"] == "toy"
+        assert manifest["profile"] == "micro"
+        variant = manifest["variants"][0]
+        assert variant["config"]["epochs"] == 1
+        assert len(variant["config_digest"]) == 10

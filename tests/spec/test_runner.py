@@ -1,0 +1,127 @@
+"""Executing run specs: tables, marks, telemetry manifests, profiles."""
+
+import json
+
+import pytest
+
+from repro.experiments.profiles import FAST, Profile
+from repro.spec import SpecError, parse_spec, render_plan, resolve_profile, run_spec
+
+MICRO = Profile(
+    name="micro",
+    hidden_dim=16,
+    epochs=2,
+    gcmae_epochs=2,
+    num_seeds=1,
+    graph_epochs=2,
+    include_reddit=False,
+)
+
+TOY = {
+    "name": "toy",
+    "protocol": "classification",
+    "datasets": ["cora-like"],
+    "seeds": [0],
+    "methods": [
+        "DGI",
+        {"name": "DGI", "label": "DGI-short", "overrides": {"epochs": 1}},
+    ],
+}
+
+
+@pytest.fixture(autouse=True)
+def no_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+
+class TestResolveProfile:
+    def test_argument_instance_wins(self):
+        assert resolve_profile(MICRO, "fast") is MICRO
+
+    def test_argument_name_resolves(self):
+        assert resolve_profile("fast") is FAST
+
+    def test_spec_profile_fallback(self):
+        assert resolve_profile(None, "fast") is FAST
+
+    def test_environment_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert resolve_profile().name == "fast"
+
+    def test_unknown_name(self):
+        with pytest.raises(SpecError, match="unknown profile 'warp'"):
+            resolve_profile("warp")
+
+
+class TestRunSpec:
+    def test_table_shape_and_values(self):
+        table = run_spec(parse_spec(TOY), profile=MICRO)
+        assert table.name == "toy"
+        assert table.rows == ["DGI", "DGI-short"]
+        assert table.columns == ["cora-like"]
+        assert table.get("DGI", "cora-like") is not None
+        assert table.get("DGI-short", "cora-like") is not None
+
+    def test_accepts_spec_file(self, tmp_path):
+        path = tmp_path / "toy.json"
+        path.write_text(json.dumps(TOY))
+        table = run_spec(path, profile=MICRO)
+        assert table.rows == ["DGI", "DGI-short"]
+
+    def test_skip_rules_mark_cells(self):
+        spec = parse_spec({
+            **TOY,
+            "methods": ["DGI"],
+            "datasets": ["cora-like", "citeseer-like"],
+            "skip": [{"method": "DGI", "dataset": "citeseer-like", "mark": "OOM"}],
+        })
+        table = run_spec(spec, profile=MICRO)
+        assert table.get("DGI", "cora-like") is not None
+        assert table.missing.get(("DGI", "citeseer-like")) == "OOM"
+
+    def test_multi_metric_protocol_fills_suffix_columns(self):
+        spec = parse_spec({
+            "name": "toy-lp",
+            "protocol": "linkpred",
+            "datasets": ["cora-like"],
+            "seeds": [0],
+            "methods": ["DGI"],
+        })
+        table = run_spec(spec, profile=MICRO)
+        assert table.columns == ["cora-like:AUC", "cora-like:AP"]
+        assert table.get("DGI", "cora-like:AUC") is not None
+        assert table.get("DGI", "cora-like:AP") is not None
+
+    def test_telemetry_manifest_carries_plan(self, tmp_path):
+        from repro.obs import validate_event, validate_manifest
+
+        table = run_spec(
+            parse_spec(TOY), profile=MICRO, telemetry_dir=tmp_path
+        )
+        run_dir = tmp_path / table.run_id
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        validate_manifest(manifest)
+        for line in (run_dir / "events.jsonl").read_text().splitlines():
+            validate_event(json.loads(line))
+
+        plan = manifest["spec"]
+        assert plan["name"] == "toy"
+        assert plan["profile"] == "micro"
+        assert [v["label"] for v in plan["variants"]] == ["DGI", "DGI-short"]
+        # satellite: the manifest records each variant's *resolved* config
+        assert plan["variants"][0]["config"]["epochs"] == MICRO.epochs
+        assert plan["variants"][1]["config"]["epochs"] == 1
+        assert plan["variants"][0]["config_digest"] != (
+            plan["variants"][1]["config_digest"]
+        )
+
+
+class TestRenderPlan:
+    def test_lists_variants_with_resolved_configs(self):
+        from repro.spec import expand_spec
+
+        text = render_plan(expand_spec(parse_spec(TOY), MICRO))
+        assert "spec toy (classification, profile micro)" in text
+        assert "DGI-short" in text
+        assert "epochs=1" in text
+        assert "cells: 2" in text

@@ -1,9 +1,23 @@
 """Tests for the command-line interface."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.cli import _build_parser, main
+
+
+def _tiny_dgi(monkeypatch):
+    """Shrink the registered DGI entry so CLI runs stay micro-sized."""
+    from repro.registry import METHODS, ensure_registered
+
+    ensure_registered()
+    tiny = dataclasses.replace(
+        METHODS.get("DGI", "node"),
+        defaults=lambda profile: {"hidden_dim": 8, "epochs": 2},
+    )
+    monkeypatch.setitem(METHODS._entries, ("DGI", "node"), tiny)
 
 
 class TestParser:
@@ -76,16 +90,7 @@ class TestCommands:
 
     def test_pretrain_writes_embeddings(self, tmp_path, monkeypatch, capsys):
         # Micro-size run via a monkeypatched registry to keep the test fast.
-        from repro.experiments import registry
-
-        def tiny_methods(profile):
-            from repro.baselines import DGI
-            return {"DGI": lambda: DGI(hidden_dim=8, epochs=2)}
-
-        monkeypatch.setattr(registry, "node_ssl_methods", tiny_methods)
-        monkeypatch.setattr(
-            "repro.experiments.node_classification.node_ssl_methods", tiny_methods
-        )
+        _tiny_dgi(monkeypatch)
         output = tmp_path / "emb.npz"
         main(["pretrain", "DGI", "cora-like", "--output", str(output)])
         payload = np.load(output)
@@ -93,13 +98,7 @@ class TestCommands:
         assert "saved" in capsys.readouterr().out
 
     def test_evaluate_classification(self, monkeypatch, capsys):
-        from repro.experiments import registry
-
-        def tiny_methods(profile):
-            from repro.baselines import DGI
-            return {"DGI": lambda: DGI(hidden_dim=8, epochs=2)}
-
-        monkeypatch.setattr(registry, "node_ssl_methods", tiny_methods)
+        _tiny_dgi(monkeypatch)
         main(["evaluate", "DGI", "cora-like", "--task", "classification"])
         assert "accuracy=" in capsys.readouterr().out
 
@@ -123,13 +122,7 @@ class TestCommands:
     ):
         import json
 
-        from repro.experiments import registry
-
-        def tiny_methods(profile):
-            from repro.baselines import DGI
-            return {"DGI": lambda: DGI(hidden_dim=8, epochs=2)}
-
-        monkeypatch.setattr(registry, "node_ssl_methods", tiny_methods)
+        _tiny_dgi(monkeypatch)
         runs = tmp_path / "runs"
         main([
             "pretrain", "DGI", "cora-like", "--output", str(tmp_path / "e.npz"),
@@ -180,14 +173,12 @@ class TestCommands:
         from repro import parallel
         from repro.parallel import executor
 
-        def tiny_methods(profile):
-            from repro.baselines import DGI
-            return {"DGI": lambda: DGI(hidden_dim=8, epochs=2)}
-
         monkeypatch.setenv("REPRO_NO_CACHE", "1")
         monkeypatch.delenv("REPRO_JOBS", raising=False)
+        _tiny_dgi(monkeypatch)
         monkeypatch.setattr(
-            "repro.experiments.node_classification.node_ssl_methods", tiny_methods
+            "repro.experiments.node_classification.node_ssl_methods",
+            lambda profile: {"DGI": None},  # default method list for the spec
         )
         monkeypatch.setattr(
             "repro.experiments.node_classification.node_task_datasets",
@@ -204,9 +195,8 @@ class TestCommands:
             seen.append(executor.resolve_jobs(jobs))
             return original(cells, fn, jobs=jobs, label=label)
 
-        monkeypatch.setattr(
-            "repro.experiments.node_classification.run_cells", spy
-        )
+        # run_table4 routes through the spec runner since PR 9.
+        monkeypatch.setattr("repro.parallel.run_cells", spy)
         try:
             main(["table", "4", "--jobs", "2"])
         finally:

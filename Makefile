@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: ci test lint perf bench-gc bench-kernels bench-parallel bench-serving bench bench-history runs-demo spec-smoke
+.PHONY: ci test lint perf bench-gc bench-kernels bench-large bench-parallel bench-serving bench bench-history runs-demo spec-smoke
 
 ci:
 	scripts/ci.sh
@@ -21,6 +21,9 @@ bench-gc:
 
 bench-kernels:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_kernels.py -q -s
+
+bench-large:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_large_graph.py -q -s
 
 bench-parallel:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_parallel_tables.py -q -s

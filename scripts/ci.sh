@@ -56,6 +56,13 @@ echo "== serving smoke (micro-batched queue vs per-request forwards) =="
 REPRO_PERF_REPORT_ONLY="$REPORT_ONLY" \
     PYTHONPATH=src python -m pytest benchmarks/test_serving.py -q -s
 
+echo "== large-graph smoke (50k-node sampled GCMAE vs full-graph ceiling) =="
+# Gated by the "large_graph" key in benchmarks/perf_baseline.json; writes
+# benchmarks/BENCH_large_graph.json (sampled epoch seconds, block sizes,
+# full-graph extrapolation).  Report-only on PRs like the other perf gates.
+REPRO_PERF_REPORT_ONLY="$REPORT_ONLY" \
+    PYTHONPATH=src python -m pytest benchmarks/test_large_graph.py -q -s
+
 echo "== bench history (append BENCH_*.json, trend, regression check) =="
 # Appends the kernel/serving artifacts written above to benchmarks/history/
 # and checks the newest entry against the rolling median of prior entries

@@ -34,6 +34,7 @@ from ..graph.augment import (
     shuffle_features,
 )
 from ..graph.data import Graph
+from ..graph.sampling import neighbor_block_steps
 from ..nn import Adam, MLP, Tensor, functional as F, no_grad
 from ..nn.init import xavier_uniform
 from ..nn.module import Module, Parameter
@@ -70,12 +71,16 @@ class DGI(Method):
         epochs: int = 150,
         learning_rate: float = 1e-3,
         weight_decay: float = 0.0,
+        sampled_fanouts: tuple = (),
+        sampled_batch_size: int = 512,
     ) -> None:
         self.hidden_dim = hidden_dim
         self.num_layers = num_layers
         self.epochs = epochs
         self.learning_rate = learning_rate
         self.weight_decay = weight_decay
+        self.sampled_fanouts = tuple(sampled_fanouts)
+        self.sampled_batch_size = sampled_batch_size
 
     def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder = GNNEncoder(
@@ -98,9 +103,37 @@ class DGI(Method):
             rng=rng,
         )
 
+    def steps(self, state: TrainState, graph: Graph, epoch: int):
+        if not self.sampled_fanouts:
+            yield None
+            return
+        yield from neighbor_block_steps(
+            state, graph, self.sampled_fanouts, self.sampled_batch_size, epoch
+        )
+
     def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
         encoder = state.modules["encoder"]
         discriminator = state.modules["discriminator"]
+        if payload is not None:
+            # Sampled block: the summary and the positive/negative logits
+            # are restricted to the seed prefix — neighbour rows exist only
+            # to give the seeds their full receptive field.
+            block = payload
+            seeds = block.seed_positions()
+            positive = encoder(block.adjacency, Tensor(block.features))
+            corrupted = encoder(
+                block.adjacency,
+                Tensor(shuffle_features(block.features, state.rng)),
+            )
+            pos_seed = positive[seeds]
+            neg_seed = corrupted[seeds]
+            summary = pos_seed.mean(axis=0).sigmoid()
+            loss = F.binary_cross_entropy_with_logits(
+                discriminator(pos_seed, summary), Tensor(np.ones(block.num_seeds))
+            ) + F.binary_cross_entropy_with_logits(
+                discriminator(neg_seed, summary), Tensor(np.zeros(block.num_seeds))
+            )
+            return loss, {}
         x = graph.features
         positive = encoder(graph.adjacency, Tensor(x))
         corrupted = encoder(graph.adjacency, Tensor(shuffle_features(x, state.rng)))
@@ -147,6 +180,8 @@ class GRACE(Method):
         feature_mask: tuple = (0.3, 0.4),
         learning_rate: float = 1e-3,
         weight_decay: float = 1e-5,
+        sampled_fanouts: tuple = (),
+        sampled_batch_size: int = 512,
     ) -> None:
         self.hidden_dim = hidden_dim
         self.projector_dim = projector_dim
@@ -157,6 +192,8 @@ class GRACE(Method):
         self.feature_mask = feature_mask
         self.learning_rate = learning_rate
         self.weight_decay = weight_decay
+        self.sampled_fanouts = tuple(sampled_fanouts)
+        self.sampled_batch_size = sampled_batch_size
 
     def build(self, graph: Graph, rng: np.random.Generator) -> TrainState:
         encoder = GNNEncoder(
@@ -185,10 +222,31 @@ class GRACE(Method):
             rng=rng,
         )
 
+    def steps(self, state: TrainState, graph: Graph, epoch: int):
+        if not self.sampled_fanouts:
+            yield None
+            return
+        yield from neighbor_block_steps(
+            state, graph, self.sampled_fanouts, self.sampled_batch_size, epoch
+        )
+
     def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
         encoder = state.modules["encoder"]
         projector = state.modules["projector"]
         rng = state.rng
+        if payload is not None:
+            # Sampled block: corrupt the block's adjacency/features and
+            # contrast only the seed rows, so the InfoNCE similarity matrix
+            # is (num_seeds)^2 instead of N^2.
+            block = payload
+            seeds = block.seed_positions()
+            adj1 = drop_edges(block.adjacency, self.edge_drop[0], rng)
+            adj2 = drop_edges(block.adjacency, self.edge_drop[1], rng)
+            x1 = mask_feature_dimensions(block.features, self.feature_mask[0], rng)
+            x2 = mask_feature_dimensions(block.features, self.feature_mask[1], rng)
+            z1 = projector(encoder(adj1, Tensor(x1)))[seeds]
+            z2 = projector(encoder(adj2, Tensor(x2)))[seeds]
+            return info_nce(z1, z2, temperature=self.temperature), {}
         adj1 = drop_edges(graph.adjacency, self.edge_drop[0], rng)
         adj2 = drop_edges(graph.adjacency, self.edge_drop[1], rng)
         x1 = mask_feature_dimensions(graph.features, self.feature_mask[0], rng)

@@ -26,6 +26,7 @@ from ..core.losses import info_nce
 from ..engine import Method, TrainState
 from ..gnn.encoder import GNNEncoder
 from ..graph.data import Graph
+from ..graph.sampling import neighbor_block_steps
 from ..graph.sparse import to_csr
 from ..nn import Adam, MLP, Tensor, functional as F, no_grad
 from ..nn.module import Module
@@ -54,6 +55,8 @@ class BGRL(Method):
         feature_mask: Tuple[float, float] = (0.2, 0.3),
         learning_rate: float = 1e-3,
         weight_decay: float = 1e-5,
+        sampled_fanouts: Tuple[int, ...] = (),
+        sampled_batch_size: int = 512,
     ) -> None:
         self.hidden_dim = hidden_dim
         self.num_layers = num_layers
@@ -63,6 +66,8 @@ class BGRL(Method):
         self.feature_mask = feature_mask
         self.learning_rate = learning_rate
         self.weight_decay = weight_decay
+        self.sampled_fanouts = tuple(sampled_fanouts)
+        self.sampled_batch_size = sampled_batch_size
 
     def _ema_update(self, online: Module, target: Module) -> None:
         online_params = dict(online.named_parameters())
@@ -101,6 +106,14 @@ class BGRL(Method):
             telemetry_model=online,
         )
 
+    def steps(self, state: TrainState, graph: Graph, epoch: int):
+        if not self.sampled_fanouts:
+            yield None
+            return
+        yield from neighbor_block_steps(
+            state, graph, self.sampled_fanouts, self.sampled_batch_size, epoch
+        )
+
     def loss_step(self, state: TrainState, graph: Graph, epoch: int, payload):
         from ..graph.augment import drop_edges, mask_feature_dimensions
 
@@ -108,10 +121,19 @@ class BGRL(Method):
         target = state.modules["target"]
         predictor = state.modules["predictor"]
         rng = state.rng
-        adj1 = drop_edges(graph.adjacency, self.edge_drop[0], rng)
-        adj2 = drop_edges(graph.adjacency, self.edge_drop[1], rng)
-        x1 = mask_feature_dimensions(graph.features, self.feature_mask[0], rng)
-        x2 = mask_feature_dimensions(graph.features, self.feature_mask[1], rng)
+        if payload is not None:
+            # Sampled block: augment within the block and align only the
+            # seed rows (the neighbour suffix merely feeds their receptive
+            # field); the EMA update in after_step is unchanged.
+            adjacency, features = payload.adjacency, payload.features
+            seeds = payload.seed_positions()
+        else:
+            adjacency, features = graph.adjacency, graph.features
+            seeds = None
+        adj1 = drop_edges(adjacency, self.edge_drop[0], rng)
+        adj2 = drop_edges(adjacency, self.edge_drop[1], rng)
+        x1 = mask_feature_dimensions(features, self.feature_mask[0], rng)
+        x2 = mask_feature_dimensions(features, self.feature_mask[1], rng)
 
         prediction_1 = predictor(online(adj1, Tensor(x1)))
         prediction_2 = predictor(online(adj2, Tensor(x2)))
@@ -119,6 +141,11 @@ class BGRL(Method):
             target.eval()
             target_1 = target(adj1, Tensor(x1))
             target_2 = target(adj2, Tensor(x2))
+        if seeds is not None:
+            prediction_1 = prediction_1[seeds]
+            prediction_2 = prediction_2[seeds]
+            target_1 = target_1[seeds]
+            target_2 = target_2[seeds]
         # Cross-view cosine alignment: predict the *other* view's target.
         loss = (
             2.0

@@ -43,6 +43,14 @@ class GCMAEConfig:
     subgraph_threshold / subgraph_size / steps_per_epoch:
         Graphs larger than the threshold are trained on sampled subgraphs
         (Section 4.4's mitigation for full-adjacency reconstruction).
+    sampled_fanouts / sampled_batch_size:
+        Non-empty fan-outs switch training to GraphSAGE-style neighbour
+        sampling via :class:`repro.graph.sampling.NeighborLoader`: each
+        epoch covers every node once as a seed, in blocks of
+        ``sampled_batch_size`` seeds expanded by ``sampled_fanouts[k]``
+        neighbours per hop.  The empty default keeps the full-graph /
+        random-subgraph path bit-identical to earlier releases.  See
+        docs/SCALING.md.
     graph_batch_size:
         Graph-level protocol only (Table 7): number of graphs per
         block-diagonal training batch.  ``0`` trains the whole dataset as a
@@ -77,6 +85,8 @@ class GCMAEConfig:
     subgraph_threshold: int = 1200
     subgraph_size: int = 512
     steps_per_epoch: int = 2
+    sampled_fanouts: Tuple[int, ...] = ()
+    sampled_batch_size: int = 512
     graph_batch_size: int = 0
     projector_hidden: int = 64
     patience: int = 0
@@ -108,6 +118,14 @@ class GCMAEConfig:
             )
         if self.patience < 0:
             raise ValueError(f"patience must be >= 0, got {self.patience}")
+        if any(f < 1 for f in self.sampled_fanouts):
+            raise ValueError(
+                f"sampled_fanouts must be positive, got {self.sampled_fanouts}"
+            )
+        if self.sampled_batch_size < 1:
+            raise ValueError(
+                f"sampled_batch_size must be >= 1, got {self.sampled_batch_size}"
+            )
         resolve_dtype(self.dtype)  # raises on unsupported dtypes
         if self.min_delta < 0.0:
             raise ValueError(f"min_delta must be >= 0, got {self.min_delta}")

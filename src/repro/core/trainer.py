@@ -24,6 +24,7 @@ import contextlib
 from ..engine import EarlyStopping, Method, TrainLoop, TrainState
 from ..graph.augment import random_subgraph_nodes
 from ..graph.data import Graph, GraphDataset
+from ..graph.sampling import neighbor_block_steps
 from ..nn.dtype import dtype_policy
 from ..nn.optim import Adam
 from ..obs.hooks import CallbackHook, EpochHook
@@ -82,7 +83,19 @@ class _GCMAENodeMethod(Method):
         )
 
     def steps(self, state: TrainState, graph: Graph, epoch: int):
-        if graph.num_nodes > self.config.subgraph_threshold:
+        if self.config.sampled_fanouts:
+            # Neighbour-sampled mini-batches: every node is a seed once per
+            # epoch, receptive fields bounded by the fan-outs.  The loader
+            # keys its per-epoch RNG on (run seed, epoch), independent of
+            # state.rng, so it is rebuilt identically after a resume.
+            yield from neighbor_block_steps(
+                state,
+                graph,
+                self.config.sampled_fanouts,
+                self.config.sampled_batch_size,
+                epoch,
+            )
+        elif graph.num_nodes > self.config.subgraph_threshold:
             for _ in range(self.config.steps_per_epoch):
                 nodes = random_subgraph_nodes(
                     graph.num_nodes, self.config.subgraph_size, state.rng

@@ -217,6 +217,7 @@ class TrainLoop:
         hooks = tuple(hooks)
         rng = np.random.default_rng(seed)
         state = method.build(data, rng)
+        state.seed = seed
         result = LoopResult(state=state)
 
         best: Optional[float] = None

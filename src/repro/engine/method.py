@@ -67,6 +67,12 @@ class TrainState:
         negative-sampling edge lists, ...).  Not checkpointed — anything
         here must be reconstructible from ``build`` alone; evolving state
         belongs in :meth:`Method.extra_state`.
+    seed:
+        The integer seed :meth:`TrainLoop.run` was called with, set by the
+        loop right after ``build``.  Methods that derive *independent*
+        deterministic streams (the neighbour loaders key per-epoch RNGs on
+        ``(seed, epoch)``) read it here, so sampling stays reproducible
+        across resumes without touching the training ``rng`` stream.
     """
 
     modules: Dict[str, Module]
@@ -74,6 +80,7 @@ class TrainState:
     rng: np.random.Generator
     telemetry_model: Optional[Module] = None
     extras: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
 
     def module_state(self) -> Dict[str, Dict[str, np.ndarray]]:
         """Per-module ``state_dict`` snapshot (used for best-weight restore)."""

@@ -304,6 +304,32 @@ def _serving_block(counters: Dict[str, float], gauges: List[dict]) -> List[str]:
     return lines
 
 
+def _sampler_block(counters: Dict[str, float]) -> List[str]:
+    """The neighbour-sampling section: block count, sizes, sampling rate.
+
+    Rendered only for runs that trained through a
+    :class:`~repro.graph.sampling.NeighborLoader` (any ``sampler.*``
+    counter present).  The raw counters are sums, so the derived ratios —
+    mean nodes per block, blocks per second — are what a reader actually
+    wants when tuning ``sampled_fanouts``/``sampled_batch_size``.
+    """
+    blocks = counters.get("sampler.blocks", 0.0)
+    if not blocks:
+        return []
+    lines = ["", "sampler:"]
+    lines.append(f"  blocks                   {blocks:g}")
+    nodes = counters.get("sampler.nodes_per_block", 0.0)
+    if nodes:
+        lines.append(f"  mean nodes per block     {nodes / blocks:.1f}")
+    seconds = counters.get("sampler.seconds", 0.0)
+    if seconds:
+        lines.append(
+            f"  sampling time            {seconds:.4f}s "
+            f"({blocks / seconds:.1f} blocks/s)"
+        )
+    return lines
+
+
 def _config_block(manifest: Dict[str, object]) -> List[str]:
     """The resolved-config section: the actual hyperparameters of the run."""
     config = manifest.get("config")
@@ -413,6 +439,7 @@ def render_show(run: Run, span_limit: int = 12, op_limit: int = 6) -> str:
     counters: Dict[str, float] = {}
     for event in run.counters:
         counters[event["name"]] = counters.get(event["name"], 0.0) + event["value"]
+    lines.extend(_sampler_block(counters))
     lines.extend(_serving_block(counters, run.gauges))
     if counters:
         lines.append("")

@@ -1,0 +1,120 @@
+"""Tests for the sparse large-graph generator paths.
+
+Above ``LARGE_GRAPH_THRESHOLD`` the citation generator switches from the
+historical dense Bernoulli matrices and per-node feature loops to sparse
+edge sampling and vectorised feature assignment.  At or below the
+threshold the legacy RNG streams are preserved exactly (the golden-curve
+fixtures depend on them), which test_golden_equivalence.py pins; here we
+cover the blocked-draw equivalence that gating relies on plus the sparse
+path's statistical and structural sanity.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.generators import (
+    LARGE_GRAPH_THRESHOLD,
+    CitationGraphSpec,
+    _bernoulli_upper_pairs,
+    _er_graph,
+    make_citation_graph,
+)
+
+
+class TestBlockedBernoulliEquivalence:
+    def test_blocked_draws_match_full_matrix(self):
+        # The row-blocked fill consumes the PCG64 stream exactly like one
+        # n x n draw, so gating on size cannot change small-graph output.
+        n = 97
+        p = 0.07
+        rows, cols = _bernoulli_upper_pairs(n, lambda a, b: p, np.random.default_rng(11))
+        reference = np.triu(np.random.default_rng(11).random((n, n)) < p, k=1)
+        expected = np.argwhere(reference)
+        np.testing.assert_array_equal(rows, expected[:, 0])
+        np.testing.assert_array_equal(cols, expected[:, 1])
+
+
+class TestSparseCitationPath:
+    def test_large_graph_statistics(self):
+        n = LARGE_GRAPH_THRESHOLD * 4
+        spec = CitationGraphSpec(
+            num_nodes=n,
+            num_features=32,
+            num_classes=8,
+            average_degree=8.0,
+            homophily=0.85,
+        )
+        graph = make_citation_graph(spec, seed=0)
+        adjacency = graph.adjacency
+        degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+
+        # Structural invariants shared with the dense path.
+        assert (adjacency != adjacency.T).nnz == 0  # symmetric
+        assert adjacency.diagonal().sum() == 0  # no self loops
+        assert degrees.min() >= 1  # isolates reconnected
+        assert np.isin(graph.labels, np.arange(8)).all()
+
+        # Distributional targets hold in expectation.
+        assert abs(degrees.mean() - 8.0) < 1.0
+        coo = adjacency.tocoo()
+        same = (graph.labels[coo.row] == graph.labels[coo.col]).mean()
+        assert abs(same - 0.85) < 0.05
+
+    def test_large_features_carry_class_signal(self):
+        n = LARGE_GRAPH_THRESHOLD + 512
+        spec = CitationGraphSpec(
+            num_nodes=n,
+            num_features=64,
+            num_classes=4,
+            average_degree=6.0,
+            feature_signal=0.9,
+            features_per_node=12.0,
+        )
+        graph = make_citation_graph(spec, seed=1)
+        assert graph.features.shape == (n, 64)
+        assert (graph.features >= 0).all()
+        # High feature_signal means same-class rows are more alike than
+        # cross-class rows: compare mean class centroids pairwise.
+        centroids = np.stack(
+            [graph.features[graph.labels == c].mean(axis=0) for c in range(4)]
+        )
+        self_sim = np.einsum("ij,ij->i", centroids, centroids)
+        cross = centroids @ centroids.T
+        off_diag = cross[~np.eye(4, dtype=bool)]
+        assert self_sim.mean() > off_diag.mean() * 1.5
+
+    def test_determinism_in_seed(self):
+        spec = CitationGraphSpec(
+            num_nodes=LARGE_GRAPH_THRESHOLD + 100,
+            num_features=16,
+            num_classes=4,
+            average_degree=5.0,
+        )
+        a = make_citation_graph(spec, seed=9)
+        b = make_citation_graph(spec, seed=9)
+        assert (a.adjacency != b.adjacency).nnz == 0
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        c = make_citation_graph(spec, seed=10)
+        assert (a.adjacency != c.adjacency).nnz != 0
+
+
+class TestSparseErGraph:
+    def test_large_er_graph_is_sparse_and_sane(self):
+        n = LARGE_GRAPH_THRESHOLD * 2
+        p = 8.0 / n
+        adjacency = _er_graph(n, p, np.random.default_rng(0))
+        assert sp.issparse(adjacency)
+        assert (adjacency != adjacency.T).nnz == 0
+        assert adjacency.diagonal().sum() == 0
+        expected_edges = p * n * (n - 1) / 2
+        assert abs(adjacency.nnz / 2 - expected_edges) < 0.2 * expected_edges
+
+    def test_small_er_graph_stream_unchanged(self):
+        # Below the threshold the dense Bernoulli path must keep consuming
+        # the RNG exactly as it always did.
+        n, p = 50, 0.2
+        adjacency = _er_graph(n, p, np.random.default_rng(5))
+        upper = np.triu(np.random.default_rng(5).random((n, n)) < p, k=1)
+        expected = upper | upper.T
+        np.testing.assert_array_equal(adjacency.toarray() > 0, expected)

@@ -149,6 +149,25 @@ class TestRendering:
         assert "final loss" in text
         assert "(delta -0.5000)" in text
 
+    def test_render_show_sampler_section(self, tmp_path):
+        from repro.obs.hooks import emit_counter
+
+        with telemetry_run(tmp_path, method="GCMAE", dataset="reddit-large") as rec:
+            emit_epoch("GCMAE", 0, 2.0)
+            for nodes in (400.0, 600.0):
+                emit_counter("sampler.blocks")
+                emit_counter("sampler.nodes_per_block", nodes)
+                emit_counter("sampler.seconds", 0.25)
+        text = render_show(find_run(tmp_path, rec.run_id))
+        assert "sampler:" in text
+        assert "blocks                   2" in text
+        assert "mean nodes per block     500.0" in text
+        assert "4.0 blocks/s" in text
+
+    def test_render_show_no_sampler_section_without_counters(self, tmp_path):
+        run_id = _make_run(tmp_path)
+        assert "sampler:" not in render_show(find_run(tmp_path, run_id))
+
     def test_render_show_serving_section(self, tmp_path):
         import numpy as np
 
